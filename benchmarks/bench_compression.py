@@ -1,0 +1,17 @@
+"""Section 6.2 benchmark: compression ratios and the partitioning synergy."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import compression
+
+
+def test_compression_ratios(benchmark):
+    """Dictionary/delta compression beats raw storage; partitioning helps FOR."""
+    config = compression.CompressionConfig(num_values=131_072)
+    results = benchmark.pedantic(compression.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(compression.report(results))
+    for _name, dict_ratio, _for_ratio, _rle_ratio in results["ratios"]:
+        assert dict_ratio > 1.0
+    partitioned = dict(results["partitioned_for"])
+    assert partitioned[max(partitioned)] >= partitioned[1]

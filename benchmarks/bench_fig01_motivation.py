@@ -1,0 +1,17 @@
+"""Figure 1 benchmark: vanilla column-store vs delta store vs Casper."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig1
+
+
+def test_fig1_motivation(benchmark):
+    """Time the full Fig. 1 comparison and print its rows."""
+    config = fig1.Figure1Config(num_rows=65_536, block_values=1_024, num_operations=800)
+    results = benchmark.pedantic(fig1.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig1.report(results))
+    vanilla, delta, casper = (results[name] for name, _ in fig1.LAYOUTS)
+    # The paper's ordering: Casper >= state-of-the-art delta store >> vanilla.
+    assert delta.throughput_ops > vanilla.throughput_ops
+    assert casper.throughput_ops >= 0.9 * delta.throughput_ops

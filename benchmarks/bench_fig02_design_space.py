@@ -1,0 +1,20 @@
+"""Figure 2 benchmark: impact of structure and ghost values."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig2
+
+
+def test_fig2_design_space(benchmark):
+    """Time the Fig. 2 sweeps and check the conceptual trends."""
+    config = fig2.Figure2Config(num_blocks=128, block_values=512, operations=400)
+    results = benchmark.pedantic(fig2.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig2.report(results))
+    structure = results["structure"]
+    reads = [row[1] for row in structure]
+    writes = [row[2] for row in structure]
+    assert reads[0] > reads[-1]            # more partitions -> cheaper reads
+    assert writes[0] < writes[-1]          # more partitions -> costlier writes
+    ghost = results["ghost_values"]
+    assert ghost[0][2] >= ghost[-1][2]     # more ghosts -> cheaper inserts

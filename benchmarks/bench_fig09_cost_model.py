@@ -1,0 +1,32 @@
+"""Figure 9 benchmark: cost-model verification (inserts and point queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments import fig9
+
+
+def test_fig9_cost_model_verification(benchmark):
+    """Model-vs-measured ratios stay near 1 and the expected linear trends hold."""
+    config = fig9.Figure9Config(
+        chunk_values=131_072, block_values=512, insert_partitions=48, pq_partitions=10
+    )
+    results = benchmark.pedantic(fig9.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig9.report(results))
+
+    inserts = results["inserts"]
+    ratios = [row[3] for row in inserts]
+    assert all(0.3 < ratio < 3.0 for ratio in ratios)
+    # Insert cost decreases as the target partition moves toward the end
+    # (fewer trailing partitions to ripple through).
+    measured = [row[1] for row in inserts]
+    assert measured[0] > measured[-1]
+
+    point_queries = results["point_queries"]
+    ratios = [row[3] for row in point_queries]
+    assert all(0.3 < ratio < 3.0 for ratio in ratios)
+    # Point-query cost grows with (exponentially growing) partition size.
+    measured = np.asarray([row[1] for row in point_queries])
+    assert measured[-1] > measured[0]

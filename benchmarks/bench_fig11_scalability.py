@@ -1,0 +1,29 @@
+"""Figure 11 benchmark: partitioning-decision latency vs data size."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig11
+from repro.core.chunking import measure_solve_seconds
+
+
+def test_fig11_scalability(benchmark):
+    """Chunking reduces decision latency by orders of magnitude."""
+    config = fig11.Figure11Config(
+        data_sizes=(10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000),
+        chunk_counts=(1, 100, 1_000, 10_000, 100_000),
+        calibration_blocks=256,
+        measured_max_blocks=1_024,
+    )
+    results = benchmark.pedantic(fig11.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig11.report(results))
+    rows = results["rows"]
+    # At 10^9 values the single-job latency dwarfs the chunked-100000 one.
+    last = rows[-1]
+    assert last[1] > last[-1] * 1_000
+
+
+def test_single_chunk_solve_latency(benchmark):
+    """Time one DP solve at the paper's chunk granularity (244 blocks)."""
+    seconds = benchmark(measure_solve_seconds, 244)
+    assert seconds >= 0

@@ -1,0 +1,40 @@
+"""Figure 12 benchmark: normalized throughput across six workloads and layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig12
+from repro.storage.layouts import LayoutKind
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = fig12.Figure12Config(
+        num_rows=65_536, block_values=1_024, num_operations=1_000
+    )
+    return fig12.run(config)
+
+
+def test_fig12_normalized_throughput(benchmark, results):
+    """Print the Fig. 12 matrix and check the headline orderings."""
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    print()
+    print(fig12.report(results))
+
+    def norm(profile, layout):
+        return results[profile]["normalized"][layout]
+
+    # Hybrid and update-intensive workloads: Casper matches or beats the
+    # state-of-the-art delta store (paper: 1.75x-2.32x).
+    for profile in ("hybrid_skewed", "hybrid_range_skewed", "update_only_skewed",
+                    "update_only_uniform"):
+        assert norm(profile, LayoutKind.CASPER) >= 0.95
+
+    # Casper always beats the unsorted baseline by a wide margin.
+    for profile in results:
+        assert norm(profile, LayoutKind.CASPER) > norm(profile, LayoutKind.NO_ORDER)
+
+    # Read-only workloads: Casper is competitive with the state of the art
+    # (paper: within ~5% for skewed reads, better for uniform reads).
+    assert norm("read_only_uniform", LayoutKind.CASPER) >= 0.9

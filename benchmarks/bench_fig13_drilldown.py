@@ -1,0 +1,29 @@
+"""Figure 13 benchmark: per-operation latency drill-down."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig13
+from repro.storage.layouts import LayoutKind
+
+
+def test_fig13_latency_drilldown(benchmark):
+    """Print the three Fig. 13 panels and check the headline comparisons."""
+    config = fig13.Figure13Config(
+        num_rows=65_536, block_values=1_024, num_operations=1_000
+    )
+    results = benchmark.pedantic(fig13.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig13.report(results))
+
+    hybrid = results["(a) hybrid (Q1, Q4, Q6), skewed"]
+    # Casper's inserts are far cheaper than the sorted column's ripples
+    # (the paper reports three orders of magnitude vs other layouts).
+    assert (
+        hybrid[LayoutKind.CASPER].mean_latency_ns["insert"]
+        < hybrid[LayoutKind.SORTED].mean_latency_ns["insert"] / 10
+    )
+    update_only = results["(c) update-only (Q4, Q5, Q6), uniform"]
+    assert (
+        update_only[LayoutKind.CASPER].throughput_ops
+        >= update_only[LayoutKind.SORTED].throughput_ops
+    )

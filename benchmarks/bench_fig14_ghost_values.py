@@ -1,0 +1,19 @@
+"""Figure 14 benchmark: insert latency vs ghost-value budget."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig14
+
+
+def test_fig14_ghost_values(benchmark):
+    """A larger ghost budget never makes inserts slower (and usually helps)."""
+    config = fig14.Figure14Config(
+        num_rows=65_536, block_values=1_024, num_operations=1_000,
+        ghost_fractions=(0.0001, 0.001, 0.01, 0.1),
+    )
+    results = benchmark.pedantic(fig14.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig14.report(results))
+    for label, rows in results.items():
+        inserts = [row[1] for row in rows]
+        assert inserts[-1] <= inserts[0] * 1.1, label

@@ -1,0 +1,24 @@
+"""Figure 15 benchmark: meeting insert SLAs."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig15
+
+
+def test_fig15_insert_sla(benchmark):
+    """Tighter insert SLAs reduce insert latency with little throughput loss."""
+    config = fig15.Figure15Config(
+        num_rows=65_536, block_values=1_024, num_operations=1_000,
+        insert_slas_us=(None, 12.5, 7.5, 3.75, 2.0, 1.5),
+    )
+    rows = benchmark.pedantic(fig15.run, args=(config,), iterations=1, rounds=1)
+    print()
+    print(fig15.report(rows))
+    no_sla = rows[0]
+    tightest = rows[-1]
+    # The worst-case (p99.9) insert latency drops as the SLA tightens.
+    assert tightest[3] <= no_sla[3]
+    # The tightest SLA's p99.9 respects the requested bound (1.5us).
+    assert tightest[3] <= 1.5 + 0.3
+    # Throughput loss stays modest (paper: < 3%; allow slack at small scale).
+    assert tightest[5] >= no_sla[5] * 0.7

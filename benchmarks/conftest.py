@@ -1,0 +1,29 @@
+"""Shared fixtures and scale knobs for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper at a
+reduced scale (so the whole suite runs in minutes) and uses pytest-benchmark
+to time the heavy step of that experiment.  The printed rows are the ones
+EXPERIMENTS.md quotes; run any single figure with e.g.::
+
+    pytest benchmarks/bench_fig12_throughput.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.hap import HAPConfig
+
+
+#: Default scaled-down HAP instance used by the engine-level figures.
+BENCH_ROWS = 65_536
+BENCH_BLOCK_VALUES = 1_024
+BENCH_OPERATIONS = 1_000
+
+
+@pytest.fixture(scope="session")
+def hap_config() -> HAPConfig:
+    """Scaled-down HAP table configuration shared by the benchmarks."""
+    return HAPConfig(
+        num_rows=BENCH_ROWS, chunk_size=BENCH_ROWS, block_values=BENCH_BLOCK_VALUES
+    )

@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+=============  =========================================================
+Module         Paper figure
+=============  =========================================================
+``fig1``       Fig. 1  -- motivation: vanilla vs delta store vs Casper
+``fig2``       Fig. 2  -- impact of structure and of ghost values
+``fig9``       Fig. 9  -- cost-model verification (inserts, point queries)
+``fig11``      Fig. 11 -- partitioning-decision latency vs data size
+``fig12``      Fig. 12 -- normalized throughput across workloads/layouts
+``fig13``      Fig. 13 -- per-operation latency drill-down
+``fig14``      Fig. 14 -- leveraging ghost values
+``fig15``      Fig. 15 -- meeting insert SLAs
+``fig16``      Fig. 16 -- robustness to workload uncertainty
+``compression``  Section 6.2 -- compression ratios
+=============  =========================================================
+
+Each module exposes ``run()`` (returns structured results) and ``main()``
+(prints the same rows/series the paper's figure plots) and can be executed
+with ``python -m repro.bench.experiments.figN``.
+"""
+
+from . import compression, fig1, fig2, fig9, fig11, fig12, fig13, fig14, fig15, fig16
+
+__all__ = [
+    "compression",
+    "fig1",
+    "fig2",
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+]

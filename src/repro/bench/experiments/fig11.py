@@ -1,0 +1,94 @@
+"""Figure 11: scalability of the partitioning decision with data size.
+
+The paper shows the partitioning-decision latency for data sizes from 10^4
+to 10^9 values, solved as a single problem versus divided into 100 to 100,000
+chunks (solved in parallel on 64 cores).  Chunking reduces the latency by
+many orders of magnitude; the 10^9-value single-job point is an estimate
+(10^15 seconds) rather than a measurement -- we follow the same approach:
+small problems are actually solved (and timed), large ones are extrapolated
+from the calibrated complexity model of :mod:`repro.core.chunking`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.chunking import ScalabilityModel, measure_solve_seconds
+from ...storage.cost_accounting import DEFAULT_BLOCK_VALUES
+from ..reporting import banner, format_table
+
+
+@dataclass(frozen=True)
+class Figure11Config:
+    """Scale knobs for the scalability experiment."""
+
+    data_sizes: tuple[int, ...] = (
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+        1_000_000_000,
+    )
+    chunk_counts: tuple[int, ...] = (1, 100, 1_000, 10_000, 100_000)
+    block_values: int = DEFAULT_BLOCK_VALUES
+    cpus: int = 64
+    calibration_blocks: int = 512
+    measured_max_blocks: int = 4_096
+    exponent: float = 3.0
+
+
+def run(config: Figure11Config = Figure11Config()) -> dict[str, object]:
+    """Produce the decision-latency matrix (milliseconds)."""
+    model = ScalabilityModel.calibrate(
+        calibration_blocks=config.calibration_blocks, exponent=config.exponent
+    )
+    measured: list[tuple[int, float]] = []
+    rows: list[tuple] = []
+    for data_size in config.data_sizes:
+        row: list[object] = [data_size]
+        for chunks in config.chunk_counts:
+            if chunks > max(1, data_size // config.block_values):
+                row.append(float("nan"))
+                continue
+            per_chunk_blocks = max(
+                1, (data_size // chunks + config.block_values - 1) // config.block_values
+            )
+            if chunks == 1 and per_chunk_blocks <= config.measured_max_blocks:
+                seconds = measure_solve_seconds(per_chunk_blocks)
+                measured.append((data_size, seconds))
+            else:
+                seconds = model.decision_latency_seconds(
+                    data_size,
+                    block_values=config.block_values,
+                    chunks=chunks,
+                    cpus=config.cpus if chunks > 1 else 1,
+                )
+            row.append(seconds * 1e3)
+        rows.append(tuple(row))
+    return {"rows": rows, "measured": measured, "model": model}
+
+
+def report(results: dict[str, object]) -> str:
+    """Format the Fig. 11 latency matrix."""
+    config = Figure11Config()
+    headers = ["data size (#values)"] + [
+        "single job (ms)" if c == 1 else f"chunked-{c} (ms)" for c in config.chunk_counts
+    ]
+    text = banner("Figure 11: partitioning decision latency vs data size")
+    text += "\n" + format_table(headers, results["rows"])
+    measured = results["measured"]
+    if measured:
+        text += "\n\nmeasured single-chunk DP solves (seconds): " + ", ".join(
+            f"{size:.0e}->{seconds * 1e3:.2f}ms" for size, seconds in measured
+        )
+    return text
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

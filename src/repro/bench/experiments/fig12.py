@@ -1,0 +1,93 @@
+"""Figure 12: normalized throughput across workloads and layouts.
+
+Six workload profiles (hybrid skewed, hybrid range skewed, read-only skewed,
+read-only uniform, update-only skewed, update-only uniform) are executed
+against the six layout modes; throughput is normalized to the
+state-of-the-art delta-store design.  The paper reports Casper at 1.75-2.32x
+on the hybrid and update-intensive workloads and roughly on par with the
+state of the art for read-only workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...storage.layouts import LayoutKind
+from ...workload.hap import HAPConfig
+from ..harness import LAYOUT_ORDER, compare_layouts, normalized_throughput
+from ..reporting import banner, format_table
+
+PROFILES = (
+    "hybrid_skewed",
+    "hybrid_range_skewed",
+    "read_only_skewed",
+    "read_only_uniform",
+    "update_only_skewed",
+    "update_only_uniform",
+)
+
+
+@dataclass(frozen=True)
+class Figure12Config:
+    """Scale knobs for the throughput comparison."""
+
+    num_rows: int = 131_072
+    block_values: int = 1_024
+    num_operations: int = 2_000
+    partitions: int = 64
+    ghost_fraction: float = 0.01
+
+
+def run(config: Figure12Config = Figure12Config()) -> dict[str, dict]:
+    """Return per-profile normalized throughput and raw results."""
+    hap = HAPConfig(
+        num_rows=config.num_rows,
+        chunk_size=config.num_rows,
+        block_values=config.block_values,
+    )
+    output: dict[str, dict] = {}
+    for profile in PROFILES:
+        results = compare_layouts(
+            hap,
+            profile,
+            num_operations=config.num_operations,
+            partitions=config.partitions,
+            ghost_fraction=config.ghost_fraction,
+        )
+        output[profile] = {
+            "results": results,
+            "normalized": normalized_throughput(results),
+        }
+    return output
+
+
+def report(results: dict[str, dict]) -> str:
+    """Format the Fig. 12 normalized-throughput matrix."""
+    headers = ["workload"] + [kind.value for kind in LAYOUT_ORDER]
+    rows = []
+    for profile, payload in results.items():
+        normalized = payload["normalized"]
+        rows.append(
+            [profile] + [normalized.get(kind, float("nan")) for kind in LAYOUT_ORDER]
+        )
+    text = banner(
+        "Figure 12: throughput normalized to the state-of-the-art delta store"
+    )
+    text += "\n" + format_table(headers, rows)
+    casper_vs_soa = [
+        payload["normalized"][LayoutKind.CASPER] for payload in results.values()
+    ]
+    text += (
+        f"\n\nCasper vs state-of-art across workloads: "
+        f"min {min(casper_vs_soa):.2f}x, max {max(casper_vs_soa):.2f}x"
+    )
+    return text
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Figure 2: the impact of structure and of ghost values (conceptual curves).
+
+(a) Adding structure (more non-overlapping partitions) reduces read cost
+    roughly logarithmically while increasing write cost linearly.
+(b) Adding ghost values (memory amplification) reduces write cost roughly
+    linearly at a sub-linear read penalty.
+
+Both curves are produced from this repository's cost model and storage
+engine rather than drawn conceptually: (a) sweeps equi-width partition counts
+through the analytical cost model; (b) sweeps the ghost budget through the
+actual engine and measures insert/read latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.cost_model import CostModel, boundaries_to_vector
+from ...core.frequency_model import FrequencyModel
+from ...storage.column import PartitionedColumn, equal_width_boundaries
+from ...storage.cost_accounting import constants_for_block_values
+from ...storage.ghost_values import spread_evenly
+from ..reporting import banner, format_table
+
+
+@dataclass(frozen=True)
+class Figure2Config:
+    """Scale knobs for the Figure 2 sweeps."""
+
+    num_blocks: int = 256
+    block_values: int = 1_024
+    partition_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    ghost_fractions: tuple[float, ...] = (0.0, 0.0001, 0.0003, 0.001, 0.003, 0.01)
+    operations: int = 800
+    seed: int = 5
+
+
+def structure_sweep(config: Figure2Config) -> list[tuple[int, float, float]]:
+    """(partitions, normalized read cost, normalized write cost) triples."""
+    constants = constants_for_block_values(config.block_values)
+    model = FrequencyModel(config.num_blocks)
+    model.pq[:] = 1.0
+    model.ins[:] = 1.0
+    cost_model = CostModel(model, constants)
+    rows = []
+    for k in config.partition_counts:
+        k = max(1, min(int(k), config.num_blocks))
+        ends = np.unique(
+            np.round(np.linspace(0, config.num_blocks, k + 1)[1:]).astype(int)
+        )
+        ends = ends[ends > 0]
+        vector = boundaries_to_vector(config.num_blocks, ends)
+        per_op = cost_model.per_operation_totals(vector)
+        rows.append(
+            (
+                int(k),
+                per_op["point_query"] / config.num_blocks,
+                per_op["insert"] / config.num_blocks,
+            )
+        )
+    max_read = max(row[1] for row in rows)
+    max_write = max(row[2] for row in rows)
+    return [
+        (k, read / max_read, write / max_write) for k, read, write in rows
+    ]
+
+
+def ghost_value_sweep(config: Figure2Config) -> list[tuple[float, float, float, float]]:
+    """(ghost fraction, memory amplification, write cost, read cost) rows."""
+    constants = constants_for_block_values(config.block_values)
+    rng = np.random.default_rng(config.seed)
+    size = config.num_blocks * config.block_values
+    values = np.sort(rng.integers(0, 2**31, size)) * 2
+    partitions = 64
+    rows = []
+    for fraction in config.ghost_fractions:
+        boundaries = equal_width_boundaries(size, partitions)
+        budget = int(size * fraction)
+        ghosts = spread_evenly(budget, boundaries.shape[0]) if budget else None
+        column = PartitionedColumn(
+            values,
+            boundaries,
+            block_values=config.block_values,
+            ghost_allocation=ghosts,
+            dense=ghosts is None,
+        )
+        insert_keys = rng.integers(0, int(values[-1]), config.operations) | 1
+        read_keys = rng.choice(values, config.operations)
+        before = column.counter.snapshot()
+        for key in insert_keys:
+            column.insert(int(key))
+        insert_cost = column.counter.diff(before).cost(constants) / config.operations
+        before = column.counter.snapshot()
+        for key in read_keys:
+            column.point_query(int(key))
+        read_cost = column.counter.diff(before).cost(constants) / config.operations
+        rows.append(
+            (float(fraction), column.memory_amplification, insert_cost, read_cost)
+        )
+    return rows
+
+
+def run(config: Figure2Config = Figure2Config()) -> dict[str, list[tuple]]:
+    """Run both sweeps."""
+    return {
+        "structure": structure_sweep(config),
+        "ghost_values": ghost_value_sweep(config),
+    }
+
+
+def report(results: dict[str, list[tuple]]) -> str:
+    """Format both panels of Figure 2."""
+    part_a = format_table(
+        ("partitions", "norm. read cost", "norm. write cost"), results["structure"]
+    )
+    part_b = format_table(
+        ("ghost fraction", "memory amplification", "insert cost (ns)", "read cost (ns)"),
+        results["ghost_values"],
+    )
+    return (
+        banner("Figure 2a: impact of structure (partitions)")
+        + "\n"
+        + part_a
+        + "\n\n"
+        + banner("Figure 2b: impact of ghost values")
+        + "\n"
+        + part_b
+    )
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

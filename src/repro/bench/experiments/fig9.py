@@ -1,0 +1,155 @@
+"""Figure 9: cost-model verification.
+
+(a) Inserts: a chunk with equal-size partitions; the insert cost should grow
+    linearly with the number of trailing partitions (Eq. 9).
+(b) Point queries: a chunk with exponentially increasing partition sizes; the
+    point-query cost should grow linearly with partition size (Eq. 7).
+
+For both, the "measured" cost is the storage engine's block-access accounting
+and the "model" cost is the analytical cost model's prediction; the figure
+reports both plus their ratio (the paper's grey points, always close to 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.cost_model import CostModel, boundaries_to_vector
+from ...core.frequency_model import BlockMapper, FrequencyModel
+from ...storage.column import PartitionedColumn, snap_boundaries_to_duplicates
+from ...storage.cost_accounting import blocks_spanned, constants_for_block_values
+from ..reporting import banner, format_table
+
+
+@dataclass(frozen=True)
+class Figure9Config:
+    """Scale knobs for the cost-model verification."""
+
+    chunk_values: int = 262_144
+    block_values: int = 512
+    insert_partitions: int = 64
+    pq_partitions: int = 12
+    repetitions: int = 5
+    seed: int = 9
+
+
+def _build_column(values, boundaries, block_values):
+    boundaries = snap_boundaries_to_duplicates(values, boundaries)
+    return PartitionedColumn(values, boundaries, block_values=block_values, dense=True)
+
+
+def insert_verification(config: Figure9Config) -> list[tuple[int, float, float, float]]:
+    """(partition id, measured ns, model ns, ratio) for inserts."""
+    rng = np.random.default_rng(config.seed)
+    constants = constants_for_block_values(config.block_values)
+    values = np.sort(rng.integers(0, 2**31, config.chunk_values)) * 2
+    num_blocks = blocks_spanned(0, config.chunk_values, config.block_values)
+    boundaries = np.unique(
+        np.round(
+            np.linspace(0, config.chunk_values, config.insert_partitions + 1)[1:]
+        ).astype(np.int64)
+    )
+    mapper = BlockMapper(values, config.block_values)
+    block_boundaries = np.unique(
+        np.minimum(np.ceil(boundaries / config.block_values), num_blocks)
+    ).astype(int)
+    vector = boundaries_to_vector(num_blocks, block_boundaries)
+    model = CostModel(FrequencyModel(num_blocks), constants)
+
+    rows = []
+    for partition in range(len(boundaries)):
+        start = 0 if partition == 0 else boundaries[partition - 1]
+        end = boundaries[partition]
+        target_position = int((start + end) // 2)
+        target_value = int(values[min(target_position, config.chunk_values - 1)]) | 1
+        measured = []
+        for _ in range(config.repetitions):
+            column = _build_column(values, boundaries, config.block_values)
+            before = column.counter.snapshot()
+            column.insert(target_value)
+            measured.append(column.counter.diff(before).cost(constants))
+        measured_ns = float(np.mean(measured))
+        model_ns = model.insert_cost(mapper.block_of(target_value), vector)
+        rows.append(
+            (partition, measured_ns, model_ns, measured_ns / model_ns if model_ns else 1.0)
+        )
+    return rows
+
+
+def point_query_verification(
+    config: Figure9Config,
+) -> list[tuple[int, float, float, float]]:
+    """(partition id, measured ns, model ns, ratio) for point queries."""
+    rng = np.random.default_rng(config.seed + 1)
+    constants = constants_for_block_values(config.block_values)
+    values = np.sort(rng.integers(0, 2**31, config.chunk_values)) * 2
+
+    # Exponentially increasing partition sizes, scaled to fill the chunk.
+    weights = 2.0 ** np.arange(config.pq_partitions)
+    sizes = np.maximum(
+        (weights / weights.sum() * config.chunk_values).astype(np.int64), 1
+    )
+    sizes[-1] += config.chunk_values - sizes.sum()
+    boundaries = np.cumsum(sizes)
+    num_blocks = blocks_spanned(0, config.chunk_values, config.block_values)
+    mapper = BlockMapper(values, config.block_values)
+    block_boundaries = np.unique(
+        np.minimum(np.ceil(boundaries / config.block_values), num_blocks)
+    ).astype(int)
+    vector = boundaries_to_vector(num_blocks, block_boundaries)
+    model = CostModel(FrequencyModel(num_blocks), constants)
+    column = _build_column(values, boundaries, config.block_values)
+
+    rows = []
+    for partition in range(len(boundaries)):
+        start = 0 if partition == 0 else boundaries[partition - 1]
+        end = boundaries[partition]
+        probes = values[
+            rng.integers(int(start), int(end), size=config.repetitions)
+        ]
+        measured = []
+        model_costs = []
+        for probe in probes:
+            before = column.counter.snapshot()
+            column.point_query(int(probe))
+            measured.append(column.counter.diff(before).cost(constants))
+            model_costs.append(model.point_query_cost(mapper.block_of(int(probe)), vector))
+        measured_ns = float(np.mean(measured))
+        model_ns = float(np.mean(model_costs))
+        rows.append(
+            (partition, measured_ns, model_ns, measured_ns / model_ns if model_ns else 1.0)
+        )
+    return rows
+
+
+def run(config: Figure9Config = Figure9Config()) -> dict[str, list[tuple]]:
+    """Run both verification panels."""
+    return {
+        "inserts": insert_verification(config),
+        "point_queries": point_query_verification(config),
+    }
+
+
+def report(results: dict[str, list[tuple]]) -> str:
+    """Format both panels of Figure 9."""
+    headers = ("partition id", "measured (ns)", "model (ns)", "ratio")
+    return (
+        banner("Figure 9a: insert cost verification")
+        + "\n"
+        + format_table(headers, results["inserts"])
+        + "\n\n"
+        + banner("Figure 9b: point-query cost verification")
+        + "\n"
+        + format_table(headers, results["point_queries"])
+    )
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+"""Benchmark harness: run workloads against engines and collect metrics.
+
+The harness drives a :class:`~repro.storage.engine.StorageEngine` with a
+:class:`~repro.workload.operations.Workload` and aggregates, per operation
+kind, the mean simulated latency (block-access cost under the configured
+constants) and wall-clock latency, plus the workload's overall throughput
+(operations per second of simulated time), which is the paper's headline
+metric (Figures 1, 12, 13, 15).
+
+``build_hap_engine`` constructs the HAP table under any of the six layout
+modes of Section 7, feeding the Casper mode through the planner with a
+training workload sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.constraints import SLAConstraints
+from ..core.optimizer import SolverBackend
+from ..core.planner import CasperPlanner
+from ..storage.cost_accounting import CostConstants, constants_for_block_values
+from ..storage.engine import StorageEngine
+from ..storage.errors import ValueNotFoundError
+from ..storage.layouts import LayoutKind, LayoutSpec
+from ..storage.table import layout_chunk_builder
+from ..workload.hap import HAPConfig, build_table, make_workload
+from ..workload.operations import Workload
+
+
+@dataclass
+class WorkloadRunResult:
+    """Aggregated result of running one workload on one engine."""
+
+    layout: str
+    workload: str
+    operations: int
+    simulated_seconds: float
+    wall_seconds: float
+    mean_latency_ns: dict[str, float] = field(default_factory=dict)
+    mean_wall_ns: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    p999_latency_ns: dict[str, float] = field(default_factory=dict)
+    errors: int = 0
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per second of simulated time."""
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return self.operations / self.simulated_seconds
+
+    @property
+    def wall_throughput_ops(self) -> float:
+        """Operations per second of wall-clock time."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.operations / self.wall_seconds
+
+
+def run_workload(
+    engine: StorageEngine,
+    workload: Workload,
+    *,
+    layout_name: str = "",
+    constants: CostConstants | None = None,
+) -> WorkloadRunResult:
+    """Execute ``workload`` on ``engine`` and aggregate per-kind latencies."""
+    constants = constants if constants is not None else engine.constants
+    simulated: dict[str, list[float]] = {}
+    wall: dict[str, list[float]] = {}
+    errors = 0
+    for operation in workload:
+        try:
+            outcome = engine.execute(operation)
+        except ValueNotFoundError:
+            errors += 1
+            continue
+        simulated.setdefault(outcome.kind, []).append(outcome.simulated_ns(constants))
+        wall.setdefault(outcome.kind, []).append(outcome.wall_ns)
+    total_simulated_ns = sum(sum(values) for values in simulated.values())
+    total_wall_ns = sum(sum(values) for values in wall.values())
+    executed = sum(len(values) for values in simulated.values())
+    result = WorkloadRunResult(
+        layout=layout_name,
+        workload=workload.name,
+        operations=executed,
+        simulated_seconds=total_simulated_ns * 1e-9,
+        wall_seconds=total_wall_ns * 1e-9,
+        errors=errors,
+    )
+    for kind, values in simulated.items():
+        array = np.asarray(values)
+        result.mean_latency_ns[kind] = float(array.mean())
+        result.p999_latency_ns[kind] = float(np.percentile(array, 99.9))
+        result.counts[kind] = int(array.shape[0])
+        result.mean_wall_ns[kind] = float(np.asarray(wall[kind]).mean())
+    return result
+
+
+#: The layout comparison order used in the paper's Figures 12 and 13.
+LAYOUT_ORDER: tuple[LayoutKind, ...] = (
+    LayoutKind.CASPER,
+    LayoutKind.EQUI_GV,
+    LayoutKind.EQUI,
+    LayoutKind.STATE_OF_ART,
+    LayoutKind.SORTED,
+    LayoutKind.NO_ORDER,
+)
+
+
+def build_hap_engine(
+    layout: LayoutKind,
+    config: HAPConfig,
+    *,
+    training_workload: Workload | None = None,
+    partitions: int = 64,
+    ghost_fraction: float = 0.01,
+    merge_threshold: float = 0.01,
+    merge_entries: int | None = 16,
+    sla: SLAConstraints | None = None,
+    solver: SolverBackend | str = SolverBackend.DP,
+    constants: CostConstants | None = None,
+) -> StorageEngine:
+    """Build a HAP-table engine under the requested layout mode.
+
+    The Casper mode requires ``training_workload`` (the offline sample the
+    planner learns the Frequency Model from); the other modes ignore it.
+    ``partitions`` controls the equi-width modes, matching the paper's setup
+    where Casper is allowed at most as many partitions as the equi-width
+    baselines.  ``merge_entries`` bounds the state-of-the-art delta store to a
+    handful of buffered entries (continuous integration), which is what the
+    paper's measurements of that design imply (its insert latency equals a
+    full chunk reorganization, Fig. 13a); pass ``None`` to fall back to the
+    fractional ``merge_threshold``.
+    """
+    constants = (
+        constants
+        if constants is not None
+        else constants_for_block_values(config.block_values)
+    )
+    if layout is LayoutKind.CASPER:
+        if training_workload is None:
+            raise ValueError("the Casper layout requires a training workload")
+        planner = CasperPlanner(
+            sample_workload=training_workload,
+            block_values=config.block_values,
+            ghost_fraction=ghost_fraction,
+            constants=constants,
+            sla=sla,
+            solver=solver,
+        )
+        table = build_table(config, planner.build_chunk)
+    else:
+        spec = LayoutSpec(
+            kind=layout,
+            partitions=partitions,
+            ghost_fraction=ghost_fraction,
+            merge_threshold=merge_threshold,
+            merge_entries=merge_entries,
+            block_values=config.block_values,
+        )
+        table = build_table(config, layout_chunk_builder(spec))
+    return StorageEngine(table, constants=constants)
+
+
+def compare_layouts(
+    config: HAPConfig,
+    profile: str,
+    *,
+    layouts: tuple[LayoutKind, ...] = LAYOUT_ORDER,
+    num_operations: int = 2_000,
+    training_operations: int | None = None,
+    partitions: int = 64,
+    ghost_fraction: float = 0.01,
+    merge_entries: int | None = 16,
+    training_seed: int = 7,
+    run_seed: int = 42,
+) -> dict[LayoutKind, WorkloadRunResult]:
+    """Run one HAP workload profile across several layout modes.
+
+    A *training* workload (a different random sample of the same profile) is
+    used to tune the Casper layout; the *evaluation* workload is generated
+    with a different seed, so Casper never sees the exact operations it is
+    evaluated on.
+    """
+    training_operations = (
+        training_operations if training_operations is not None else num_operations
+    )
+    training = make_workload(
+        profile, config, num_operations=training_operations, seed=training_seed
+    )
+    results: dict[LayoutKind, WorkloadRunResult] = {}
+    for layout in layouts:
+        engine = build_hap_engine(
+            layout,
+            config,
+            training_workload=training,
+            partitions=partitions,
+            ghost_fraction=ghost_fraction,
+            merge_entries=merge_entries,
+        )
+        evaluation = make_workload(
+            profile, config, num_operations=num_operations, seed=run_seed
+        )
+        results[layout] = run_workload(
+            engine, evaluation, layout_name=layout.value, constants=engine.constants
+        )
+    return results
+
+
+def normalized_throughput(
+    results: dict[LayoutKind, WorkloadRunResult],
+    baseline: LayoutKind = LayoutKind.STATE_OF_ART,
+) -> dict[LayoutKind, float]:
+    """Throughput of every layout normalized to the baseline (Fig. 12)."""
+    base = results[baseline].throughput_ops
+    return {
+        layout: (result.throughput_ops / base if base > 0 else float("inf"))
+        for layout, result in results.items()
+    }

@@ -1,0 +1,91 @@
+"""Micro-benchmarking of the cost-model constants (Section 4.5).
+
+Every Casper deployment first establishes the random/sequential block access
+costs by micro-benchmarking the machine it runs on.  This module measures
+
+* the latency of dependent random reads over a large array (pointer chasing,
+  which defeats the prefetcher and measures the DRAM round trip), and
+* the per-block cost of a sequential scan,
+
+and converts them into a :class:`~repro.storage.cost_accounting.CostConstants`
+instance.  The defaults used by the rest of the repository are the paper's
+reported values; fitting on the host is optional and mainly demonstrates the
+calibration workflow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import (
+    CACHE_LINE_BYTES,
+    DEFAULT_BLOCK_BYTES,
+    CostConstants,
+)
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Measured access costs on the current host."""
+
+    random_access_ns: float
+    seq_line_ns: float
+    block_bytes: int
+
+    def to_constants(self) -> CostConstants:
+        """Convert the measurement into cost-model constants."""
+        return CostConstants.for_block(
+            self.block_bytes,
+            random_ns=self.random_access_ns,
+            seq_line_ns=self.seq_line_ns,
+        )
+
+
+def measure_random_access_ns(
+    array_bytes: int = 64 * 1024 * 1024, accesses: int = 200_000, seed: int = 1
+) -> float:
+    """Latency of dependent random accesses (pointer chasing) in nanoseconds."""
+    rng = np.random.default_rng(seed)
+    slots = array_bytes // 8
+    permutation = rng.permutation(slots).astype(np.int64)
+    chain = np.empty(slots, dtype=np.int64)
+    chain[permutation[:-1]] = permutation[1:]
+    chain[permutation[-1]] = permutation[0]
+    index = int(permutation[0])
+    start = time.perf_counter_ns()
+    for _ in range(accesses):
+        index = int(chain[index])
+    elapsed = time.perf_counter_ns() - start
+    return elapsed / accesses
+
+
+def measure_seq_line_ns(
+    array_bytes: int = 64 * 1024 * 1024, repetitions: int = 5
+) -> float:
+    """Per-cache-line cost of a sequential scan in nanoseconds."""
+    values = np.arange(array_bytes // 8, dtype=np.int64)
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter_ns()
+        values.sum()
+        elapsed = time.perf_counter_ns() - start
+        best = min(best, elapsed)
+    lines = array_bytes / CACHE_LINE_BYTES
+    return best / lines
+
+
+def fit_cost_constants(
+    *,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    array_bytes: int = 64 * 1024 * 1024,
+    accesses: int = 200_000,
+) -> MicrobenchResult:
+    """Measure the host and return the fitted constants."""
+    random_ns = measure_random_access_ns(array_bytes=array_bytes, accesses=accesses)
+    seq_ns = measure_seq_line_ns(array_bytes=array_bytes)
+    return MicrobenchResult(
+        random_access_ns=random_ns, seq_line_ns=seq_ns, block_bytes=block_bytes
+    )

@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Every ``repro.bench.experiments.figN`` module prints the rows/series the
+corresponding paper figure plots.  These helpers keep the output aligned and
+consistent so EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, precision: int = 3
+) -> str:
+    """Render ``rows`` as an aligned text table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+                return f"{cell:.{precision}e}"
+            return f"{cell:,.{precision}f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render an (x, y) series as two aligned columns under a heading."""
+    rows = list(zip(xs, ys))
+    return f"# {name}\n" + format_table(("x", "y"), rows)
+
+
+def banner(title: str) -> str:
+    """A section banner for experiment output."""
+    line = "=" * max(len(title), 8)
+    return f"{line}\n{title}\n{line}"

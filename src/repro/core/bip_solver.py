@@ -1,0 +1,124 @@
+"""Binary integer programming formulation of the layout problem (Eq. 20).
+
+The paper linearizes the products of Eq. 19 by introducing auxiliary binary
+variables ``y[i, j]`` that stand for ``prod_{k=i..j} (1 - p_k)`` and solves
+the resulting binary linear program with Mosek.  Mosek is not available in
+this environment, so this module builds exactly the same formulation and
+hands it to ``scipy.optimize.milp`` (the HiGHS solver).
+
+The formulation has O(N^2) auxiliary variables, so it is practical for small
+chunks only; its purpose in this reproduction is fidelity and
+cross-validation of the exact DP solver (tests assert both return the same
+optimal cost).  The SLA bounds of Eq. 21 are supported.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .cost_model import CostModel
+from .dp_solver import PartitioningResult
+
+
+def solve_bip(
+    cost_model: CostModel,
+    *,
+    max_partition_blocks: int | None = None,
+    max_partitions: int | None = None,
+    time_limit: float | None = 60.0,
+) -> PartitioningResult:
+    """Solve Eq. 20 (plus the Eq. 21 bounds) with scipy's MILP solver."""
+    start_time = time.perf_counter()
+    terms = cost_model.terms
+    n = cost_model.num_blocks
+    if n > 64:
+        raise ValueError(
+            "the BIP formulation has O(N^2) variables; use the DP solver for "
+            f"chunks with more than 64 blocks (got {n})"
+        )
+
+    # Variable layout: p_0..p_{n-1}, then y_{i,j} for 0 <= i <= j <= n-1.
+    y_index: dict[tuple[int, int], int] = {}
+    next_var = n
+    for i in range(n):
+        for j in range(i, n):
+            y_index[(i, j)] = next_var
+            next_var += 1
+    num_vars = next_var
+
+    objective = np.zeros(num_vars)
+    # parts term: sum_i parts_i * sum_{j >= i} p_j  ==  sum_j p_j * prefix_parts(j)
+    prefix_parts = np.cumsum(terms.parts)
+    objective[:n] += prefix_parts
+    # bck term: sum_i bck_i * sum_{j=0}^{i-1} y_{j, i-1}
+    for i in range(n):
+        for j in range(i):
+            objective[y_index[(j, i - 1)]] += terms.bck[i]
+    # fwd term: sum_i fwd_i * sum_{m=i}^{n-1} y_{i, m}
+    for i in range(n):
+        for m in range(i, n):
+            objective[y_index[(i, m)]] += terms.fwd[i]
+
+    rows: list[np.ndarray] = []
+    lower: list[float] = []
+    upper: list[float] = []
+
+    def add_constraint(coefficients: dict[int, float], lo: float, hi: float) -> None:
+        row = np.zeros(num_vars)
+        for var, coefficient in coefficients.items():
+            row[var] = coefficient
+        rows.append(row)
+        lower.append(lo)
+        upper.append(hi)
+
+    for i in range(n):
+        # y_{i,i} = 1 - p_i
+        add_constraint({y_index[(i, i)]: 1.0, i: 1.0}, 1.0, 1.0)
+        for j in range(i + 1, n):
+            # y_{i,j} <= 1 - p_j
+            add_constraint({y_index[(i, j)]: 1.0, j: 1.0}, -np.inf, 1.0)
+            # y_{i,j} >= 1 - sum_{k=i..j} p_k
+            coefficients = {y_index[(i, j)]: 1.0}
+            for k in range(i, j + 1):
+                coefficients[k] = coefficients.get(k, 0.0) + 1.0
+            add_constraint(coefficients, 1.0, np.inf)
+
+    if max_partitions is not None:
+        add_constraint({i: 1.0 for i in range(n)}, -np.inf, float(max_partitions))
+    if max_partition_blocks is not None and max_partition_blocks < n:
+        window = int(max_partition_blocks)
+        for start in range(0, n - window + 1):
+            add_constraint(
+                {i: 1.0 for i in range(start, start + window)}, 1.0, np.inf
+            )
+
+    bounds_lower = np.zeros(num_vars)
+    bounds_upper = np.ones(num_vars)
+    bounds_lower[n - 1] = 1.0  # p_{N-1} = 1
+
+    constraints = optimize.LinearConstraint(
+        sparse.csr_matrix(np.vstack(rows)), np.asarray(lower), np.asarray(upper)
+    )
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    result = optimize.milp(
+        c=objective,
+        constraints=constraints,
+        integrality=np.ones(num_vars),
+        bounds=optimize.Bounds(bounds_lower, bounds_upper),
+        options=options,
+    )
+    if not result.success:
+        raise RuntimeError(f"MILP solver failed: {result.message}")
+
+    vector = np.asarray(np.round(result.x[:n]), dtype=bool)
+    vector[n - 1] = True
+    cost = cost_model.total_cost(vector)
+    elapsed = time.perf_counter() - start_time
+    return PartitioningResult(
+        vector=vector, cost=float(cost), solver="bip", solve_seconds=elapsed
+    )

@@ -1,0 +1,121 @@
+"""Per-chunk decomposition and scalability model (Section 6.3, Fig. 11).
+
+Casper keeps the layout-decision cost low by dividing a column into chunks
+and solving each chunk's layout problem independently; the sub-problems are
+embarrassingly parallel.  For a dataset of ``M`` values, block size ``B``
+values, ``C`` chunks and ``CPU`` cores the paper models the decision latency
+as ``O((C / CPU) * (M / (B * C))^3)`` (cubic because of the BIP relaxation).
+
+This module provides
+
+* :func:`measure_solve_seconds` -- the measured per-chunk solve time of this
+  repository's DP solver for a given number of blocks, and
+* :class:`ScalabilityModel` -- the analytic latency model used to regenerate
+  Fig. 11 for data sizes far beyond what a single solve can be timed on
+  (the paper itself reports the un-chunked 10^9-value point as an estimate of
+  10^15 seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import DEFAULT_COST_CONSTANTS, CostConstants
+from .cost_model import CostModel
+from .dp_solver import solve_dp
+from .frequency_model import FrequencyModel
+
+
+def synthetic_frequency_model(num_blocks: int, seed: int = 3) -> FrequencyModel:
+    """A mixed read/write Frequency Model used for solver timing."""
+    rng = np.random.default_rng(seed)
+    model = FrequencyModel(num_blocks)
+    model.pq[:] = rng.integers(0, 50, num_blocks)
+    model.rs[:] = rng.integers(0, 10, num_blocks)
+    model.re[:] = rng.integers(0, 10, num_blocks)
+    model.sc[:] = rng.integers(0, 20, num_blocks)
+    model.ins[:] = rng.integers(0, 30, num_blocks)
+    model.de[:] = rng.integers(0, 10, num_blocks)
+    return model
+
+
+def measure_solve_seconds(
+    num_blocks: int,
+    *,
+    constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    seed: int = 3,
+) -> float:
+    """Wall-clock seconds for one DP solve over ``num_blocks`` blocks."""
+    model = synthetic_frequency_model(num_blocks, seed)
+    cost_model = CostModel(model, constants)
+    start = time.perf_counter()
+    solve_dp(cost_model)
+    return time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class ScalabilityModel:
+    """Analytic partitioning-decision latency model.
+
+    ``per_block_unit_seconds`` is calibrated from a measured solve so the
+    model's absolute scale matches this machine; the exponent defaults to the
+    paper's cubic complexity (Mosek's semidefinite relaxation) and can be set
+    to 2 to describe the DP solver instead.
+    """
+
+    per_block_unit_seconds: float
+    exponent: float = 3.0
+
+    @classmethod
+    def calibrate(
+        cls,
+        *,
+        calibration_blocks: int = 256,
+        exponent: float = 3.0,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    ) -> "ScalabilityModel":
+        """Fit the unit cost from a real solve of ``calibration_blocks`` blocks."""
+        measured = measure_solve_seconds(calibration_blocks, constants=constants)
+        unit = measured / float(calibration_blocks) ** exponent
+        return cls(per_block_unit_seconds=unit, exponent=exponent)
+
+    def single_chunk_seconds(self, num_blocks: int) -> float:
+        """Latency of solving one chunk with ``num_blocks`` blocks."""
+        return self.per_block_unit_seconds * float(num_blocks) ** self.exponent
+
+    def decision_latency_seconds(
+        self,
+        data_size: int,
+        *,
+        block_values: int,
+        chunks: int = 1,
+        cpus: int = 1,
+    ) -> float:
+        """End-to-end decision latency for ``data_size`` values.
+
+        ``chunks`` sub-problems are solved, ``cpus`` at a time
+        (``ceil(chunks / cpus)`` sequential waves), matching the paper's
+        ``O((C / CPU) * (M / (B * C))^3)`` model.
+        """
+        if data_size <= 0:
+            raise ValueError("data_size must be positive")
+        if chunks <= 0 or cpus <= 0:
+            raise ValueError("chunks and cpus must be positive")
+        per_chunk_values = max(1, data_size // chunks)
+        per_chunk_blocks = max(1, int(np.ceil(per_chunk_values / block_values)))
+        waves = int(np.ceil(chunks / cpus))
+        return waves * self.single_chunk_seconds(per_chunk_blocks)
+
+
+def split_into_chunks(values: np.ndarray, chunk_size: int) -> list[np.ndarray]:
+    """Split a sorted value array into consecutive chunks of ``chunk_size``."""
+    values = np.asarray(values)
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [
+        values[start : start + chunk_size]
+        for start in range(0, values.shape[0], chunk_size)
+    ] or [values]

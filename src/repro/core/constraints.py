@@ -1,0 +1,97 @@
+"""Performance SLA constraints (Section 5, Eq. 21).
+
+The optimization problem can be augmented with service-level agreements:
+
+* an *update SLA* caps the latency of the most expensive insert/update, which
+  (because the worst case ripples through every partition) translates into a
+  cap on the number of partitions:
+  ``sum p_i <= updateSLA / (RR + RW) - 1``;
+* a *read SLA* caps the latency of a point query, which translates into a
+  maximum partition size (MPS, in blocks):
+  ``MPS = (readSLA - RR) / SR`` and every window of MPS consecutive blocks
+  must contain at least one boundary.
+
+:class:`SLAConstraints` converts nanosecond SLAs into the two structural
+bounds consumed by the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.cost_accounting import DEFAULT_COST_CONSTANTS, CostConstants
+
+
+class InfeasibleSLAError(ValueError):
+    """Raised when an SLA cannot be satisfied by any partitioning."""
+
+
+@dataclass(frozen=True)
+class StructuralBounds:
+    """Solver-facing bounds derived from the SLAs."""
+
+    max_partitions: int | None = None
+    max_partition_blocks: int | None = None
+
+
+@dataclass(frozen=True)
+class SLAConstraints:
+    """Latency SLAs (in nanoseconds) for updates/inserts and point reads."""
+
+    update_sla_ns: float | None = None
+    read_sla_ns: float | None = None
+
+    def to_bounds(
+        self,
+        num_blocks: int,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    ) -> StructuralBounds:
+        """Translate the SLAs into structural bounds (Eq. 21)."""
+        max_partitions: int | None = None
+        max_partition_blocks: int | None = None
+
+        if self.update_sla_ns is not None:
+            per_partition = constants.random_read + constants.random_write
+            limit = int(self.update_sla_ns / per_partition) - 1
+            if limit < 1:
+                raise InfeasibleSLAError(
+                    f"update SLA of {self.update_sla_ns}ns cannot be met: even a "
+                    "single-partition layout exceeds it"
+                )
+            max_partitions = min(limit, num_blocks)
+
+        if self.read_sla_ns is not None:
+            budget = self.read_sla_ns - constants.random_read
+            if budget < 0:
+                raise InfeasibleSLAError(
+                    f"read SLA of {self.read_sla_ns}ns is below the cost of a "
+                    "single random block read"
+                )
+            mps = int(budget / constants.seq_read)
+            if mps < 1:
+                mps = 1
+            max_partition_blocks = min(mps, num_blocks)
+
+        if (
+            max_partitions is not None
+            and max_partition_blocks is not None
+            and max_partitions * max_partition_blocks < num_blocks
+        ):
+            raise InfeasibleSLAError(
+                "update and read SLAs are jointly infeasible: "
+                f"{max_partitions} partitions of at most "
+                f"{max_partition_blocks} blocks cannot cover {num_blocks} blocks"
+            )
+        return StructuralBounds(
+            max_partitions=max_partitions,
+            max_partition_blocks=max_partition_blocks,
+        )
+
+    def max_insert_latency_ns(
+        self,
+        max_partitions: int,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    ) -> float:
+        """Worst-case insert latency implied by a partition count."""
+        per_partition = constants.random_read + constants.random_write
+        return per_partition * (1 + max_partitions)

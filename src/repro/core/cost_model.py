@@ -1,0 +1,281 @@
+"""Cost model for operations over partitioned columns (Section 4.4).
+
+Given a Frequency Model and a candidate partitioning, the cost model predicts
+the total block-access cost of executing the sample workload.  A partitioning
+over ``N`` logical blocks is represented by a boolean vector ``p`` where
+``p[i] = 1`` means a partition ends at block ``i`` (Section 4.1); ``p[N-1]``
+must always be 1.
+
+The model is built from three structural quantities (Eqs. 2, 4 and 8):
+
+* ``bck_read(i)`` -- blocks before ``i`` inside the same partition,
+* ``fwd_read(i)`` -- blocks after ``i`` inside the same partition,
+* ``trail_parts(i)`` -- partitions ending at or after block ``i``,
+
+and the per-block workload terms of Eq. 17.  The total workload cost (Eq. 16)
+is what the optimizer minimizes; per-operation costs (Eqs. 3-15) are exposed
+for the cost-model-verification experiment (Fig. 9) and for SLA reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import DEFAULT_COST_CONSTANTS, CostConstants
+from .frequency_model import FrequencyModel
+
+
+def validate_partitioning(p: np.ndarray | list[int]) -> np.ndarray:
+    """Validate and normalize a partition-boundary vector.
+
+    Returns a boolean numpy array.  The last element must be set (the chunk
+    always forms at least one partition).
+    """
+    vector = np.asarray(p)
+    if vector.ndim != 1 or vector.size == 0:
+        raise ValueError("partitioning vector must be a non-empty 1-D array")
+    vector = vector.astype(bool)
+    if not vector[-1]:
+        raise ValueError("the last block must be a partition boundary (p[N-1]=1)")
+    return vector
+
+
+def boundaries_to_vector(num_blocks: int, boundary_blocks: np.ndarray | list[int]) -> np.ndarray:
+    """Convert exclusive block end offsets into a boundary bit vector."""
+    vector = np.zeros(num_blocks, dtype=bool)
+    for end in boundary_blocks:
+        end = int(end)
+        if end <= 0 or end > num_blocks:
+            raise ValueError(f"boundary block {end} out of range (0, {num_blocks}]")
+        vector[end - 1] = True
+    vector[num_blocks - 1] = True
+    return vector
+
+
+def vector_to_boundaries(p: np.ndarray) -> np.ndarray:
+    """Convert a boundary bit vector into exclusive block end offsets."""
+    vector = validate_partitioning(p)
+    return np.nonzero(vector)[0] + 1
+
+
+def partition_of_blocks(p: np.ndarray) -> np.ndarray:
+    """Partition id of every block under partitioning ``p``."""
+    vector = validate_partitioning(p)
+    ends = np.nonzero(vector)[0]
+    return np.searchsorted(ends, np.arange(vector.size), side="left")
+
+
+def bck_read(p: np.ndarray) -> np.ndarray:
+    """Eq. 2: for each block, the number of preceding blocks in its partition."""
+    vector = validate_partitioning(p)
+    n = vector.size
+    result = np.zeros(n, dtype=np.float64)
+    run = 0
+    for i in range(n):
+        result[i] = run
+        run = 0 if vector[i] else run + 1
+    return result
+
+
+def fwd_read(p: np.ndarray) -> np.ndarray:
+    """Eq. 4: for each block, the number of following blocks in its partition."""
+    vector = validate_partitioning(p)
+    n = vector.size
+    result = np.zeros(n, dtype=np.float64)
+    run = 0
+    for i in range(n - 1, -1, -1):
+        if vector[i]:
+            run = 0
+        result[i] = run
+        run += 1
+    return result
+
+
+def trail_parts(p: np.ndarray) -> np.ndarray:
+    """Eq. 8: for each block, the number of partitions ending at or after it."""
+    vector = validate_partitioning(p)
+    return np.cumsum(vector[::-1])[::-1].astype(np.float64)
+
+
+@dataclass(frozen=True)
+class WorkloadTerms:
+    """The per-block terms of Eq. 17."""
+
+    fixed: np.ndarray
+    bck: np.ndarray
+    fwd: np.ndarray
+    parts: np.ndarray
+
+
+class CostModel:
+    """Workload cost model over a single column chunk."""
+
+    def __init__(
+        self,
+        frequency_model: FrequencyModel,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    ) -> None:
+        self.frequency_model = frequency_model
+        self.constants = constants
+        self._terms = self._compute_terms()
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of logical blocks in the chunk."""
+        return self.frequency_model.num_blocks
+
+    @property
+    def terms(self) -> WorkloadTerms:
+        """The per-block terms of Eq. 17."""
+        return self._terms
+
+    def _compute_terms(self) -> WorkloadTerms:
+        fm = self.frequency_model
+        rr = self.constants.random_read
+        rw = self.constants.random_write
+        sr = self.constants.seq_read
+
+        fixed = (
+            rr * (fm.rs + fm.pq + fm.ins + fm.de + 2 * fm.udf + 2 * fm.udb)
+            + sr * (fm.re + fm.sc)
+            + rw * (fm.ins + fm.de + 2 * fm.udf + 2 * fm.udb)
+        )
+        bck = sr * (fm.rs + fm.pq + fm.de + fm.udf + fm.udb)
+        fwd = sr * (fm.re + fm.pq + fm.de + fm.udf + fm.udb)
+        parts = (rr + rw) * (
+            fm.ins + fm.de + fm.udf - fm.utf - fm.udb + fm.utb
+        )
+        return WorkloadTerms(fixed=fixed, bck=bck, fwd=fwd, parts=parts)
+
+    # ------------------------------------------------------------------ #
+    # Total workload cost (Eq. 16)
+    # ------------------------------------------------------------------ #
+
+    def total_cost(self, p: np.ndarray | list[int]) -> float:
+        """Total workload cost (Eq. 16) under partitioning ``p``."""
+        vector = validate_partitioning(p)
+        if vector.size != self.num_blocks:
+            raise ValueError("partitioning length must equal num_blocks")
+        terms = self._terms
+        return float(
+            terms.fixed.sum()
+            + (terms.bck * bck_read(vector)).sum()
+            + (terms.fwd * fwd_read(vector)).sum()
+            + (terms.parts * trail_parts(vector)).sum()
+        )
+
+    def cost_breakdown(self, p: np.ndarray | list[int]) -> dict[str, float]:
+        """Total cost split into its four structural components."""
+        vector = validate_partitioning(p)
+        terms = self._terms
+        return {
+            "fixed": float(terms.fixed.sum()),
+            "bck": float((terms.bck * bck_read(vector)).sum()),
+            "fwd": float((terms.fwd * fwd_read(vector)).sum()),
+            "parts": float((terms.parts * trail_parts(vector)).sum()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Per-operation costs (Eqs. 3-15) -- used by Fig. 9 and the SLA logic
+    # ------------------------------------------------------------------ #
+
+    def point_query_cost(self, block: int, p: np.ndarray) -> float:
+        """Eq. 7 for a single point query landing in ``block``."""
+        vector = validate_partitioning(p)
+        rr, sr = self.constants.random_read, self.constants.seq_read
+        return float(
+            rr + sr * (fwd_read(vector)[block] + bck_read(vector)[block])
+        )
+
+    def range_query_cost(self, start_block: int, end_block: int, p: np.ndarray) -> float:
+        """Eqs. 3, 5 and 6 for a single range query."""
+        vector = validate_partitioning(p)
+        rr, sr = self.constants.random_read, self.constants.seq_read
+        cost = rr + sr * bck_read(vector)[start_block]
+        if end_block > start_block:
+            cost += sr + sr * fwd_read(vector)[end_block]
+            cost += sr * max(end_block - start_block - 1, 0)
+        return float(cost)
+
+    def insert_cost(self, block: int, p: np.ndarray) -> float:
+        """Eq. 9 for a single insert landing in ``block``."""
+        vector = validate_partitioning(p)
+        rr, rw = self.constants.random_read, self.constants.random_write
+        return float((rr + rw) * (1 + trail_parts(vector)[block]))
+
+    def delete_cost(self, block: int, p: np.ndarray) -> float:
+        """Eq. 11 for a single delete targeting ``block``."""
+        vector = validate_partitioning(p)
+        rr, rw = self.constants.random_read, self.constants.random_write
+        ripple = rw + (rr + rw) * trail_parts(vector)[block]
+        return float(self.point_query_cost(block, vector) + ripple)
+
+    def update_cost(self, from_block: int, to_block: int, p: np.ndarray) -> float:
+        """Eqs. 12-15 for a single (direct ripple) update."""
+        vector = validate_partitioning(p)
+        rr, rw = self.constants.random_read, self.constants.random_write
+        base = self.point_query_cost(from_block, vector) + (rr + 2 * rw)
+        trail = trail_parts(vector)
+        ripple = (rr + rw) * abs(trail[from_block] - trail[to_block])
+        return float(base + ripple)
+
+    def per_operation_totals(self, p: np.ndarray | list[int]) -> dict[str, float]:
+        """Estimated total cost per operation class for the whole workload."""
+        vector = validate_partitioning(p)
+        fm = self.frequency_model
+        rr, rw, sr = (
+            self.constants.random_read,
+            self.constants.random_write,
+            self.constants.seq_read,
+        )
+        back = bck_read(vector)
+        forward = fwd_read(vector)
+        trailing = trail_parts(vector)
+
+        point = (fm.pq * (rr + sr * (back + forward))).sum()
+        ranges = (
+            fm.rs * (rr + sr * back)
+            + fm.re * (sr + sr * forward)
+            + fm.sc * sr
+        ).sum()
+        inserts = (fm.ins * (rr + rw) * (1 + trailing)).sum()
+        deletes = (
+            fm.de * (rr + sr * (back + forward))
+            + fm.de * rw
+            + fm.de * (rr + rw) * trailing
+        ).sum()
+        updates_f = (
+            fm.udf * (rr + sr * (back + forward))
+            + fm.udf * (rr + 2 * rw)
+            + (fm.udf - fm.utf) * (rr + rw) * trailing
+        ).sum()
+        updates_b = (
+            fm.udb * (rr + sr * (back + forward))
+            + fm.udb * (rr + 2 * rw)
+            + (fm.utb - fm.udb) * (rr + rw) * trailing
+        ).sum()
+        return {
+            "point_query": float(point),
+            "range_query": float(ranges),
+            "insert": float(inserts),
+            "delete": float(deletes),
+            "update": float(updates_f + updates_b),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Design-space sweeps (Fig. 2)
+    # ------------------------------------------------------------------ #
+
+    def equi_width_cost_curve(self, partition_counts: list[int]) -> dict[int, float]:
+        """Total cost under equi-width partitioning for each partition count."""
+        curve: dict[int, float] = {}
+        for k in partition_counts:
+            k = max(1, min(int(k), self.num_blocks))
+            ends = np.unique(
+                np.round(np.linspace(0, self.num_blocks, k + 1)[1:]).astype(int)
+            )
+            vector = boundaries_to_vector(self.num_blocks, ends)
+            curve[k] = self.total_cost(vector)
+        return curve

@@ -1,0 +1,246 @@
+"""Exact dynamic-programming solver for the column-layout problem.
+
+The paper formulates layout selection as a binary integer program (Eq. 19/20)
+and solves it with Mosek.  The objective, however, decomposes cleanly:
+
+* the ``bck``/``fwd`` terms only depend on the partition a block belongs to
+  (they are the distances to the partition's first/last block), and
+* the ``parts`` term can be re-written as a sum over *boundaries*:
+  ``sum_i parts_i * trail_parts(i) = sum_{boundaries b} prefix_parts(b)``
+  where ``prefix_parts(b) = sum_{i<=b} parts_i``.
+
+Hence the total cost is ``sum(fixed) + sum over partitions [a..b] of
+intra(a, b) + prefix_parts(b)`` and an interval dynamic program over the
+position of the last boundary finds the *provably optimal* partitioning in
+O(N^2) (O(N^2 * K) when the number of partitions is capped by an update SLA).
+This replaces the off-the-shelf BIP solver without changing the problem; the
+BIP path is kept in :mod:`repro.core.bip_solver` for cross-validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost_model import CostModel, validate_partitioning
+
+
+@dataclass(frozen=True)
+class PartitioningResult:
+    """Solution of one chunk's layout problem."""
+
+    vector: np.ndarray
+    cost: float
+    solver: str
+    solve_seconds: float
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the solution."""
+        return int(np.count_nonzero(self.vector))
+
+    @property
+    def boundary_blocks(self) -> np.ndarray:
+        """Exclusive block end offsets of every partition."""
+        return np.nonzero(self.vector)[0] + 1
+
+    def partition_widths(self) -> np.ndarray:
+        """Width (in blocks) of every partition."""
+        ends = self.boundary_blocks
+        starts = np.concatenate(([0], ends[:-1]))
+        return ends - starts
+
+
+class _IntraCost:
+    """O(1) intra-partition cost queries via prefix sums."""
+
+    def __init__(self, bck: np.ndarray, fwd: np.ndarray) -> None:
+        n = bck.shape[0]
+        indices = np.arange(n, dtype=np.float64)
+        self.bck_prefix = np.concatenate(([0.0], np.cumsum(bck)))
+        self.fwd_prefix = np.concatenate(([0.0], np.cumsum(fwd)))
+        self.bck_weighted = np.concatenate(([0.0], np.cumsum(bck * indices)))
+        self.fwd_weighted = np.concatenate(([0.0], np.cumsum(fwd * indices)))
+
+    def cost(self, starts: np.ndarray, end: int) -> np.ndarray:
+        """Intra cost of partitions ``[start .. end]`` for a vector of starts."""
+        starts = np.asarray(starts)
+        hi = end + 1
+        bck_sum = self.bck_prefix[hi] - self.bck_prefix[starts]
+        bck_weighted = self.bck_weighted[hi] - self.bck_weighted[starts]
+        fwd_sum = self.fwd_prefix[hi] - self.fwd_prefix[starts]
+        fwd_weighted = self.fwd_weighted[hi] - self.fwd_weighted[starts]
+        return (
+            (bck_weighted - starts * bck_sum)
+            + (end * fwd_sum - fwd_weighted)
+        )
+
+
+def solve_dp(
+    cost_model: CostModel,
+    *,
+    max_partition_blocks: int | None = None,
+    max_partitions: int | None = None,
+) -> PartitioningResult:
+    """Find the optimal partitioning for ``cost_model``.
+
+    Parameters
+    ----------
+    max_partition_blocks:
+        Read-SLA constraint (Eq. 21): no partition may span more blocks.
+    max_partitions:
+        Update-SLA constraint (Eq. 21): at most this many partitions.
+    """
+    start_time = time.perf_counter()
+    terms = cost_model.terms
+    n = cost_model.num_blocks
+    if max_partition_blocks is not None and max_partition_blocks < 1:
+        raise ValueError("max_partition_blocks must be at least 1")
+    if max_partitions is not None and max_partitions < 1:
+        raise ValueError("max_partitions must be at least 1")
+    if max_partition_blocks is not None and max_partitions is not None:
+        if max_partition_blocks * max_partitions < n:
+            raise ValueError(
+                "infeasible constraints: max_partitions * max_partition_blocks "
+                "cannot cover the chunk"
+            )
+
+    width_cap = max_partition_blocks if max_partition_blocks is not None else n
+    prefix_parts = np.cumsum(terms.parts)
+    intra = _IntraCost(terms.bck, terms.fwd)
+
+    if max_partitions is None:
+        vector, variable_cost = _solve_unbounded(n, width_cap, prefix_parts, intra)
+    else:
+        vector, variable_cost = _solve_bounded(
+            n, width_cap, int(max_partitions), prefix_parts, intra
+        )
+
+    total = float(terms.fixed.sum() + variable_cost)
+    elapsed = time.perf_counter() - start_time
+    return PartitioningResult(
+        vector=vector, cost=total, solver="dp", solve_seconds=elapsed
+    )
+
+
+def _solve_unbounded(
+    n: int, width_cap: int, prefix_parts: np.ndarray, intra: _IntraCost
+) -> tuple[np.ndarray, float]:
+    best = np.full(n, np.inf)
+    choice = np.zeros(n, dtype=np.int64)
+    # best_before[a] = optimal cost of blocks [0, a); best_before[0] = 0.
+    best_before = np.full(n + 1, np.inf)
+    best_before[0] = 0.0
+    for end in range(n):
+        first_start = max(0, end - width_cap + 1)
+        starts = np.arange(first_start, end + 1)
+        candidates = best_before[starts] + intra.cost(starts, end) + prefix_parts[end]
+        winner = int(np.argmin(candidates))
+        best[end] = candidates[winner]
+        choice[end] = starts[winner]
+        best_before[end + 1] = best[end]
+    vector = _reconstruct(n, choice)
+    return vector, float(best[n - 1])
+
+
+def _solve_bounded(
+    n: int,
+    width_cap: int,
+    max_partitions: int,
+    prefix_parts: np.ndarray,
+    intra: _IntraCost,
+) -> tuple[np.ndarray, float]:
+    limit = min(max_partitions, n)
+    # best[k][b]: optimal cost of blocks [0, b] using exactly k+1 partitions.
+    best = np.full((limit, n), np.inf)
+    choice = np.zeros((limit, n), dtype=np.int64)
+    for k in range(limit):
+        if k == 0:
+            # One partition spanning [0, end]: only feasible within the width cap.
+            for end in range(min(width_cap, n)):
+                starts = np.asarray([0])
+                best[0, end] = float(
+                    intra.cost(starts, end)[0] + prefix_parts[end]
+                )
+                choice[0, end] = 0
+            continue
+        prev = np.concatenate(([np.inf], best[k - 1, :]))
+        for end in range(n):
+            first_start = max(1, end - width_cap + 1)
+            if first_start > end:
+                continue
+            starts = np.arange(first_start, end + 1)
+            candidates = prev[starts] + intra.cost(starts, end) + prefix_parts[end]
+            winner = int(np.argmin(candidates))
+            if np.isfinite(candidates[winner]):
+                best[k, end] = candidates[winner]
+                choice[k, end] = starts[winner]
+    final = best[:, n - 1]
+    k_star = int(np.argmin(final))
+    if not np.isfinite(final[k_star]):
+        raise ValueError("no feasible partitioning under the given constraints")
+    vector = _reconstruct_bounded(n, choice, k_star)
+    return vector, float(final[k_star])
+
+
+def _reconstruct(n: int, choice: np.ndarray) -> np.ndarray:
+    vector = np.zeros(n, dtype=bool)
+    end = n - 1
+    while end >= 0:
+        vector[end] = True
+        start = int(choice[end])
+        end = start - 1
+    return vector
+
+
+def _reconstruct_bounded(n: int, choice: np.ndarray, k_star: int) -> np.ndarray:
+    vector = np.zeros(n, dtype=bool)
+    end = n - 1
+    k = k_star
+    while end >= 0:
+        vector[end] = True
+        start = int(choice[k, end])
+        end = start - 1
+        k -= 1
+    return vector
+
+
+def brute_force(
+    cost_model: CostModel,
+    *,
+    max_partition_blocks: int | None = None,
+    max_partitions: int | None = None,
+) -> PartitioningResult:
+    """Exhaustive search over all 2^(N-1) partitionings (testing only)."""
+    start_time = time.perf_counter()
+    n = cost_model.num_blocks
+    if n > 20:
+        raise ValueError("brute force is limited to 20 blocks")
+    best_vector = None
+    best_cost = np.inf
+    for mask in range(2 ** (n - 1)):
+        vector = np.zeros(n, dtype=bool)
+        vector[n - 1] = True
+        for bit in range(n - 1):
+            if mask & (1 << bit):
+                vector[bit] = True
+        widths = np.diff(np.concatenate(([0], np.nonzero(vector)[0] + 1)))
+        if max_partition_blocks is not None and widths.max() > max_partition_blocks:
+            continue
+        if max_partitions is not None and np.count_nonzero(vector) > max_partitions:
+            continue
+        cost = cost_model.total_cost(vector)
+        if cost < best_cost:
+            best_cost = cost
+            best_vector = vector
+    elapsed = time.perf_counter() - start_time
+    if best_vector is None:
+        raise ValueError("no feasible partitioning under the given constraints")
+    return PartitioningResult(
+        vector=validate_partitioning(best_vector),
+        cost=float(best_cost),
+        solver="brute_force",
+        solve_seconds=elapsed,
+    )

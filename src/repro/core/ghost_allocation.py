@@ -1,0 +1,70 @@
+"""Ghost-value allocation across partitions (Section 4.6, Eq. 18).
+
+Given a partitioning, the Frequency Model and a total ghost-value budget, the
+allocator distributes empty slots to partitions proportionally to the data
+movement that inserts and incoming updates would otherwise cause there:
+``GValloc(i) = dm_part(i) / dm_tot * GVtot``.
+
+The data movement attributed to a block is the number of ripple inserts it
+receives (inserts plus update targets) times the length of the ripple chain
+those operations would trigger (``1 + trail_parts``), so partitions that
+absorb many writes deep inside the chunk get the most slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.ghost_values import spread_proportionally
+from .cost_model import trail_parts, validate_partitioning
+from .frequency_model import FrequencyModel
+
+
+@dataclass(frozen=True)
+class GhostAllocation:
+    """Per-partition ghost-slot allocation."""
+
+    per_partition: np.ndarray
+    total: int
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions covered by the allocation."""
+        return int(self.per_partition.shape[0])
+
+
+def data_movement_per_block(
+    frequency_model: FrequencyModel, p: np.ndarray
+) -> np.ndarray:
+    """Expected ripple-insert data movement caused by writes to each block."""
+    vector = validate_partitioning(p)
+    arrivals = frequency_model.ins + frequency_model.utf + frequency_model.utb
+    return arrivals * (1.0 + trail_parts(vector))
+
+
+def data_movement_per_partition(
+    frequency_model: FrequencyModel, p: np.ndarray
+) -> np.ndarray:
+    """Aggregate the per-block data movement over each partition."""
+    vector = validate_partitioning(p)
+    per_block = data_movement_per_block(frequency_model, vector)
+    ends = np.nonzero(vector)[0] + 1
+    starts = np.concatenate(([0], ends[:-1]))
+    return np.asarray(
+        [per_block[start:end].sum() for start, end in zip(starts, ends)]
+    )
+
+
+def allocate_ghost_values(
+    frequency_model: FrequencyModel,
+    p: np.ndarray,
+    total_budget: int,
+) -> GhostAllocation:
+    """Distribute ``total_budget`` ghost slots across partitions (Eq. 18)."""
+    if total_budget < 0:
+        raise ValueError("total_budget must be non-negative")
+    weights = data_movement_per_partition(frequency_model, p)
+    allocation = spread_proportionally(weights, int(total_budget))
+    return GhostAllocation(per_partition=allocation, total=int(total_budget))

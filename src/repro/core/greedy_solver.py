@@ -1,0 +1,87 @@
+"""Greedy baseline solver for the layout problem.
+
+Used by the solver ablation benchmark to show what the exact solvers buy:
+the greedy heuristic starts from the finest partitioning (every block its own
+partition) and repeatedly removes the boundary whose removal reduces the
+total workload cost the most, stopping when no single removal helps.  It is
+fast but can get stuck in local minima, unlike the DP/BIP solvers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .cost_model import CostModel
+from .dp_solver import PartitioningResult
+
+
+def solve_greedy(
+    cost_model: CostModel,
+    *,
+    max_partition_blocks: int | None = None,
+    max_partitions: int | None = None,
+) -> PartitioningResult:
+    """Greedy boundary-removal heuristic."""
+    start_time = time.perf_counter()
+    n = cost_model.num_blocks
+    vector = np.ones(n, dtype=bool)
+    cost = cost_model.total_cost(vector)
+
+    improved = True
+    while improved:
+        improved = False
+        best_delta = 0.0
+        best_index = None
+        removable = np.nonzero(vector[:-1])[0]
+        for index in removable:
+            candidate = vector.copy()
+            candidate[index] = False
+            if max_partition_blocks is not None:
+                widths = np.diff(
+                    np.concatenate(([0], np.nonzero(candidate)[0] + 1))
+                )
+                if widths.max() > max_partition_blocks:
+                    continue
+            candidate_cost = cost_model.total_cost(candidate)
+            delta = cost - candidate_cost
+            if delta > best_delta:
+                best_delta = delta
+                best_index = index
+        if best_index is not None:
+            vector[best_index] = False
+            cost -= best_delta
+            improved = True
+
+    # Enforce the partition-count cap by removing the cheapest boundaries.
+    if max_partitions is not None:
+        while np.count_nonzero(vector) > max_partitions:
+            removable = np.nonzero(vector[:-1])[0]
+            best_cost = np.inf
+            best_index = None
+            for index in removable:
+                candidate = vector.copy()
+                candidate[index] = False
+                if max_partition_blocks is not None:
+                    widths = np.diff(
+                        np.concatenate(([0], np.nonzero(candidate)[0] + 1))
+                    )
+                    if widths.max() > max_partition_blocks:
+                        continue
+                candidate_cost = cost_model.total_cost(candidate)
+                if candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_index = index
+            if best_index is None:
+                break
+            vector[best_index] = False
+            cost = best_cost
+
+    elapsed = time.perf_counter() - start_time
+    return PartitioningResult(
+        vector=vector,
+        cost=float(cost_model.total_cost(vector)),
+        solver="greedy",
+        solve_seconds=elapsed,
+    )

@@ -1,0 +1,196 @@
+"""Casper layout planner: workload sample -> per-chunk physical layout.
+
+This is the component marked (A)-(C) in the paper's architecture diagram
+(Fig. 10): it learns the Frequency Model from an offline workload sample,
+solves the layout optimization problem per chunk, allocates ghost values and
+applies the physical layout by constructing the storage structures.
+
+The planner also serves as the ``chunk_builder`` plug-in for
+:class:`repro.storage.table.Table`, which is how the benchmark harness builds
+the Casper operation mode of the Fig. 12/13 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.column import PartitionedColumn, snap_boundaries_to_duplicates
+from ..storage.cost_accounting import (
+    DEFAULT_BLOCK_VALUES,
+    DEFAULT_COST_CONSTANTS,
+    AccessCounter,
+    CostConstants,
+)
+from ..storage.ghost_values import ghost_budget_from_fraction
+from ..workload.operations import Workload
+from .constraints import SLAConstraints
+from .frequency_model import FrequencyModel, learn_from_workload
+from .ghost_allocation import GhostAllocation, allocate_ghost_values
+from .optimizer import LayoutSolution, SolverBackend, optimize_layout
+
+
+@dataclass
+class ChunkPlan:
+    """Physical layout decision for one column chunk."""
+
+    boundaries: np.ndarray
+    ghost_allocation: np.ndarray | None
+    solution: LayoutSolution
+    frequency_model: FrequencyModel
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the plan."""
+        return int(self.boundaries.shape[0])
+
+    @property
+    def estimated_cost(self) -> float:
+        """Optimizer-estimated workload cost for the chunk."""
+        return self.solution.cost
+
+
+@dataclass
+class CasperPlanner:
+    """Workload-driven layout planner (the Casper column layout tool).
+
+    Parameters
+    ----------
+    sample_workload:
+        Representative workload sample used to learn the Frequency Model.
+    block_values:
+        Values per logical block (16KB blocks by default).
+    ghost_fraction:
+        Total ghost-value budget as a fraction of each chunk's size.
+    constants:
+        Block-access cost constants.
+    sla:
+        Optional latency SLAs (Eq. 21).
+    solver:
+        Solver backend (exact DP by default).
+    """
+
+    sample_workload: Workload
+    block_values: int = DEFAULT_BLOCK_VALUES
+    ghost_fraction: float = 0.001
+    constants: CostConstants = DEFAULT_COST_CONSTANTS
+    sla: SLAConstraints | None = None
+    solver: SolverBackend | str = SolverBackend.DP
+    plans: list[ChunkPlan] = field(default_factory=list)
+
+    def plan_chunk(self, sorted_values: np.ndarray | list[int]) -> ChunkPlan:
+        """Decide the layout of one chunk holding ``sorted_values``."""
+        values = np.asarray(sorted_values, dtype=np.int64)
+        if values.size == 0:
+            raise ValueError("cannot plan an empty chunk")
+        relevant = self._restrict_workload(values)
+        frequency_model = learn_from_workload(
+            relevant, values, block_values=self.block_values
+        )
+        solution = optimize_layout(
+            frequency_model,
+            chunk_size=int(values.size),
+            block_values=self.block_values,
+            constants=self.constants,
+            sla=self.sla,
+            solver=self.solver,
+        )
+        boundaries = snap_boundaries_to_duplicates(
+            values, solution.boundary_offsets()
+        )
+        ghosts = self._allocate_ghosts(frequency_model, solution, boundaries, values)
+        plan = ChunkPlan(
+            boundaries=boundaries,
+            ghost_allocation=ghosts.per_partition if ghosts is not None else None,
+            solution=solution,
+            frequency_model=frequency_model,
+        )
+        self.plans.append(plan)
+        return plan
+
+    def _restrict_workload(self, values: np.ndarray) -> Workload:
+        """Keep only the sample operations that touch this chunk's key range."""
+        low, high = int(values[0]), int(values[-1])
+        from ..workload.operations import (
+            Delete,
+            Insert,
+            PointQuery,
+            RangeQuery,
+            Update,
+        )
+
+        kept = []
+        for operation in self.sample_workload:
+            if isinstance(operation, PointQuery) and low <= operation.key <= high:
+                kept.append(operation)
+            elif isinstance(operation, RangeQuery) and not (
+                operation.high < low or operation.low > high
+            ):
+                kept.append(operation)
+            elif isinstance(operation, Insert) and low <= operation.key <= high:
+                kept.append(operation)
+            elif isinstance(operation, Delete) and low <= operation.key <= high:
+                kept.append(operation)
+            elif isinstance(operation, Update) and (
+                low <= operation.old_key <= high or low <= operation.new_key <= high
+            ):
+                kept.append(operation)
+        return Workload(operations=kept, name=f"{self.sample_workload.name}[chunk]")
+
+    def _allocate_ghosts(
+        self,
+        frequency_model: FrequencyModel,
+        solution: LayoutSolution,
+        boundaries: np.ndarray,
+        values: np.ndarray,
+    ) -> GhostAllocation | None:
+        budget = ghost_budget_from_fraction(int(values.size), self.ghost_fraction)
+        if budget <= 0:
+            return None
+        allocation = allocate_ghost_values(
+            frequency_model, solution.result.vector, budget
+        )
+        per_partition = allocation.per_partition
+        if per_partition.shape[0] != boundaries.shape[0]:
+            # Boundary snapping (duplicate runs) may have merged partitions;
+            # re-aggregate the block-level allocation onto the final layout.
+            per_partition = self._reaggregate(
+                allocation.per_partition, solution.boundary_offsets(), boundaries
+            )
+        return GhostAllocation(per_partition=per_partition, total=allocation.total)
+
+    @staticmethod
+    def _reaggregate(
+        allocation: np.ndarray, original_offsets: np.ndarray, final_offsets: np.ndarray
+    ) -> np.ndarray:
+        result = np.zeros(final_offsets.shape[0], dtype=np.int64)
+        for original_index, end in enumerate(original_offsets):
+            target = int(np.searchsorted(final_offsets, end, side="left"))
+            target = min(target, final_offsets.shape[0] - 1)
+            result[target] += int(allocation[original_index])
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Table integration
+    # ------------------------------------------------------------------ #
+
+    def build_chunk(
+        self,
+        sorted_values: np.ndarray,
+        rowids: np.ndarray,
+        counter: AccessCounter,
+    ) -> PartitionedColumn:
+        """``ChunkBuilder`` entry point used by :class:`repro.storage.table.Table`."""
+        plan = self.plan_chunk(sorted_values)
+        ghosts = plan.ghost_allocation
+        return PartitionedColumn(
+            sorted_values,
+            plan.boundaries,
+            block_values=self.block_values,
+            ghost_allocation=ghosts,
+            dense=ghosts is None,
+            track_rowids=True,
+            rowids=rowids,
+            counter=counter,
+        )

@@ -1,0 +1,122 @@
+"""Robustness to workload uncertainty (Section 7.5, Fig. 16).
+
+A layout optimized for one workload may be exercised by a slightly different
+one.  The paper studies two kinds of drift between the *training* and the
+*actual* workload:
+
+* **mass shift** -- operation mass moves between operation classes (e.g. 15%
+  of the point-query mass becomes insert mass), and
+* **rotational shift** -- the targeted part of the domain rotates by a
+  fraction of the normalized domain (every access histogram is circularly
+  shifted).
+
+``evaluate_robustness`` optimizes a layout on the training model and reports
+its cost on each perturbed model, normalized by the cost of the layout that
+would have been optimal for that perturbed model -- values near 1.0 mean the
+trained layout absorbs the drift, larger values expose the performance cliff
+the paper observes beyond ~10-15% shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import DEFAULT_COST_CONSTANTS, CostConstants
+from .cost_model import CostModel
+from .dp_solver import solve_dp
+from .frequency_model import HISTOGRAM_NAMES, FrequencyModel
+
+#: Histograms affected by read-mass shifts vs write-mass shifts.
+READ_HISTOGRAMS = ("pq", "rs", "sc", "re")
+WRITE_HISTOGRAMS = ("in",)
+
+
+def rotational_shift(model: FrequencyModel, fraction: float) -> FrequencyModel:
+    """Circularly shift every histogram by ``fraction`` of the domain."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    offset = int(round(fraction * model.num_blocks)) % model.num_blocks
+    shifted = {
+        name: np.roll(model.histograms[name], offset) for name in HISTOGRAM_NAMES
+    }
+    return FrequencyModel(model.num_blocks, shifted)
+
+
+def mass_shift(model: FrequencyModel, fraction: float) -> FrequencyModel:
+    """Move operation mass between point queries and inserts.
+
+    A positive ``fraction`` moves that share of the point-query mass to the
+    insert histogram (at the blocks the inserts already target); a negative
+    ``fraction`` moves insert mass to point queries.  This mirrors the
+    "mass shift from point queries to inserts" axis of Fig. 16b.
+    """
+    if not -1.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [-1, 1]")
+    shifted = model.copy()
+    if fraction == 0.0:
+        return shifted
+    if fraction > 0:
+        moved = float(shifted.pq.sum()) * fraction
+        shifted.histograms["pq"] *= 1.0 - fraction
+        insert_total = float(shifted.ins.sum())
+        if insert_total > 0:
+            shifted.histograms["in"] += shifted.ins / insert_total * moved
+        else:
+            shifted.histograms["in"] += moved / shifted.num_blocks
+    else:
+        fraction = -fraction
+        moved = float(shifted.ins.sum()) * fraction
+        shifted.histograms["in"] *= 1.0 - fraction
+        read_total = float(shifted.pq.sum())
+        if read_total > 0:
+            shifted.histograms["pq"] += shifted.pq / read_total * moved
+        else:
+            shifted.histograms["pq"] += moved / shifted.num_blocks
+    return shifted
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One cell of the robustness sweep."""
+
+    mass_shift: float
+    rotational_shift: float
+    trained_cost: float
+    oracle_cost: float
+
+    @property
+    def normalized_latency(self) -> float:
+        """Trained-layout cost divided by the perturbation-optimal cost."""
+        if self.oracle_cost <= 0:
+            return 1.0
+        return self.trained_cost / self.oracle_cost
+
+
+def evaluate_robustness(
+    training_model: FrequencyModel,
+    *,
+    mass_shifts: list[float],
+    rotational_shifts: list[float],
+    constants: CostConstants = DEFAULT_COST_CONSTANTS,
+) -> list[RobustnessPoint]:
+    """Sweep mass and rotational shifts and score the trained layout."""
+    trained = solve_dp(CostModel(training_model, constants))
+    points: list[RobustnessPoint] = []
+    for mass in mass_shifts:
+        mass_model = mass_shift(training_model, mass)
+        for rotation in rotational_shifts:
+            actual = rotational_shift(mass_model, rotation)
+            actual_cost_model = CostModel(actual, constants)
+            trained_cost = actual_cost_model.total_cost(trained.vector)
+            oracle = solve_dp(actual_cost_model)
+            points.append(
+                RobustnessPoint(
+                    mass_shift=mass,
+                    rotational_shift=rotation,
+                    trained_cost=trained_cost,
+                    oracle_cost=oracle.cost,
+                )
+            )
+    return points

@@ -1,0 +1,693 @@
+"""Range-partitioned column chunk with ghost values and ripple maintenance.
+
+This is the core physical structure of the Casper storage engine (Sections 2
+and 3 of the paper).  A column chunk is stored as one contiguous array whose
+physical space is divided into consecutive *partition regions*.  Each region
+holds the live values of one partition at its front and (optionally) ghost
+values -- empty slots -- at its tail.  Partitions are range partitioned: every
+live value of partition ``i`` is greater than the upper fence of partition
+``i - 1`` and no larger than the fence of partition ``i``.  Inside a partition
+values are unordered and queries scan the whole partition.
+
+Supported operations mirror the paper's storage-engine repertoire:
+
+* point queries (scan the single candidate partition),
+* range queries (filter the first/last partition, blindly consume the middle),
+* inserts (use local ghost slack or ripple an empty slot from a later
+  partition, Fig. 4a),
+* deletes (swap the victim to the partition tail; in dense mode the hole is
+  rippled to the end of the column, Fig. 4b),
+* updates (delete-then-place with a forward or backward ripple, Section 3).
+
+Every operation charges an :class:`~repro.storage.cost_accounting.AccessCounter`
+with the block accesses it performs, which is what the benchmark harness uses
+as the simulated latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost_accounting import (
+    DEFAULT_BLOCK_VALUES,
+    AccessCounter,
+    blocks_spanned,
+)
+from .errors import LayoutError, ValueNotFoundError
+from .partition_index import PartitionIndex, PartitionMetadata
+
+
+@dataclass
+class RangeResult:
+    """Result of a range query over a partitioned column."""
+
+    count: int
+    positions: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+
+def snap_boundaries_to_duplicates(
+    sorted_values: np.ndarray, boundaries: np.ndarray | list[int]
+) -> np.ndarray:
+    """Adjust partition end offsets so duplicate runs never straddle a boundary.
+
+    ``boundaries`` are exclusive end offsets into ``sorted_values`` (the last
+    boundary must equal ``len(sorted_values)``).  If a boundary would split a
+    run of equal values it is moved forward to the end of the run, and any
+    boundary that collapses onto a later one is dropped.
+    """
+    sorted_values = np.asarray(sorted_values)
+    n = sorted_values.shape[0]
+    snapped: list[int] = []
+    for end in boundaries:
+        end = int(end)
+        if end <= 0 or end > n:
+            raise LayoutError(f"boundary {end} out of range (0, {n}]")
+        while end < n and sorted_values[end] == sorted_values[end - 1]:
+            end += 1
+        if not snapped or end > snapped[-1]:
+            snapped.append(end)
+    if not snapped or snapped[-1] != n:
+        if snapped and snapped[-1] > n:
+            raise LayoutError("snapped boundary exceeded data size")
+        if not snapped or snapped[-1] < n:
+            snapped.append(n)
+    return np.asarray(snapped, dtype=np.int64)
+
+
+def equal_width_boundaries(size: int, partitions: int) -> np.ndarray:
+    """Exclusive end offsets for ``partitions`` near-equal partitions of ``size``."""
+    if partitions <= 0:
+        raise LayoutError("partitions must be positive")
+    partitions = min(partitions, size) if size > 0 else 1
+    edges = np.linspace(0, size, partitions + 1)[1:]
+    boundaries = np.unique(np.round(edges).astype(np.int64))
+    if boundaries.size == 0 or boundaries[-1] != size:
+        boundaries = np.append(boundaries, size)
+    return boundaries.astype(np.int64)
+
+
+class PartitionedColumn:
+    """A single range-partitioned column chunk.
+
+    Parameters
+    ----------
+    sorted_values:
+        The chunk's initial data, in non-decreasing order.
+    boundaries:
+        Exclusive end offsets of each partition within ``sorted_values``.
+        The final boundary must equal ``len(sorted_values)``.
+    block_values:
+        Number of values per block; used purely for access accounting.
+    ghost_allocation:
+        Optional per-partition ghost-slot counts (same length as
+        ``boundaries``).  ``None`` means a dense column.
+    dense:
+        If ``True`` the column keeps partitions dense: holes created by
+        deletes are rippled to the end of the column instead of remaining in
+        the partition as ghost slots.
+    track_rowids:
+        If ``True`` a parallel row-id array mirrors all data movement so a
+        table can keep payload columns positionally addressable.
+    counter:
+        Access counter to charge; a private one is created when omitted.
+    """
+
+    GROWTH_BLOCKS = 4
+
+    def __init__(
+        self,
+        sorted_values: np.ndarray | list[int],
+        boundaries: np.ndarray | list[int] | None = None,
+        *,
+        block_values: int = DEFAULT_BLOCK_VALUES,
+        ghost_allocation: np.ndarray | list[int] | None = None,
+        dense: bool | None = None,
+        track_rowids: bool = False,
+        rowids: np.ndarray | None = None,
+        counter: AccessCounter | None = None,
+        index_fanout: int = 16,
+    ) -> None:
+        values = np.asarray(sorted_values, dtype=np.int64)
+        if values.ndim != 1:
+            raise LayoutError("sorted_values must be one-dimensional")
+        if values.size > 1 and np.any(np.diff(values) < 0):
+            raise LayoutError("sorted_values must be non-decreasing")
+        if block_values <= 0:
+            raise LayoutError("block_values must be positive")
+        self.block_values = int(block_values)
+        self.counter = counter if counter is not None else AccessCounter()
+        self._index = PartitionIndex(fanout=index_fanout)
+
+        if boundaries is None:
+            boundaries = np.asarray([values.size], dtype=np.int64)
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if values.size == 0:
+            boundaries = np.asarray([0], dtype=np.int64)
+        else:
+            boundaries = snap_boundaries_to_duplicates(values, boundaries)
+        k = boundaries.shape[0]
+
+        if ghost_allocation is None:
+            ghosts = np.zeros(k, dtype=np.int64)
+        else:
+            ghosts = np.asarray(ghost_allocation, dtype=np.int64)
+            if ghosts.shape[0] != k:
+                raise LayoutError(
+                    "ghost_allocation length must match the number of partitions"
+                )
+            if np.any(ghosts < 0):
+                raise LayoutError("ghost_allocation must be non-negative")
+        if dense is None:
+            dense = ghosts.sum() == 0
+        self.dense = bool(dense)
+
+        starts_data = np.concatenate(([0], boundaries[:-1]))
+        counts = boundaries - starts_data
+        capacities = counts + ghosts
+        physical_size = int(capacities.sum())
+
+        self._data = np.zeros(physical_size, dtype=np.int64)
+        self._track_rowids = bool(track_rowids)
+        if self._track_rowids:
+            if rowids is None:
+                rowids = np.arange(values.size, dtype=np.int64)
+            else:
+                rowids = np.asarray(rowids, dtype=np.int64)
+                if rowids.shape[0] != values.size:
+                    raise LayoutError("rowids must align with sorted_values")
+            self._rowids = np.full(physical_size, -1, dtype=np.int64)
+        else:
+            self._rowids = None
+
+        self._starts = np.zeros(k, dtype=np.int64)
+        self._counts = counts.astype(np.int64)
+        offset = 0
+        for i in range(k):
+            self._starts[i] = offset
+            lo, hi = int(starts_data[i]), int(boundaries[i])
+            self._data[offset : offset + counts[i]] = values[lo:hi]
+            if self._track_rowids:
+                self._rowids[offset : offset + counts[i]] = rowids[lo:hi]
+            offset += int(capacities[i])
+
+        self._fences = np.zeros(k, dtype=np.int64)
+        self._mins = np.zeros(k, dtype=np.int64)
+        self._maxs = np.zeros(k, dtype=np.int64)
+        previous_fence = np.iinfo(np.int64).min
+        for i in range(k):
+            if counts[i] > 0:
+                segment = values[int(starts_data[i]) : int(boundaries[i])]
+                self._mins[i] = segment[0]
+                self._maxs[i] = segment[-1]
+                self._fences[i] = segment[-1]
+                previous_fence = self._fences[i]
+            else:
+                self._mins[i] = previous_fence
+                self._maxs[i] = previous_fence
+                self._fences[i] = previous_fence
+        if k > 0:
+            self._fences[k - 1] = np.iinfo(np.int64).max
+        self._index.rebuild(self._fences)
+        self._next_rowid = int(values.size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the chunk."""
+        return int(self._starts.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of live values."""
+        return int(self._counts.sum())
+
+    @property
+    def physical_size(self) -> int:
+        """Number of physical slots (live values plus ghost slots)."""
+        return int(self._data.shape[0])
+
+    @property
+    def memory_amplification(self) -> float:
+        """Physical slots divided by live values."""
+        live = self.size
+        return float(self.physical_size) / live if live else 1.0
+
+    def partition_counts(self) -> np.ndarray:
+        """Live value count per partition."""
+        return self._counts.copy()
+
+    def partition_capacities(self) -> np.ndarray:
+        """Physical capacity (live + ghost) per partition."""
+        return self._capacities()
+
+    def ghost_counts(self) -> np.ndarray:
+        """Ghost (empty) slots per partition."""
+        return self._capacities() - self._counts
+
+    def partition_metadata(self) -> list[PartitionMetadata]:
+        """Zonemap-style metadata for every partition."""
+        return [
+            PartitionMetadata(
+                index=i,
+                low=int(self._mins[i]),
+                high=int(self._maxs[i]),
+                count=int(self._counts[i]),
+            )
+            for i in range(self.num_partitions)
+        ]
+
+    def values(self) -> np.ndarray:
+        """Materialize all live values (unsorted across the chunk)."""
+        pieces = [
+            self._data[s : s + c]
+            for s, c in zip(self._starts, self._counts)
+            if c > 0
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def rowids(self) -> np.ndarray:
+        """Materialize live row ids (aligned with :meth:`values`)."""
+        if not self._track_rowids:
+            raise LayoutError("row-id tracking is disabled for this column")
+        pieces = [
+            self._rowids[s : s + c]
+            for s, c in zip(self._starts, self._counts)
+            if c > 0
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def _capacities(self) -> np.ndarray:
+        ends = np.concatenate((self._starts[1:], [self._data.shape[0]]))
+        return ends - self._starts
+
+    def _partition_blocks(self, partition: int) -> int:
+        # Scan cost is proportional to the data volume read (live values),
+        # independent of how ghost slots shift the partition's physical
+        # alignment relative to block boundaries.
+        count = int(self._counts[partition])
+        if count <= 0:
+            return 0
+        return blocks_spanned(0, count, self.block_values)
+
+    # ------------------------------------------------------------------ #
+    # Read operations
+    # ------------------------------------------------------------------ #
+
+    def locate_partition(self, value: int) -> int:
+        """Partition id that may contain ``value`` (index probe)."""
+        self.counter.index_probe()
+        return self._index.locate(int(value))
+
+    def point_query(self, value: int, *, return_rowids: bool = False) -> np.ndarray:
+        """Return positions (or row ids) of live entries equal to ``value``.
+
+        The candidate partition is located via the shallow index and then
+        fully scanned with one random read for its first block and sequential
+        reads for the rest (Fig. 3b).
+        """
+        partition = self.locate_partition(value)
+        blocks = self._partition_blocks(partition)
+        if blocks > 0:
+            self.counter.random_read(1)
+            if blocks > 1:
+                self.counter.seq_read(blocks - 1)
+        return self._scan_partition_for(partition, value, return_rowids)
+
+    def _scan_partition_for(
+        self, partition: int, value: int, return_rowids: bool
+    ) -> np.ndarray:
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        segment = self._data[start : start + count]
+        local = np.nonzero(segment == value)[0]
+        positions = local + start
+        if return_rowids:
+            if not self._track_rowids:
+                raise LayoutError("row-id tracking is disabled for this column")
+            return self._rowids[positions]
+        return positions
+
+    def range_query(
+        self,
+        low: int,
+        high: int,
+        *,
+        materialize: bool = True,
+        return_rowids: bool = False,
+    ) -> RangeResult:
+        """Evaluate the inclusive predicate ``low <= value <= high``.
+
+        The first and last overlapping partitions are filtered; intermediate
+        partitions are blindly consumed (Fig. 3c).  When ``materialize`` is
+        ``False`` only the qualifying count is computed (still charging the
+        same accesses, as the engine must touch the blocks either way).
+        """
+        if low > high:
+            raise ValueError("low must be <= high")
+        self.counter.index_probe()
+        first, last = self._index.locate_range(int(low), int(high))
+
+        total = 0
+        position_chunks: list[np.ndarray] = []
+        for partition in range(first, last + 1):
+            blocks = self._partition_blocks(partition)
+            if blocks > 0:
+                if partition == first:
+                    self.counter.random_read(1)
+                    if blocks > 1:
+                        self.counter.seq_read(blocks - 1)
+                else:
+                    self.counter.seq_read(blocks)
+            start = int(self._starts[partition])
+            count = int(self._counts[partition])
+            if count == 0:
+                continue
+            segment = self._data[start : start + count]
+            if partition in (first, last):
+                mask = (segment >= low) & (segment <= high)
+                qualifying = np.nonzero(mask)[0] + start
+            else:
+                qualifying = np.arange(start, start + count, dtype=np.int64)
+            total += int(qualifying.shape[0])
+            if materialize:
+                position_chunks.append(qualifying)
+
+        positions = None
+        values = None
+        if materialize:
+            positions = (
+                np.concatenate(position_chunks)
+                if position_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            if return_rowids:
+                if not self._track_rowids:
+                    raise LayoutError("row-id tracking is disabled for this column")
+                values = self._rowids[positions]
+            else:
+                values = self._data[positions]
+        return RangeResult(count=total, positions=positions, values=values)
+
+    def range_rowids(self, low: int, high: int) -> np.ndarray:
+        """Row ids of live entries whose value lies in ``[low, high]``."""
+        result = self.range_query(low, high, materialize=True, return_rowids=True)
+        return result.values if result.values is not None else np.empty(0, dtype=np.int64)
+
+    def full_scan(self) -> np.ndarray:
+        """Scan the entire chunk sequentially and return live values."""
+        total_blocks = blocks_spanned(0, self.physical_size, self.block_values)
+        if total_blocks > 0:
+            self.counter.seq_read(total_blocks)
+        return self.values()
+
+    # ------------------------------------------------------------------ #
+    # Write operations
+    # ------------------------------------------------------------------ #
+
+    def insert(self, value: int, rowid: int | None = None) -> int:
+        """Insert ``value`` and return its row id.
+
+        The target partition is the first one whose fence covers the value.
+        If it (or a later partition) has a ghost slot, the slot is rippled
+        backwards to the target partition; otherwise the column grows.
+        """
+        value = int(value)
+        target = self.locate_partition(value)
+        if rowid is None:
+            rowid = self._next_rowid
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+
+        donor = self._find_slack_partition(target)
+        if donor is None:
+            self._grow()
+            donor = self.num_partitions - 1
+        if donor != target:
+            # Fetching the empty slot from the end of the column touches one
+            # extra block in the donor partition (Section 3 / Eq. 9).
+            self.counter.random_read(1)
+            self.counter.random_write(1)
+        self._ripple_slot_backward(donor, target)
+
+        start = int(self._starts[target])
+        position = start + int(self._counts[target])
+        self._data[position] = value
+        if self._track_rowids:
+            self._rowids[position] = rowid
+        self._counts[target] += 1
+        self.counter.random_read(1)
+        self.counter.random_write(1)
+        self._refresh_minmax_on_insert(target, value)
+        return int(rowid)
+
+    def delete(self, value: int, *, limit: int = 1) -> int:
+        """Delete up to ``limit`` occurrences of ``value``.
+
+        Returns the number of deleted entries.  Raises
+        :class:`ValueNotFoundError` when the value is absent.
+        """
+        value = int(value)
+        partition = self.locate_partition(value)
+        blocks = self._partition_blocks(partition)
+        if blocks > 0:
+            self.counter.random_read(1)
+            if blocks > 1:
+                self.counter.seq_read(blocks - 1)
+        positions = self._scan_partition_for(partition, value, return_rowids=False)
+        if positions.shape[0] == 0:
+            raise ValueNotFoundError(f"value {value} not found")
+        victims = positions[:limit] if limit is not None else positions
+        deleted = 0
+        for _ in range(victims.shape[0]):
+            # Re-locate one victim each round because swap-with-last moves data.
+            current = self._scan_partition_for(partition, value, return_rowids=False)
+            if current.shape[0] == 0:
+                break
+            self._remove_at(partition, int(current[0]))
+            deleted += 1
+        if self.dense:
+            for _ in range(deleted):
+                self._ripple_hole_forward(partition)
+        return deleted
+
+    def update(self, old_value: int, new_value: int) -> None:
+        """Update one occurrence of ``old_value`` to ``new_value``.
+
+        Implements the direct ripple update of Section 3: a point query finds
+        the source partition, the victim is swapped to the partition tail
+        (creating a hole) and the hole ripples forward or backward to the
+        target partition where the new value is placed.  With ghost values
+        the ripple is skipped whenever the target partition already has local
+        slack.
+        """
+        old_value = int(old_value)
+        new_value = int(new_value)
+        source = self.locate_partition(old_value)
+        blocks = self._partition_blocks(source)
+        if blocks > 0:
+            self.counter.random_read(1)
+            if blocks > 1:
+                self.counter.seq_read(blocks - 1)
+        positions = self._scan_partition_for(source, old_value, return_rowids=False)
+        if positions.shape[0] == 0:
+            raise ValueNotFoundError(f"value {old_value} not found")
+        rowid = (
+            int(self._rowids[int(positions[0])]) if self._track_rowids else None
+        )
+        self._remove_at(source, int(positions[0]))
+        # Moving the hole to the end of the source partition: one extra
+        # read/write pair on top of the delete's write (Eq. 12/14).
+        self.counter.random_read(1)
+        self.counter.random_write(1)
+
+        target = self._index.locate(new_value)
+        if not self.dense and self._partition_slack(target) > 0:
+            placement = target
+        elif target >= source:
+            placement = self._ripple_hole_between(source, target, forward=True)
+        else:
+            placement = self._ripple_hole_between(source, target, forward=False)
+
+        start = int(self._starts[placement])
+        position = start + int(self._counts[placement])
+        self._data[position] = new_value
+        if self._track_rowids:
+            self._rowids[position] = rowid if rowid is not None else self._next_rowid
+        self._counts[placement] += 1
+        self.counter.random_read(1)
+        self.counter.random_write(1)
+        self._refresh_minmax_on_insert(placement, new_value)
+
+    # ------------------------------------------------------------------ #
+    # Internal mechanics
+    # ------------------------------------------------------------------ #
+
+    def _partition_slack(self, partition: int) -> int:
+        capacity = (
+            int(self._starts[partition + 1]) - int(self._starts[partition])
+            if partition + 1 < self.num_partitions
+            else self.physical_size - int(self._starts[partition])
+        )
+        return capacity - int(self._counts[partition])
+
+    def _find_slack_partition(self, start_partition: int) -> int | None:
+        for partition in range(start_partition, self.num_partitions):
+            if self._partition_slack(partition) > 0:
+                return partition
+        return None
+
+    def _grow(self) -> None:
+        extra = self.GROWTH_BLOCKS * self.block_values
+        self._data = np.concatenate(
+            (self._data, np.zeros(extra, dtype=np.int64))
+        )
+        if self._track_rowids:
+            self._rowids = np.concatenate(
+                (self._rowids, np.full(extra, -1, dtype=np.int64))
+            )
+        self.counter.seq_write(self.GROWTH_BLOCKS)
+
+    def _ripple_slot_backward(self, donor: int, target: int) -> None:
+        """Move one empty slot from ``donor``'s tail into ``target``'s tail.
+
+        Walks partitions from the donor down to ``target + 1``; each step
+        moves the partition's first live element onto the free slot at its own
+        tail and shifts the partition's start one slot to the right, handing
+        the freed slot to the preceding partition (Fig. 4a).
+        """
+        for partition in range(donor, target, -1):
+            start = int(self._starts[partition])
+            count = int(self._counts[partition])
+            if count > 0:
+                free_slot = start + count
+                self._data[free_slot] = self._data[start]
+                if self._track_rowids:
+                    self._rowids[free_slot] = self._rowids[start]
+            self._starts[partition] = start + 1
+            self.counter.random_read(1)
+            self.counter.random_write(1)
+
+    def _ripple_hole_forward(self, partition: int) -> None:
+        """Push one hole from ``partition``'s tail to the end of the column."""
+        for follower in range(partition + 1, self.num_partitions):
+            start = int(self._starts[follower])
+            count = int(self._counts[follower])
+            hole = start - 1
+            if count > 0:
+                last = start + count - 1
+                self._data[hole] = self._data[last]
+                if self._track_rowids:
+                    self._rowids[hole] = self._rowids[last]
+            self._starts[follower] = start - 1
+            self.counter.random_read(1)
+            self.counter.random_write(1)
+
+    def _ripple_hole_between(self, source: int, target: int, *, forward: bool) -> int:
+        """Move the hole at ``source``'s tail to ``target``'s tail.
+
+        Returns the partition that ends up holding the free slot (always
+        ``target``).  Charges one read/write pair per partition boundary
+        crossed, matching the ``trail_parts`` terms of Eqs. 12-15.
+        """
+        if forward:
+            for follower in range(source + 1, target + 1):
+                start = int(self._starts[follower])
+                count = int(self._counts[follower])
+                hole = start - 1
+                if count > 0:
+                    last = start + count - 1
+                    self._data[hole] = self._data[last]
+                    if self._track_rowids:
+                        self._rowids[hole] = self._rowids[last]
+                self._starts[follower] = start - 1
+                self.counter.random_read(1)
+                self.counter.random_write(1)
+        else:
+            for predecessor in range(source, target, -1):
+                start = int(self._starts[predecessor])
+                count = int(self._counts[predecessor])
+                if count > 0:
+                    free_slot = start + count
+                    self._data[free_slot] = self._data[start]
+                    if self._track_rowids:
+                        self._rowids[free_slot] = self._rowids[start]
+                self._starts[predecessor] = start + 1
+                self.counter.random_read(1)
+                self.counter.random_write(1)
+        return target
+
+    def _remove_at(self, partition: int, position: int) -> None:
+        """Swap the entry at ``position`` with the partition's last live entry."""
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        last = start + count - 1
+        self._data[position] = self._data[last]
+        if self._track_rowids:
+            self._rowids[position] = self._rowids[last]
+        self._counts[partition] = count - 1
+        self.counter.random_write(1)
+        self._refresh_minmax_on_delete(partition)
+
+    def _refresh_minmax_on_insert(self, partition: int, value: int) -> None:
+        count = int(self._counts[partition])
+        if count == 1:
+            self._mins[partition] = value
+            self._maxs[partition] = value
+        else:
+            if value < self._mins[partition]:
+                self._mins[partition] = value
+            if value > self._maxs[partition]:
+                self._maxs[partition] = value
+        if partition < self.num_partitions - 1 and value > self._fences[partition]:
+            self._fences[partition] = value
+            self._index.update_fence(partition, value)
+
+    def _refresh_minmax_on_delete(self, partition: int) -> None:
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        if count == 0:
+            return
+        segment = self._data[start : start + count]
+        self._mins[partition] = int(segment.min())
+        self._maxs[partition] = int(segment.max())
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is violated."""
+        k = self.num_partitions
+        capacities = self._capacities()
+        assert np.all(self._counts >= 0), "negative partition count"
+        assert np.all(capacities >= self._counts), "partition overflow"
+        assert int(capacities.sum()) == self.physical_size, "capacity mismatch"
+        previous_max = None
+        for i in range(k):
+            start = int(self._starts[i])
+            count = int(self._counts[i])
+            if count == 0:
+                continue
+            segment = self._data[start : start + count]
+            if previous_max is not None:
+                assert segment.min() >= previous_max, (
+                    f"range-partition invariant violated at partition {i}"
+                )
+            assert segment.max() <= self._fences[i], (
+                f"fence invariant violated at partition {i}"
+            )
+            previous_max = segment.max()
+        if self._track_rowids:
+            live_rowids = self.rowids()
+            assert np.unique(live_rowids).shape[0] == live_rowids.shape[0], (
+                "duplicate row ids"
+            )

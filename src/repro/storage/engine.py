@@ -1,0 +1,202 @@
+"""Casper storage engine facade (Section 6).
+
+The engine wraps a :class:`~repro.storage.table.Table` and exposes the
+standard storage-engine API of Section 6.4 -- full scan, point lookup, range
+search (count / sum), insert, delete, update -- together with:
+
+* per-operation cost measurement (block-access accounting plus wall-clock),
+* optional snapshot-isolation transactions backed by
+  :class:`~repro.storage.mvcc.TransactionManager`,
+* dispatch of :mod:`repro.workload.operations` objects, which is what the
+  benchmark harness drives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from .cost_accounting import (
+    DEFAULT_COST_CONSTANTS,
+    AccessCounter,
+    CostConstants,
+)
+from .mvcc import Transaction, TransactionManager
+from .table import Row, Table
+
+
+@dataclass
+class OperationResult:
+    """Outcome of a single engine operation."""
+
+    kind: str
+    accesses: AccessCounter
+    wall_ns: float
+    result: Any = None
+
+    def simulated_ns(
+        self, constants: CostConstants = DEFAULT_COST_CONSTANTS
+    ) -> float:
+        """Simulated latency in nanoseconds under ``constants``."""
+        return self.accesses.cost(constants)
+
+
+@dataclass
+class EngineStatistics:
+    """Running per-operation-kind statistics maintained by the engine."""
+
+    operations: dict[str, int] = field(default_factory=dict)
+    simulated_ns: dict[str, float] = field(default_factory=dict)
+    wall_ns: dict[str, float] = field(default_factory=dict)
+
+    def record(
+        self, kind: str, simulated: float, wall: float
+    ) -> None:
+        """Accumulate one operation's latencies."""
+        self.operations[kind] = self.operations.get(kind, 0) + 1
+        self.simulated_ns[kind] = self.simulated_ns.get(kind, 0.0) + simulated
+        self.wall_ns[kind] = self.wall_ns.get(kind, 0.0) + wall
+
+    def mean_simulated_ns(self, kind: str) -> float:
+        """Mean simulated latency for ``kind`` (0 when never executed)."""
+        count = self.operations.get(kind, 0)
+        return self.simulated_ns.get(kind, 0.0) / count if count else 0.0
+
+
+class StorageEngine:
+    """Drop-in scan/update storage engine over a partitioned table."""
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+        enable_transactions: bool = False,
+    ) -> None:
+        self.table = table
+        self.constants = constants
+        self.statistics = EngineStatistics()
+        self.transactions = TransactionManager() if enable_transactions else None
+
+    @property
+    def counter(self) -> AccessCounter:
+        """The shared access counter of the underlying table."""
+        return self.table.counter
+
+    # ------------------------------------------------------------------ #
+    # Measured operations
+    # ------------------------------------------------------------------ #
+
+    def _measure(self, kind: str, func, *args, **kwargs) -> OperationResult:
+        before = self.counter.snapshot()
+        start = time.perf_counter_ns()
+        result = func(*args, **kwargs)
+        wall = float(time.perf_counter_ns() - start)
+        accesses = self.counter.diff(before)
+        outcome = OperationResult(kind=kind, accesses=accesses, wall_ns=wall, result=result)
+        self.statistics.record(kind, outcome.simulated_ns(self.constants), wall)
+        return outcome
+
+    def point_query(
+        self, key: int, columns: Sequence[str] | None = None
+    ) -> OperationResult:
+        """Q1: fetch the row(s) with the given key."""
+        return self._measure("point_query", self.table.point_query, key, columns)
+
+    def range_count(self, low: int, high: int) -> OperationResult:
+        """Q2: count rows with key in ``[low, high]``."""
+        return self._measure("range_count", self.table.range_count, low, high)
+
+    def range_sum(
+        self, low: int, high: int, columns: Sequence[str] | None = None
+    ) -> OperationResult:
+        """Q3: sum payload attributes over rows with key in ``[low, high]``."""
+        return self._measure("range_sum", self.table.range_sum, low, high, columns)
+
+    def insert(self, key: int, payload: Sequence[int] | None = None) -> OperationResult:
+        """Q4: insert a new row."""
+        return self._measure("insert", self.table.insert, key, payload)
+
+    def delete(self, key: int) -> OperationResult:
+        """Q5: delete a row by key."""
+        return self._measure("delete", self.table.delete, key)
+
+    def update_key(self, old_key: int, new_key: int) -> OperationResult:
+        """Q6: change a row's key value."""
+        return self._measure("update", self.table.update_key, old_key, new_key)
+
+    def full_scan(self) -> OperationResult:
+        """Scan the entire key column."""
+        return self._measure("scan", self.table.scan)
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+
+    def begin_transaction(self) -> Transaction:
+        """Start a snapshot-isolated transaction."""
+        if self.transactions is None:
+            raise RuntimeError("transactions are not enabled for this engine")
+        return self.transactions.begin()
+
+    def transactional_insert(
+        self, txn: Transaction, key: int, payload: Sequence[int] | None = None
+    ) -> None:
+        """Buffer an insert inside ``txn``; applied at commit."""
+        txn.record_write(key, lambda: self.table.insert(key, payload), f"insert {key}")
+
+    def transactional_delete(self, txn: Transaction, key: int) -> None:
+        """Buffer a delete inside ``txn``; applied at commit."""
+        txn.record_write(key, lambda: self.table.delete(key), f"delete {key}")
+
+    def transactional_update(
+        self, txn: Transaction, old_key: int, new_key: int
+    ) -> None:
+        """Buffer a key update inside ``txn``; applied at commit."""
+        txn.record_write(
+            old_key,
+            lambda: self.table.update_key(old_key, new_key),
+            f"update {old_key}->{new_key}",
+        )
+        txn.record_write(new_key, lambda: None, "update target reservation")
+
+    def commit(self, txn: Transaction) -> int:
+        """Commit ``txn`` (first committer wins)."""
+        if self.transactions is None:
+            raise RuntimeError("transactions are not enabled for this engine")
+        return self.transactions.commit(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back ``txn``."""
+        if self.transactions is None:
+            raise RuntimeError("transactions are not enabled for this engine")
+        self.transactions.abort(txn)
+
+    # ------------------------------------------------------------------ #
+    # Workload dispatch
+    # ------------------------------------------------------------------ #
+
+    def execute(self, operation) -> OperationResult:
+        """Execute a :mod:`repro.workload.operations` object."""
+        from ..workload import operations as ops
+
+        if isinstance(operation, ops.PointQuery):
+            return self.point_query(operation.key, operation.columns)
+        if isinstance(operation, ops.RangeQuery):
+            if operation.aggregate is ops.Aggregate.COUNT:
+                return self.range_count(operation.low, operation.high)
+            return self.range_sum(operation.low, operation.high, operation.columns)
+        if isinstance(operation, ops.Insert):
+            return self.insert(operation.key, operation.payload)
+        if isinstance(operation, ops.Delete):
+            return self.delete(operation.key)
+        if isinstance(operation, ops.Update):
+            return self.update_key(operation.old_key, operation.new_key)
+        raise TypeError(f"unsupported operation type: {type(operation)!r}")
+
+    def values(self) -> np.ndarray:
+        """All live key values (for validation)."""
+        return self.table.keys()

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the storage engine."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class ValueNotFoundError(StorageError):
+    """Raised when a delete/update targets a value that is not present."""
+
+
+class CapacityError(StorageError):
+    """Raised when a fixed-capacity structure cannot absorb more data."""
+
+
+class LayoutError(StorageError):
+    """Raised when a column layout specification is invalid."""
+
+
+class TransactionError(StorageError):
+    """Base class for transaction-related failures."""
+
+
+class TransactionConflictError(TransactionError):
+    """Raised when first-committer-wins conflict detection aborts a commit."""
+
+
+class TransactionStateError(TransactionError):
+    """Raised when a transaction is used after commit/abort."""

@@ -1,0 +1,109 @@
+"""Shallow partition index (Section 3 and Section 6.3 of the paper).
+
+Casper keeps per-partition metadata: the minimum and maximum value covered by
+each partition plus positional information inside the chunk.  Searching this
+metadata uses a shallow k-ary tree; when the number of partitions is small the
+metadata behaves like Zonemaps and can simply be scanned.
+
+The index cost is charged through ``AccessCounter.index_probe`` and, per the
+paper, is *shared* by every operation and therefore excluded from the layout
+optimization objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PartitionMetadata:
+    """Zonemap-style metadata for a single partition."""
+
+    index: int
+    low: int
+    high: int
+    count: int
+
+
+class PartitionIndex:
+    """k-ary search tree over partition upper fences.
+
+    The index maps a value to the partition that may contain it: the first
+    partition whose upper fence is >= the value.  Values larger than every
+    fence map to the last partition (which is where inserts of new maxima
+    land).
+
+    Parameters
+    ----------
+    fanout:
+        Arity of the search tree.  Purely affects the simulated probe depth;
+        lookups are implemented with ``numpy.searchsorted`` for speed.
+    """
+
+    def __init__(self, fanout: int = 16) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.fanout = fanout
+        self._fences = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self._fences.shape[0])
+
+    @property
+    def fences(self) -> np.ndarray:
+        """Upper fence (maximum routable value) of each partition."""
+        return self._fences
+
+    def rebuild(self, fences: np.ndarray | list[int]) -> None:
+        """Rebuild the index from a non-decreasing array of upper fences."""
+        fences = np.asarray(fences, dtype=np.int64)
+        if fences.ndim != 1:
+            raise ValueError("fences must be one-dimensional")
+        if fences.size > 1 and np.any(np.diff(fences) < 0):
+            raise ValueError("fences must be non-decreasing")
+        self._fences = fences.copy()
+
+    def update_fence(self, partition: int, fence: int) -> None:
+        """Update the upper fence of a single partition."""
+        self._fences[partition] = fence
+
+    @property
+    def depth(self) -> int:
+        """Depth of the k-ary tree (number of node visits per probe)."""
+        n = len(self)
+        if n <= 1:
+            return 1
+        depth = 1
+        span = self.fanout
+        while span < n:
+            span *= self.fanout
+            depth += 1
+        return depth
+
+    def locate(self, value: int) -> int:
+        """Partition id that may contain ``value``.
+
+        Values beyond the last fence are routed to the last partition.
+        """
+        if len(self) == 0:
+            raise IndexError("index is empty")
+        pos = int(np.searchsorted(self._fences, value, side="left"))
+        if pos >= len(self):
+            pos = len(self) - 1
+        return pos
+
+    def locate_range(self, low: int, high: int) -> tuple[int, int]:
+        """Partitions spanned by the inclusive value range ``[low, high]``.
+
+        Returns ``(first, last)`` partition ids with ``first <= last``.
+        """
+        if low > high:
+            raise ValueError("low must be <= high")
+        first = self.locate(low)
+        pos = int(np.searchsorted(self._fences, high, side="left"))
+        last = min(pos, len(self) - 1)
+        if last < first:
+            last = first
+        return first, last

@@ -1,0 +1,310 @@
+"""Multi-column tables over partitioned key columns.
+
+A :class:`Table` stores a primary-key column (``a0`` in the HAP benchmark)
+under one of the Casper column layouts, chunked into column chunks of a fixed
+number of values (the paper uses 1M-value chunks).  Payload columns
+(``a1..ap``) are kept in insertion order and addressed through global row
+ids, so data movement inside the key column (ripples, delta merges) never has
+to touch the payload -- this mirrors the paper's positioning that Casper
+controls the layout of individual columns/column groups and is orthogonal to
+the rest of the table layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .cost_accounting import (
+    DEFAULT_BLOCK_VALUES,
+    AccessCounter,
+    blocks_spanned,
+)
+from .errors import LayoutError, ValueNotFoundError
+from .layouts import ColumnLike, LayoutKind, LayoutSpec, build_column
+
+#: Per-chunk column builder: (sorted chunk keys, global rowids, counter) -> chunk.
+ChunkBuilder = Callable[[np.ndarray, np.ndarray, AccessCounter], ColumnLike]
+
+
+def layout_chunk_builder(spec: LayoutSpec) -> ChunkBuilder:
+    """Build chunks with a fixed :class:`LayoutSpec` (non-Casper modes)."""
+
+    def builder(
+        sorted_keys: np.ndarray, rowids: np.ndarray, counter: AccessCounter
+    ) -> ColumnLike:
+        return build_column(
+            spec, sorted_keys, counter=counter, track_rowids=True, rowids=rowids
+        )
+
+    return builder
+
+
+@dataclass
+class Row:
+    """A materialized row: the key plus the requested payload attributes."""
+
+    key: int
+    rowid: int
+    payload: dict[str, int]
+
+
+class Table:
+    """A table with a partitioned key column and row-id addressed payload.
+
+    Parameters
+    ----------
+    keys:
+        Primary-key values (need not be sorted; they are sorted per chunk).
+    payload:
+        2-D array of shape ``(len(keys), num_payload_columns)`` or ``None``.
+    chunk_size:
+        Number of key values per column chunk (1M in the paper).
+    chunk_builder:
+        Callable that builds the key-column chunk from sorted keys, aligned
+        global row ids and the shared access counter.  Defaults to a sorted
+        layout.
+    payload_names:
+        Optional payload column names; defaults to ``a1..ap``.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | None = None,
+        *,
+        chunk_size: int = 1_000_000,
+        chunk_builder: ChunkBuilder | None = None,
+        payload_names: Sequence[str] | None = None,
+        block_values: int = DEFAULT_BLOCK_VALUES,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise LayoutError("keys must be one-dimensional")
+        if chunk_size <= 0:
+            raise LayoutError("chunk_size must be positive")
+        self.chunk_size = int(chunk_size)
+        self.block_values = int(block_values)
+        self.counter = AccessCounter()
+        if chunk_builder is None:
+            chunk_builder = layout_chunk_builder(
+                LayoutSpec(kind=LayoutKind.SORTED, block_values=block_values)
+            )
+        self._chunk_builder = chunk_builder
+
+        if payload is None:
+            payload = np.empty((keys.shape[0], 0), dtype=np.int64)
+        payload = np.asarray(payload, dtype=np.int64)
+        if payload.ndim != 2 or payload.shape[0] != keys.shape[0]:
+            raise LayoutError("payload must have one row per key")
+        num_payload = payload.shape[1]
+        if payload_names is None:
+            payload_names = [f"a{i + 1}" for i in range(num_payload)]
+        if len(payload_names) != num_payload:
+            raise LayoutError("payload_names must match payload width")
+        self.payload_names = list(payload_names)
+
+        # Global row id i refers to the i-th row in key-sorted load order;
+        # the payload array is stored in that same order.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        self._payload = payload[order].copy()
+        self._payload_capacity = self._payload.shape[0]
+        self._next_rowid = int(keys.shape[0])
+
+        self._chunks: list[ColumnLike] = []
+        self._chunk_bounds: list[int] = []
+        n = sorted_keys.shape[0]
+        start = 0
+        while True:
+            end = min(start + self.chunk_size, n)
+            chunk_keys = sorted_keys[start:end]
+            rowids = np.arange(start, end, dtype=np.int64)
+            chunk = self._chunk_builder(chunk_keys, rowids, self.counter)
+            self._chunks.append(chunk)
+            high = int(chunk_keys[-1]) if chunk_keys.size else np.iinfo(np.int64).max
+            self._chunk_bounds.append(high)
+            start = end
+            if start >= n:
+                break
+        self._chunk_bounds[-1] = np.iinfo(np.int64).max
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of column chunks backing the key column."""
+        return len(self._chunks)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live rows."""
+        return sum(chunk.size for chunk in self._chunks)
+
+    @property
+    def chunks(self) -> list[ColumnLike]:
+        """The key-column chunks (read-only use)."""
+        return list(self._chunks)
+
+    def keys(self) -> np.ndarray:
+        """Materialize all live keys (unsorted)."""
+        pieces = [chunk.values() for chunk in self._chunks]
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def _route(self, key: int) -> int:
+        """Chunk index responsible for ``key``."""
+        for i, high in enumerate(self._chunk_bounds):
+            if key <= high:
+                return i
+        return len(self._chunks) - 1
+
+    def _route_range(self, low: int, high: int) -> tuple[int, int]:
+        first = self._route(low)
+        last = self._route(high)
+        return first, max(first, last)
+
+    # ------------------------------------------------------------------ #
+    # Payload access
+    # ------------------------------------------------------------------ #
+
+    def _payload_indices(self, columns: Sequence[str]) -> list[int]:
+        try:
+            return [self.payload_names.index(name) for name in columns]
+        except ValueError as exc:
+            raise LayoutError(f"unknown payload column: {exc}") from exc
+
+    def _append_payload(self, values: Sequence[int]) -> int:
+        if len(values) != len(self.payload_names):
+            raise LayoutError("payload width mismatch")
+        if self._next_rowid >= self._payload_capacity:
+            extra = max(1024, self._payload_capacity // 2)
+            self._payload = np.vstack(
+                (
+                    self._payload,
+                    np.zeros((extra, max(self._payload.shape[1], 0)), dtype=np.int64),
+                )
+            )
+            self._payload_capacity = self._payload.shape[0]
+        rowid = self._next_rowid
+        if self._payload.shape[1]:
+            self._payload[rowid, :] = np.asarray(values, dtype=np.int64)
+        self._next_rowid += 1
+        return rowid
+
+    # ------------------------------------------------------------------ #
+    # HAP-style operations
+    # ------------------------------------------------------------------ #
+
+    def point_query(
+        self, key: int, columns: Sequence[str] | None = None
+    ) -> list[Row]:
+        """Q1: return the rows whose key equals ``key`` with payload columns."""
+        chunk_index = self._route(int(key))
+        chunk = self._chunks[chunk_index]
+        columns = list(columns) if columns is not None else list(self.payload_names)
+        indices = self._payload_indices(columns)
+        rowids = chunk.point_query(int(key), return_rowids=True)
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if rowids.size and columns:
+            self.counter.random_read(int(rowids.size) * len(columns))
+        rows: list[Row] = []
+        for rowid in rowids:
+            rowid = int(rowid)
+            payload = {
+                name: int(self._payload[rowid, idx])
+                for name, idx in zip(columns, indices)
+            }
+            rows.append(Row(key=int(key), rowid=rowid, payload=payload))
+        return rows
+
+    def range_count(self, low: int, high: int) -> int:
+        """Q2: ``SELECT count(*) WHERE key BETWEEN low AND high``."""
+        first, last = self._route_range(int(low), int(high))
+        total = 0
+        for chunk_index in range(first, last + 1):
+            result = self._chunks[chunk_index].range_query(
+                int(low), int(high), materialize=False
+            )
+            total += result.count
+        return total
+
+    def range_sum(
+        self, low: int, high: int, columns: Sequence[str] | None = None
+    ) -> int:
+        """Q3: sum payload attributes over rows whose key is in ``[low, high]``."""
+        columns = list(columns) if columns is not None else list(self.payload_names)
+        indices = self._payload_indices(columns)
+        first, last = self._route_range(int(low), int(high))
+        total = 0
+        for chunk_index in range(first, last + 1):
+            chunk = self._chunks[chunk_index]
+            rowids = chunk.range_rowids(int(low), int(high))
+            rowids = np.asarray(rowids, dtype=np.int64)
+            if rowids.size == 0 or not indices:
+                continue
+            blocks = blocks_spanned(0, int(rowids.size), self.block_values)
+            self.counter.seq_read(blocks * len(indices))
+            total += int(self._payload[np.ix_(rowids, indices)].sum())
+        return total
+
+    def insert(self, key: int, payload: Sequence[int] | None = None) -> int:
+        """Q4: insert a new row; returns its global row id."""
+        payload = payload if payload is not None else [0] * len(self.payload_names)
+        rowid = self._append_payload(payload)
+        chunk_index = self._route(int(key))
+        self._chunks[chunk_index].insert(int(key), rowid=rowid)
+        return rowid
+
+    def delete(self, key: int) -> int:
+        """Q5: delete one row by key; returns the number of deleted rows."""
+        chunk_index = self._route(int(key))
+        return self._chunks[chunk_index].delete(int(key), limit=1)
+
+    def update_key(self, old_key: int, new_key: int) -> None:
+        """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``)."""
+        source = self._route(int(old_key))
+        target = self._route(int(new_key))
+        if source == target:
+            self._chunks[source].update(int(old_key), int(new_key))
+            return
+        chunk = self._chunks[source]
+        rowids = chunk.point_query(int(old_key), return_rowids=True)
+        rowid = int(rowids[0]) if len(rowids) else None
+        if rowid is None:
+            raise ValueNotFoundError(f"key {old_key} not found")
+        chunk.delete(int(old_key), limit=1)
+        self._chunks[target].insert(int(new_key), rowid=rowid)
+
+    def scan(self) -> np.ndarray:
+        """Full scan of the key column."""
+        pieces = []
+        for chunk in self._chunks:
+            if hasattr(chunk, "full_scan"):
+                pieces.append(chunk.full_scan())
+            else:
+                pieces.append(chunk.values())
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Validate every chunk."""
+        for chunk in self._chunks:
+            chunk.check_invariants()
+
+
+def require_key(rows: list[Row], key: int) -> Row:
+    """Return the single row matching ``key`` or raise ``ValueNotFoundError``."""
+    if not rows:
+        raise ValueNotFoundError(f"key {key} not found")
+    return rows[0]

@@ -1,0 +1,128 @@
+"""Access-pattern distributions used to synthesize workloads.
+
+The paper's experiments use uniform and skewed access distributions over the
+key domain: skewed workloads concentrate accesses on "more recent" data (the
+upper end of the domain) and the robustness experiment (Fig. 16) uses point
+queries targeting the latter part of the domain with inserts targeting the
+first part.  This module provides seeded samplers for those shapes plus
+Zipfian and hotspot distributions commonly used in HTAP benchmarks
+(e.g. YCSB-style mixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DomainSampler:
+    """Base class: samples positions in ``[0, 1)`` and scales to a domain."""
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample ``size`` positions in ``[0, 1)``."""
+        raise NotImplementedError
+
+    def sample(
+        self, rng: np.random.Generator, size: int, low: int, high: int
+    ) -> np.ndarray:
+        """Sample ``size`` integer keys in ``[low, high]``."""
+        if high < low:
+            raise ValueError("high must be >= low")
+        unit = np.clip(self.sample_unit(rng, size), 0.0, np.nextafter(1.0, 0.0))
+        span = high - low + 1
+        return (low + np.floor(unit * span)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class UniformSampler(DomainSampler):
+    """Uniform accesses over the whole domain."""
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.random(size)
+
+
+@dataclass(frozen=True)
+class RecentSkewSampler(DomainSampler):
+    """Skew toward the end of the domain ("more recent data").
+
+    ``exponent`` > 1 concentrates mass near 1.0; the paper's skewed workloads
+    access recent data most frequently.
+    """
+
+    exponent: float = 3.0
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.random(size) ** (1.0 / self.exponent)
+
+
+@dataclass(frozen=True)
+class EarlySkewSampler(DomainSampler):
+    """Skew toward the beginning of the domain (e.g. insert hot range)."""
+
+    exponent: float = 3.0
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return 1.0 - rng.random(size) ** (1.0 / self.exponent)
+
+
+@dataclass(frozen=True)
+class ZipfSampler(DomainSampler):
+    """Zipfian popularity over equal-width domain buckets."""
+
+    theta: float = 0.99
+    buckets: int = 1024
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        ranks = np.arange(1, self.buckets + 1, dtype=np.float64)
+        weights = ranks ** (-self.theta)
+        weights /= weights.sum()
+        chosen = rng.choice(self.buckets, size=size, p=weights)
+        jitter = rng.random(size)
+        return (chosen + jitter) / self.buckets
+
+
+@dataclass(frozen=True)
+class HotspotSampler(DomainSampler):
+    """A fraction of accesses hit a small hot region of the domain."""
+
+    hot_fraction: float = 0.2
+    hot_probability: float = 0.8
+    hot_start: float = 0.0
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        in_hot = rng.random(size) < self.hot_probability
+        positions = rng.random(size)
+        hot = self.hot_start + positions * self.hot_fraction
+        cold = positions
+        return np.where(in_hot, np.clip(hot, 0.0, 1.0 - 1e-12), cold)
+
+
+@dataclass(frozen=True)
+class ShiftedSampler(DomainSampler):
+    """Rotate another sampler's output by a fraction of the domain.
+
+    Used by the robustness experiment (Fig. 16): a *rotational shift* moves
+    every access by ``shift`` (mod 1) across the normalized domain.
+    """
+
+    base: DomainSampler
+    shift: float = 0.0
+
+    def sample_unit(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.mod(self.base.sample_unit(rng, size) + self.shift, 1.0)
+
+
+def histogram_of(
+    sampler: DomainSampler,
+    *,
+    bins: int,
+    samples: int = 100_000,
+    seed: int = 7,
+) -> np.ndarray:
+    """Empirical access histogram of a sampler over ``bins`` domain buckets."""
+    rng = np.random.default_rng(seed)
+    unit = sampler.sample_unit(rng, samples)
+    hist, _edges = np.histogram(unit, bins=bins, range=(0.0, 1.0))
+    return hist.astype(np.float64)

@@ -1,0 +1,244 @@
+"""Workload synthesis: operation mixes over a key domain.
+
+The generator turns an operation *mix* (fractions of Q1-Q6 plus access
+distributions) into a concrete :class:`~repro.workload.operations.Workload`.
+It tracks the set of live keys so that deletes and updates always target
+existing rows and inserts always introduce fresh keys, mimicking how the HAP
+benchmark drives the storage engine.
+
+Loaded keys are even integers (``0, 2, 4, ...``) so that inserted keys (odd
+integers placed next to a sampled domain position) are guaranteed unique and
+land wherever the insert distribution points, which is what lets the skewed
+experiments direct inserts at a specific part of the domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distributions import (
+    DomainSampler,
+    EarlySkewSampler,
+    RecentSkewSampler,
+    UniformSampler,
+)
+from .operations import (
+    Aggregate,
+    Delete,
+    Insert,
+    Operation,
+    PointQuery,
+    RangeQuery,
+    Update,
+    Workload,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation mix: fractions per query type plus access distributions.
+
+    Fractions need not sum exactly to one; they are normalized.  ``q3`` range
+    queries compute a SUM aggregate, ``q2`` a COUNT (matching HAP).
+    """
+
+    name: str
+    q1_point: float = 0.0
+    q2_range_count: float = 0.0
+    q3_range_sum: float = 0.0
+    q4_insert: float = 0.0
+    q5_delete: float = 0.0
+    q6_update: float = 0.0
+    read_sampler: DomainSampler = field(default_factory=UniformSampler)
+    write_sampler: DomainSampler = field(default_factory=UniformSampler)
+    range_selectivity: float = 0.001
+
+    def fractions(self) -> dict[str, float]:
+        """Normalized operation fractions."""
+        raw = {
+            "q1": self.q1_point,
+            "q2": self.q2_range_count,
+            "q3": self.q3_range_sum,
+            "q4": self.q4_insert,
+            "q5": self.q5_delete,
+            "q6": self.q6_update,
+        }
+        total = sum(raw.values())
+        if total <= 0:
+            raise ValueError("at least one operation fraction must be positive")
+        return {key: value / total for key, value in raw.items()}
+
+
+class WorkloadGenerator:
+    """Generate workloads against a known set of live keys."""
+
+    def __init__(
+        self,
+        live_keys: np.ndarray | list[int],
+        *,
+        domain_low: int | None = None,
+        domain_high: int | None = None,
+        seed: int = 42,
+    ) -> None:
+        keys = np.unique(np.asarray(live_keys, dtype=np.int64))
+        if keys.size == 0:
+            raise ValueError("live_keys must not be empty")
+        self._keys = keys
+        self._rng = np.random.default_rng(seed)
+        self.domain_low = int(domain_low) if domain_low is not None else int(keys[0])
+        self.domain_high = (
+            int(domain_high) if domain_high is not None else int(keys[-1])
+        )
+        self._inserted: set[int] = set()
+        self._deleted: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Key selection helpers
+    # ------------------------------------------------------------------ #
+
+    def _existing_key(self, sampler: DomainSampler) -> int:
+        """Pick a live key at a position governed by ``sampler``."""
+        position = float(sampler.sample_unit(self._rng, 1)[0])
+        index = min(int(position * self._keys.size), self._keys.size - 1)
+        # Walk to a key that has not been deleted yet.
+        for offset in range(self._keys.size):
+            candidate = int(self._keys[(index + offset) % self._keys.size])
+            if candidate not in self._deleted:
+                return candidate
+        raise RuntimeError("all keys have been deleted")
+
+    def _fresh_key(self, sampler: DomainSampler) -> int:
+        """Pick a previously-unused key near a sampled domain position."""
+        span = max(self.domain_high - self.domain_low, 1)
+        for _ in range(64):
+            position = float(sampler.sample_unit(self._rng, 1)[0])
+            base = self.domain_low + int(position * span)
+            candidate = base | 1  # odd keys never collide with loaded even keys
+            if candidate not in self._inserted:
+                self._inserted.add(candidate)
+                return candidate
+            candidate = int(self._rng.integers(self.domain_low, self.domain_high)) | 1
+            if candidate not in self._inserted:
+                self._inserted.add(candidate)
+                return candidate
+        raise RuntimeError("could not find a fresh key")
+
+    def _range(self, sampler: DomainSampler, selectivity: float) -> tuple[int, int]:
+        span = max(self.domain_high - self.domain_low, 1)
+        width = max(1, int(span * selectivity))
+        position = float(sampler.sample_unit(self._rng, 1)[0])
+        low = self.domain_low + int(position * max(span - width, 1))
+        return low, low + width
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def generate(self, mix: WorkloadMix, num_operations: int) -> Workload:
+        """Generate ``num_operations`` operations following ``mix``."""
+        fractions = mix.fractions()
+        labels = list(fractions.keys())
+        probabilities = np.asarray([fractions[label] for label in labels])
+        choices = self._rng.choice(len(labels), size=num_operations, p=probabilities)
+        workload = Workload(name=mix.name)
+        for choice in choices:
+            label = labels[int(choice)]
+            workload.append(self._make_operation(label, mix))
+        return workload
+
+    def _make_operation(self, label: str, mix: WorkloadMix) -> Operation:
+        if label == "q1":
+            return PointQuery(key=self._existing_key(mix.read_sampler))
+        if label == "q2":
+            low, high = self._range(mix.read_sampler, mix.range_selectivity)
+            return RangeQuery(low=low, high=high, aggregate=Aggregate.COUNT)
+        if label == "q3":
+            low, high = self._range(mix.read_sampler, mix.range_selectivity)
+            return RangeQuery(low=low, high=high, aggregate=Aggregate.SUM)
+        if label == "q4":
+            return Insert(key=self._fresh_key(mix.write_sampler))
+        if label == "q5":
+            victim = self._existing_key(mix.write_sampler)
+            self._deleted.add(victim)
+            return Delete(key=victim)
+        if label == "q6":
+            old = self._existing_key(UniformSampler())
+            self._deleted.add(old)
+            new = self._fresh_key(UniformSampler())
+            return Update(old_key=old, new_key=new)
+        raise ValueError(f"unknown operation label: {label}")
+
+
+# --------------------------------------------------------------------------- #
+# The six workload profiles of Fig. 12 plus the SLA workload of Fig. 15.
+# Every profile carries the paper's 1% of Q6 updates spread uniformly.
+# --------------------------------------------------------------------------- #
+
+HYBRID_SKEWED = WorkloadMix(
+    name="hybrid, skewed",
+    q1_point=0.49,
+    q4_insert=0.50,
+    q6_update=0.01,
+    read_sampler=RecentSkewSampler(),
+    write_sampler=RecentSkewSampler(),
+)
+
+HYBRID_RANGE_SKEWED = WorkloadMix(
+    name="hybrid, range, skewed",
+    q3_range_sum=0.49,
+    q4_insert=0.50,
+    q6_update=0.01,
+    read_sampler=RecentSkewSampler(),
+    write_sampler=RecentSkewSampler(),
+    range_selectivity=0.002,
+)
+
+READ_ONLY_SKEWED = WorkloadMix(
+    name="read-only, skewed",
+    q1_point=0.94,
+    q2_range_count=0.05,
+    q6_update=0.01,
+    read_sampler=RecentSkewSampler(),
+)
+
+READ_ONLY_UNIFORM = WorkloadMix(
+    name="read-only, uniform",
+    q1_point=0.94,
+    q2_range_count=0.05,
+    q6_update=0.01,
+)
+
+UPDATE_ONLY_SKEWED = WorkloadMix(
+    name="update-only, skewed",
+    q4_insert=0.80,
+    q5_delete=0.19,
+    q6_update=0.01,
+    write_sampler=EarlySkewSampler(),
+)
+
+UPDATE_ONLY_UNIFORM = WorkloadMix(
+    name="update-only, uniform",
+    q4_insert=0.80,
+    q5_delete=0.19,
+    q6_update=0.01,
+)
+
+SLA_HYBRID = WorkloadMix(
+    name="hybrid (Q1 89%, Q4 10%, Q6 1%)",
+    q1_point=0.89,
+    q4_insert=0.10,
+    q6_update=0.01,
+    read_sampler=RecentSkewSampler(),
+    write_sampler=RecentSkewSampler(),
+)
+
+FIGURE12_MIXES: tuple[WorkloadMix, ...] = (
+    HYBRID_SKEWED,
+    HYBRID_RANGE_SKEWED,
+    READ_ONLY_SKEWED,
+    READ_ONLY_UNIFORM,
+    UPDATE_ONLY_SKEWED,
+    UPDATE_ONLY_UNIFORM,
+)

@@ -1,0 +1,143 @@
+"""HAP: the Hybrid Access Patterns benchmark (Section 7.1).
+
+The paper develops its own benchmark, based on ADAPT, with two tables -- a
+narrow one with 16 columns and a wide one with 160 columns -- whose rows have
+an 8-byte integer primary key ``a0`` and 4-byte payload attributes
+``a1..ap``.  Six query templates exercise the storage engine:
+
+* Q1 -- point query returning the contents of a row,
+* Q2 -- aggregate range query counting rows in a key range,
+* Q3 -- arithmetic range query summing a subset of attributes,
+* Q4 -- insert of a new tuple,
+* Q5 -- delete of a specific tuple,
+* Q6 -- update that corrects a primary-key value.
+
+This module builds the tables (synthetic data, loaded keys are even integers
+so inserts can introduce fresh odd keys anywhere in the domain) and exposes
+the workload profiles used in Figures 12-15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import DEFAULT_BLOCK_VALUES
+from ..storage.table import ChunkBuilder, Table
+from .generator import (
+    FIGURE12_MIXES,
+    HYBRID_RANGE_SKEWED,
+    HYBRID_SKEWED,
+    READ_ONLY_SKEWED,
+    READ_ONLY_UNIFORM,
+    SLA_HYBRID,
+    UPDATE_ONLY_SKEWED,
+    UPDATE_ONLY_UNIFORM,
+    WorkloadGenerator,
+    WorkloadMix,
+)
+from .operations import Workload
+
+#: Number of payload columns of the narrow and wide HAP tables.
+NARROW_PAYLOAD_COLUMNS = 15
+WIDE_PAYLOAD_COLUMNS = 159
+
+
+@dataclass(frozen=True)
+class HAPConfig:
+    """Scaled-down HAP instance configuration.
+
+    The paper loads 100M tuples; the default here is 256K tuples (still
+    hundreds of blocks per chunk) so the full figure suite runs on a laptop.
+    All sizes are configurable upward.
+    """
+
+    num_rows: int = 262_144
+    payload_columns: int = NARROW_PAYLOAD_COLUMNS
+    chunk_size: int = 262_144
+    block_values: int = DEFAULT_BLOCK_VALUES
+    seed: int = 1234
+
+    @property
+    def key_domain(self) -> tuple[int, int]:
+        """Domain of primary-key values (loaded keys are ``0, 2, 4, ...``)."""
+        return 0, 2 * self.num_rows - 2 if self.num_rows else 0
+
+
+def generate_keys(config: HAPConfig) -> np.ndarray:
+    """Loaded primary keys: dense even integers covering the domain."""
+    return np.arange(config.num_rows, dtype=np.int64) * 2
+
+
+def generate_payload(config: HAPConfig) -> np.ndarray:
+    """Uniformly distributed 4-byte payload attributes."""
+    rng = np.random.default_rng(config.seed)
+    return rng.integers(
+        0, 2**31 - 1, size=(config.num_rows, config.payload_columns), dtype=np.int64
+    )
+
+
+def build_table(config: HAPConfig, chunk_builder: ChunkBuilder) -> Table:
+    """Build a HAP table whose key column uses ``chunk_builder``."""
+    keys = generate_keys(config)
+    payload = generate_payload(config)
+    return Table(
+        keys,
+        payload,
+        chunk_size=config.chunk_size,
+        chunk_builder=chunk_builder,
+        block_values=config.block_values,
+    )
+
+
+def narrow_config(**overrides) -> HAPConfig:
+    """Configuration for the narrow (16-column) HAP table."""
+    return HAPConfig(payload_columns=NARROW_PAYLOAD_COLUMNS, **overrides)
+
+
+def wide_config(**overrides) -> HAPConfig:
+    """Configuration for the wide (160-column) HAP table."""
+    return HAPConfig(payload_columns=WIDE_PAYLOAD_COLUMNS, **overrides)
+
+
+#: Named workload profiles (Fig. 12 order) plus the SLA workload (Fig. 15).
+WORKLOAD_PROFILES: dict[str, WorkloadMix] = {
+    "hybrid_skewed": HYBRID_SKEWED,
+    "hybrid_range_skewed": HYBRID_RANGE_SKEWED,
+    "read_only_skewed": READ_ONLY_SKEWED,
+    "read_only_uniform": READ_ONLY_UNIFORM,
+    "update_only_skewed": UPDATE_ONLY_SKEWED,
+    "update_only_uniform": UPDATE_ONLY_UNIFORM,
+    "sla_hybrid": SLA_HYBRID,
+}
+
+
+def make_workload(
+    profile: str | WorkloadMix,
+    config: HAPConfig,
+    *,
+    num_operations: int = 10_000,
+    seed: int = 42,
+) -> Workload:
+    """Generate a HAP workload for ``profile`` against a table of ``config``."""
+    if isinstance(profile, str):
+        try:
+            mix = WORKLOAD_PROFILES[profile]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown HAP profile {profile!r}; "
+                f"choose from {sorted(WORKLOAD_PROFILES)}"
+            ) from exc
+    else:
+        mix = profile
+    low, high = config.key_domain
+    generator = WorkloadGenerator(
+        generate_keys(config), domain_low=low, domain_high=high, seed=seed
+    )
+    return generator.generate(mix, num_operations)
+
+
+def figure12_profiles() -> tuple[WorkloadMix, ...]:
+    """The six workload mixes of Fig. 12 in presentation order."""
+    return FIGURE12_MIXES

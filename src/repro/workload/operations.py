@@ -1,0 +1,135 @@
+"""Workload operation types.
+
+Casper supports the five fundamental access patterns of Section 3: point
+queries, range queries, inserts, deletes and updates.  The HAP benchmark's
+six queries (Q1-Q6, Section 7.1) map onto these types; range queries carry an
+aggregate kind to distinguish the count query (Q2) from the arithmetic sum
+query (Q3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+
+class OperationKind(Enum):
+    """The five fundamental access patterns."""
+
+    POINT_QUERY = "point_query"
+    RANGE_QUERY = "range_query"
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+
+
+class Aggregate(Enum):
+    """Aggregate evaluated by a range query."""
+
+    COUNT = "count"
+    SUM = "sum"
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """Q1: fetch the row(s) whose key equals ``key``."""
+
+    key: int
+    columns: tuple[str, ...] | None = None
+
+    kind = OperationKind.POINT_QUERY
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Q2/Q3: aggregate over rows whose key lies in ``[low, high]``."""
+
+    low: int
+    high: int
+    aggregate: Aggregate = Aggregate.COUNT
+    columns: tuple[str, ...] | None = None
+
+    kind = OperationKind.RANGE_QUERY
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("range query low must be <= high")
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Q4: insert a row with the given key (payload optional)."""
+
+    key: int
+    payload: tuple[int, ...] | None = None
+
+    kind = OperationKind.INSERT
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Q5: delete the row with the given key."""
+
+    key: int
+
+    kind = OperationKind.DELETE
+
+
+@dataclass(frozen=True)
+class Update:
+    """Q6: change a row's key from ``old_key`` to ``new_key``."""
+
+    old_key: int
+    new_key: int
+
+    kind = OperationKind.UPDATE
+
+
+Operation = PointQuery | RangeQuery | Insert | Delete | Update
+
+
+@dataclass
+class Workload:
+    """An ordered sequence of operations plus a human-readable label."""
+
+    operations: list[Operation] = field(default_factory=list)
+    name: str = "workload"
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def append(self, operation: Operation) -> None:
+        """Add an operation to the end of the workload."""
+        self.operations.append(operation)
+
+    def extend(self, operations: Sequence[Operation]) -> None:
+        """Add several operations to the end of the workload."""
+        self.operations.extend(operations)
+
+    def counts_by_kind(self) -> dict[OperationKind, int]:
+        """Number of operations of each kind."""
+        counts: dict[OperationKind, int] = {}
+        for operation in self.operations:
+            counts[operation.kind] = counts.get(operation.kind, 0) + 1
+        return counts
+
+    def mix(self) -> dict[OperationKind, float]:
+        """Fraction of operations of each kind."""
+        total = len(self.operations)
+        if total == 0:
+            return {}
+        return {
+            kind: count / total for kind, count in self.counts_by_kind().items()
+        }
+
+    def subset(self, kinds: Sequence[OperationKind]) -> "Workload":
+        """A new workload containing only operations of the given kinds."""
+        wanted = set(kinds)
+        return Workload(
+            operations=[op for op in self.operations if op.kind in wanted],
+            name=f"{self.name}[filtered]",
+        )

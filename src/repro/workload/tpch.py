@@ -1,0 +1,136 @@
+"""TPC-H-like lineitem data and the Q6-style workload of Figure 1.
+
+The paper's motivating experiment (Fig. 1) mixes transactional access
+patterns (point queries and TPC-H-style inserts) with the analytical TPC-H
+Q6 range query over ``lineitem``.  TPC-H data cannot be shipped, so this
+module generates a synthetic ``lineitem`` table with the same shape:
+
+* ``l_shipdate`` -- the selection key, an integer day in [0, 2525] covering
+  the 7-year TPC-H date range (1992-01-01 .. 1998-12-31),
+* ``l_quantity`` (1..50), ``l_discount`` (0..10, in percent),
+  ``l_extendedprice`` (uniform), ``l_revenue`` = price * discount / 100.
+
+Q6 selects one year of ship dates and a narrow discount/quantity band and
+sums revenue; with the key column being ``l_shipdate`` the storage engine
+evaluates the date range (the dominant filter) and the remaining predicates
+are applied on the fetched payload, matching how Casper's multi-column range
+queries evaluate the most selective filter first (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.cost_accounting import DEFAULT_BLOCK_VALUES
+from ..storage.table import ChunkBuilder, Table
+from .operations import Aggregate, Insert, PointQuery, RangeQuery, Workload
+
+#: Number of days in the TPC-H shipdate domain (1992-01-01 .. 1998-12-31).
+SHIPDATE_DAYS = 2525
+
+#: Days in one year (the width of the Q6 shipdate predicate).
+Q6_RANGE_DAYS = 365
+
+PAYLOAD_NAMES = ("l_quantity", "l_discount", "l_extendedprice", "l_revenue")
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Synthetic lineitem configuration (scaled down from SF-1's 6M rows)."""
+
+    num_rows: int = 262_144
+    chunk_size: int = 262_144
+    block_values: int = DEFAULT_BLOCK_VALUES
+    seed: int = 6
+
+
+def generate_lineitem(config: TPCHConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(shipdate_keys, payload)`` for a synthetic lineitem table.
+
+    Ship dates are spread uniformly over the domain and made unique by
+    scaling to an even-integer key space (day * 2 * rows_per_day + counter),
+    which keeps the key column dense while preserving the date ordering.
+    """
+    rng = np.random.default_rng(config.seed)
+    days = np.sort(rng.integers(0, SHIPDATE_DAYS, size=config.num_rows))
+    # Unique, even, order-preserving keys derived from the day number.
+    keys = days * (2 * _rows_per_day(config)) + 2 * np.arange(config.num_rows) % (
+        2 * _rows_per_day(config)
+    )
+    keys = np.sort(keys).astype(np.int64)
+    quantity = rng.integers(1, 51, size=config.num_rows)
+    discount = rng.integers(0, 11, size=config.num_rows)
+    price = rng.integers(1_000, 100_000, size=config.num_rows)
+    revenue = price * discount // 100
+    payload = np.column_stack((quantity, discount, price, revenue)).astype(np.int64)
+    return keys, payload
+
+
+def _rows_per_day(config: TPCHConfig) -> int:
+    return max(1, config.num_rows // SHIPDATE_DAYS)
+
+
+def day_to_key(day: int, config: TPCHConfig) -> int:
+    """First key value corresponding to shipdate ``day``."""
+    return int(day) * 2 * _rows_per_day(config)
+
+
+def build_lineitem_table(config: TPCHConfig, chunk_builder: ChunkBuilder) -> Table:
+    """Build the synthetic lineitem table with the given key-column layout."""
+    keys, payload = generate_lineitem(config)
+    return Table(
+        keys,
+        payload,
+        chunk_size=config.chunk_size,
+        chunk_builder=chunk_builder,
+        payload_names=PAYLOAD_NAMES,
+        block_values=config.block_values,
+    )
+
+
+def q6_range(config: TPCHConfig, *, year_start_day: int = 365) -> tuple[int, int]:
+    """Key range corresponding to one year of ship dates (the Q6 predicate)."""
+    low = day_to_key(year_start_day, config)
+    high = day_to_key(year_start_day + Q6_RANGE_DAYS, config) - 1
+    return low, high
+
+
+def figure1_workload(
+    config: TPCHConfig,
+    *,
+    num_operations: int = 3_000,
+    point_fraction: float = 0.45,
+    range_fraction: float = 0.10,
+    insert_fraction: float = 0.45,
+    seed: int = 11,
+) -> Workload:
+    """The Fig. 1 mix: point queries, TPC-H Q6 range queries, and inserts."""
+    rng = np.random.default_rng(seed)
+    keys, _ = generate_lineitem(config)
+    fractions = np.asarray([point_fraction, range_fraction, insert_fraction])
+    fractions = fractions / fractions.sum()
+    choices = rng.choice(3, size=num_operations, p=fractions)
+    workload = Workload(name="figure-1 hybrid (PQ + TPC-H Q6 + inserts)")
+    max_key = int(keys[-1])
+    next_fresh = max_key + 1
+    for choice in choices:
+        if choice == 0:
+            key = int(keys[rng.integers(0, keys.shape[0])])
+            workload.append(PointQuery(key=key))
+        elif choice == 1:
+            start_day = int(rng.integers(0, SHIPDATE_DAYS - Q6_RANGE_DAYS))
+            low, high = q6_range(config, year_start_day=start_day)
+            workload.append(
+                RangeQuery(
+                    low=low,
+                    high=high,
+                    aggregate=Aggregate.SUM,
+                    columns=("l_revenue",),
+                )
+            )
+        else:
+            workload.append(Insert(key=next_fresh, payload=(1, 5, 10_000, 500)))
+            next_fresh += 2
+    return workload

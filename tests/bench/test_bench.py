@@ -1,0 +1,183 @@
+"""Tests for the benchmark harness, reporting and experiment drivers (smoke)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    LAYOUT_ORDER,
+    build_hap_engine,
+    compare_layouts,
+    normalized_throughput,
+    run_workload,
+)
+from repro.bench.microbench import fit_cost_constants
+from repro.bench.reporting import banner, format_series, format_table
+from repro.storage.layouts import LayoutKind
+from repro.workload.hap import HAPConfig, make_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return HAPConfig(num_rows=4_096, chunk_size=4_096, block_values=64)
+
+
+class TestHarness:
+    def test_run_workload_aggregates(self, tiny_config):
+        engine = build_hap_engine(LayoutKind.EQUI, tiny_config, partitions=8)
+        workload = make_workload("hybrid_skewed", tiny_config, num_operations=200)
+        result = run_workload(engine, workload, layout_name="equi")
+        assert result.operations + result.errors == 200
+        assert result.simulated_seconds > 0
+        assert result.throughput_ops > 0
+        assert "insert" in result.mean_latency_ns
+        assert result.counts["insert"] > 0
+
+    def test_build_casper_engine_requires_training(self, tiny_config):
+        with pytest.raises(ValueError):
+            build_hap_engine(LayoutKind.CASPER, tiny_config)
+
+    def test_build_every_layout(self, tiny_config):
+        training = make_workload("hybrid_skewed", tiny_config, num_operations=100)
+        for layout in LAYOUT_ORDER:
+            engine = build_hap_engine(
+                layout, tiny_config, training_workload=training, partitions=8
+            )
+            assert engine.table.num_rows == tiny_config.num_rows
+
+    def test_compare_layouts_and_normalization(self, tiny_config):
+        results = compare_layouts(
+            tiny_config,
+            "hybrid_skewed",
+            layouts=(LayoutKind.CASPER, LayoutKind.STATE_OF_ART, LayoutKind.SORTED),
+            num_operations=150,
+            partitions=8,
+        )
+        normalized = normalized_throughput(results)
+        assert normalized[LayoutKind.STATE_OF_ART] == pytest.approx(1.0)
+        assert all(value > 0 for value in normalized.values())
+
+    def test_casper_beats_sorted_on_hybrid(self, tiny_config):
+        results = compare_layouts(
+            tiny_config,
+            "hybrid_skewed",
+            layouts=(LayoutKind.CASPER, LayoutKind.SORTED),
+            num_operations=300,
+            partitions=8,
+        )
+        assert (
+            results[LayoutKind.CASPER].throughput_ops
+            > results[LayoutKind.SORTED].throughput_ops
+        )
+
+
+class TestMicrobench:
+    def test_fit_cost_constants_small(self):
+        result = fit_cost_constants(array_bytes=1 * 1024 * 1024, accesses=5_000)
+        constants = result.to_constants()
+        assert constants.random_read > 0
+        assert constants.seq_read > 0
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(("a", "bbb"), [(1, 2.5), ("x", 1e9)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 2], [0.5, 0.25])
+        assert "curve" in text
+
+    def test_banner(self):
+        assert "title" in banner("title")
+
+
+class TestExperimentSmoke:
+    """Tiny-scale smoke runs of each experiment driver."""
+
+    def test_fig1(self):
+        from repro.bench.experiments import fig1
+
+        results = fig1.run(
+            fig1.Figure1Config(num_rows=8_192, block_values=128, num_operations=150)
+        )
+        assert len(results) == 3
+        assert fig1.report(results)
+
+    def test_fig2(self):
+        from repro.bench.experiments import fig2
+
+        results = fig2.run(
+            fig2.Figure2Config(
+                num_blocks=32,
+                block_values=128,
+                partition_counts=(1, 4, 16, 32),
+                ghost_fractions=(0.0, 0.01),
+                operations=100,
+            )
+        )
+        structure = results["structure"]
+        assert structure[0][1] >= structure[-1][1]  # read cost falls
+        assert structure[0][2] <= structure[-1][2]  # write cost rises
+        assert fig2.report(results)
+
+    def test_fig9(self):
+        from repro.bench.experiments import fig9
+
+        results = fig9.run(
+            fig9.Figure9Config(
+                chunk_values=16_384, block_values=128, insert_partitions=16,
+                pq_partitions=6, repetitions=2,
+            )
+        )
+        for rows in results.values():
+            for _partition, measured, model, ratio in rows:
+                assert measured > 0 and model > 0
+                assert 0.2 < ratio < 5.0
+        assert fig9.report(results)
+
+    def test_fig11(self):
+        from repro.bench.experiments import fig11
+
+        results = fig11.run(
+            fig11.Figure11Config(
+                data_sizes=(10_000, 1_000_000),
+                chunk_counts=(1, 100),
+                calibration_blocks=64,
+                measured_max_blocks=256,
+            )
+        )
+        assert len(results["rows"]) == 2
+        assert fig11.report(results)
+
+    def test_fig16(self):
+        from repro.bench.experiments import fig16
+
+        results = fig16.run(
+            fig16.Figure16Config(
+                num_blocks=64,
+                operations=2_000,
+                mass_shifts=(0.0, 0.15),
+                rotational_shifts=(0.0, 0.25, 0.5),
+            )
+        )
+        matrix = results["matrix"]
+        assert matrix[0.0][0] == pytest.approx(1.0)
+        # A large rotational shift should hurt the trained layout.
+        assert matrix[0.0][-1] >= matrix[0.0][0]
+        assert fig16.report(results)
+
+    def test_compression(self):
+        from repro.bench.experiments import compression
+
+        results = compression.run(
+            compression.CompressionConfig(num_values=16_384, partition_counts=(1, 64))
+        )
+        ratios = {name: dict_ratio for name, dict_ratio, _for, _rle in results["ratios"]}
+        assert all(value > 1.0 for value in ratios.values())
+        partitioned = dict(results["partitioned_for"])
+        assert partitioned[64] >= partitioned[1]
+        assert compression.report(results)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.cost_accounting import constants_for_block_values
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_values():
+    """A small sorted array of even values (so odd inserts never collide)."""
+    return np.arange(0, 2_048, 2, dtype=np.int64)
+
+
+@pytest.fixture
+def medium_values():
+    """A larger sorted array with duplicates."""
+    generator = np.random.default_rng(7)
+    return np.sort(generator.integers(0, 50_000, 16_384)) * 2
+
+
+@pytest.fixture
+def block_values():
+    """Small block size so tests exercise multi-block partitions quickly."""
+    return 64
+
+
+@pytest.fixture
+def constants(block_values):
+    """Cost constants matching the test block size."""
+    return constants_for_block_values(block_values)

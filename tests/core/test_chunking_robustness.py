@@ -1,0 +1,133 @@
+"""Tests for per-chunk scalability modelling and robustness analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import (
+    ScalabilityModel,
+    measure_solve_seconds,
+    split_into_chunks,
+    synthetic_frequency_model,
+)
+from repro.core.frequency_model import FrequencyModel
+from repro.core.robustness import (
+    RobustnessPoint,
+    evaluate_robustness,
+    mass_shift,
+    rotational_shift,
+)
+
+
+class TestChunking:
+    def test_split_into_chunks(self):
+        chunks = split_into_chunks(np.arange(10), 4)
+        assert [c.tolist() for c in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_split_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            split_into_chunks(np.arange(4), 0)
+
+    def test_synthetic_model_has_mixed_accesses(self):
+        model = synthetic_frequency_model(32)
+        assert model.pq.sum() > 0
+        assert model.ins.sum() > 0
+
+    def test_measure_solve_seconds_positive(self):
+        assert measure_solve_seconds(32) > 0
+
+    def test_scalability_model_chunking_reduces_latency(self):
+        model = ScalabilityModel(per_block_unit_seconds=1e-9, exponent=3.0)
+        single = model.decision_latency_seconds(10**8, block_values=4096, chunks=1)
+        chunked = model.decision_latency_seconds(
+            10**8, block_values=4096, chunks=1_000, cpus=64
+        )
+        assert chunked < single / 1_000
+
+    def test_scalability_model_monotone_in_data_size(self):
+        model = ScalabilityModel(per_block_unit_seconds=1e-9)
+        small = model.decision_latency_seconds(10**6, block_values=4096)
+        large = model.decision_latency_seconds(10**8, block_values=4096)
+        assert large > small
+
+    def test_scalability_model_validation(self):
+        model = ScalabilityModel(per_block_unit_seconds=1e-9)
+        with pytest.raises(ValueError):
+            model.decision_latency_seconds(0, block_values=4096)
+        with pytest.raises(ValueError):
+            model.decision_latency_seconds(100, block_values=4096, chunks=0)
+
+    def test_calibrate_produces_consistent_unit(self):
+        model = ScalabilityModel.calibrate(calibration_blocks=64, exponent=2.0)
+        assert model.per_block_unit_seconds > 0
+        assert model.single_chunk_seconds(64) == pytest.approx(
+            model.per_block_unit_seconds * 64**2
+        )
+
+
+def skewed_model(num_blocks=32):
+    model = FrequencyModel(num_blocks)
+    model.pq[:] = np.linspace(0, 10, num_blocks)
+    model.ins[:] = np.linspace(10, 0, num_blocks)
+    return model
+
+
+class TestRobustness:
+    def test_rotational_shift_rolls_histograms(self):
+        model = FrequencyModel(8)
+        model.pq[0] = 5
+        shifted = rotational_shift(model, 0.25)
+        assert shifted.pq[2] == 5
+        assert shifted.pq[0] == 0
+
+    def test_rotational_shift_preserves_mass(self):
+        model = skewed_model()
+        shifted = rotational_shift(model, 0.37)
+        assert shifted.pq.sum() == pytest.approx(model.pq.sum())
+
+    def test_rotational_shift_validation(self):
+        with pytest.raises(ValueError):
+            rotational_shift(FrequencyModel(4), 1.5)
+
+    def test_mass_shift_moves_pq_to_inserts(self):
+        model = skewed_model()
+        shifted = mass_shift(model, 0.2)
+        assert shifted.pq.sum() == pytest.approx(model.pq.sum() * 0.8)
+        assert shifted.ins.sum() == pytest.approx(
+            model.ins.sum() + model.pq.sum() * 0.2
+        )
+
+    def test_negative_mass_shift_moves_inserts_to_pq(self):
+        model = skewed_model()
+        shifted = mass_shift(model, -0.3)
+        assert shifted.ins.sum() == pytest.approx(model.ins.sum() * 0.7)
+
+    def test_zero_mass_shift_is_identity(self):
+        model = skewed_model()
+        shifted = mass_shift(model, 0.0)
+        assert np.allclose(shifted.pq, model.pq)
+
+    def test_mass_shift_validation(self):
+        with pytest.raises(ValueError):
+            mass_shift(FrequencyModel(4), 1.5)
+
+    def test_evaluate_robustness_shape_and_baseline(self):
+        model = skewed_model(16)
+        points = evaluate_robustness(
+            model, mass_shifts=[0.0, 0.2], rotational_shifts=[0.0, 0.25]
+        )
+        assert len(points) == 4
+        assert all(isinstance(point, RobustnessPoint) for point in points)
+        baseline = points[0]
+        assert baseline.mass_shift == 0.0 and baseline.rotational_shift == 0.0
+        # With no perturbation the trained layout *is* the oracle layout.
+        assert baseline.normalized_latency == pytest.approx(1.0)
+
+    def test_perturbation_never_beats_oracle(self):
+        model = skewed_model(16)
+        points = evaluate_robustness(
+            model, mass_shifts=[0.0], rotational_shifts=[0.0, 0.2, 0.4]
+        )
+        for point in points:
+            assert point.normalized_latency >= 1.0 - 1e-9

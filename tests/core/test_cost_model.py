@@ -1,0 +1,191 @@
+"""Tests for the cost model (Eqs. 2-17)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import (
+    CostModel,
+    bck_read,
+    boundaries_to_vector,
+    fwd_read,
+    partition_of_blocks,
+    trail_parts,
+    validate_partitioning,
+    vector_to_boundaries,
+)
+from repro.core.frequency_model import FrequencyModel
+from repro.storage.cost_accounting import CostConstants
+
+
+def simple_constants():
+    return CostConstants(random_read=10, random_write=20, seq_read=1, seq_write=1)
+
+
+class TestStructuralQuantities:
+    def test_validate_requires_last_boundary(self):
+        with pytest.raises(ValueError):
+            validate_partitioning([1, 0, 0])
+        with pytest.raises(ValueError):
+            validate_partitioning([])
+
+    def test_boundary_round_trip(self):
+        vector = boundaries_to_vector(8, [3, 5, 8])
+        assert vector_to_boundaries(vector).tolist() == [3, 5, 8]
+
+    def test_boundaries_out_of_range(self):
+        with pytest.raises(ValueError):
+            boundaries_to_vector(8, [9])
+
+    def test_partition_of_blocks(self):
+        vector = boundaries_to_vector(6, [2, 4, 6])
+        assert partition_of_blocks(vector).tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_bck_read_example(self):
+        # Partitions of widths 3 and 2: bck_read = [0,1,2,0,1].
+        vector = boundaries_to_vector(5, [3, 5])
+        assert bck_read(vector).tolist() == [0, 1, 2, 0, 1]
+
+    def test_fwd_read_example(self):
+        vector = boundaries_to_vector(5, [3, 5])
+        assert fwd_read(vector).tolist() == [2, 1, 0, 1, 0]
+
+    def test_trail_parts_example(self):
+        vector = boundaries_to_vector(5, [3, 5])
+        assert trail_parts(vector).tolist() == [2, 2, 2, 1, 1]
+
+    def test_all_boundaries_set(self):
+        vector = np.ones(6, dtype=bool)
+        assert bck_read(vector).sum() == 0
+        assert fwd_read(vector).sum() == 0
+        assert trail_parts(vector).tolist() == [6, 5, 4, 3, 2, 1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), n=st.integers(2, 24))
+    def test_bck_fwd_match_partition_widths(self, data, n):
+        bits = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        bits[-1] = True
+        vector = np.asarray(bits)
+        back, forward = bck_read(vector), fwd_read(vector)
+        partitions = partition_of_blocks(vector)
+        for block in range(n):
+            width = int((partitions == partitions[block]).sum())
+            assert back[block] + forward[block] == width - 1
+
+
+class TestWorkloadTerms:
+    def test_terms_follow_eq17(self):
+        model = FrequencyModel(3)
+        model.pq[:] = [1, 0, 0]
+        model.rs[:] = [0, 1, 0]
+        model.re[:] = [0, 0, 1]
+        model.sc[:] = [0, 1, 0]
+        model.ins[:] = [2, 0, 0]
+        model.de[:] = [0, 2, 0]
+        model.udf[:] = [1, 0, 0]
+        model.utf[:] = [0, 0, 1]
+        model.udb[:] = [0, 1, 0]
+        model.utb[:] = [1, 0, 0]
+        constants = simple_constants()
+        terms = CostModel(model, constants).terms
+        rr, rw, sr = 10, 20, 1
+        # Block 0: rs=0, pq=1, in=2, de=0, udf=1, udb=0, re=0, sc=0.
+        assert terms.fixed[0] == pytest.approx(
+            rr * (0 + 1 + 2 + 0 + 2 * 1 + 0) + sr * 0 + rw * (2 + 0 + 2 * 1 + 0)
+        )
+        assert terms.bck[0] == pytest.approx(sr * (0 + 1 + 0 + 1 + 0))
+        assert terms.fwd[0] == pytest.approx(sr * (0 + 1 + 0 + 1 + 0))
+        assert terms.parts[0] == pytest.approx((rr + rw) * (2 + 0 + 1 - 0 - 0 + 1))
+
+    def test_total_cost_single_vs_full_partitioning(self):
+        model = FrequencyModel(8)
+        model.pq[:] = 1
+        cost_model = CostModel(model, simple_constants())
+        one_partition = cost_model.total_cost(boundaries_to_vector(8, [8]))
+        fine = cost_model.total_cost(np.ones(8, dtype=bool))
+        # Point queries are cheaper with more structure.
+        assert fine < one_partition
+
+    def test_insert_heavy_prefers_single_partition(self):
+        model = FrequencyModel(8)
+        model.ins[:] = 1
+        cost_model = CostModel(model, simple_constants())
+        one_partition = cost_model.total_cost(boundaries_to_vector(8, [8]))
+        fine = cost_model.total_cost(np.ones(8, dtype=bool))
+        assert one_partition < fine
+
+    def test_total_cost_requires_matching_length(self):
+        cost_model = CostModel(FrequencyModel(8), simple_constants())
+        with pytest.raises(ValueError):
+            cost_model.total_cost(boundaries_to_vector(4, [4]))
+
+    def test_cost_breakdown_sums_to_total(self):
+        model = FrequencyModel(6)
+        model.pq[:] = [1, 2, 0, 1, 0, 3]
+        model.ins[:] = [0, 1, 2, 0, 1, 0]
+        cost_model = CostModel(model, simple_constants())
+        vector = boundaries_to_vector(6, [2, 6])
+        breakdown = cost_model.cost_breakdown(vector)
+        assert sum(breakdown.values()) == pytest.approx(cost_model.total_cost(vector))
+
+
+class TestPerOperationCosts:
+    def test_point_query_cost_single_block_partition(self):
+        cost_model = CostModel(FrequencyModel(4), simple_constants())
+        vector = np.ones(4, dtype=bool)
+        assert cost_model.point_query_cost(2, vector) == pytest.approx(10)
+
+    def test_point_query_cost_wide_partition(self):
+        cost_model = CostModel(FrequencyModel(4), simple_constants())
+        vector = boundaries_to_vector(4, [4])
+        assert cost_model.point_query_cost(1, vector) == pytest.approx(10 + 1 * 3)
+
+    def test_insert_cost_grows_with_trailing_partitions(self):
+        cost_model = CostModel(FrequencyModel(6), simple_constants())
+        vector = np.ones(6, dtype=bool)
+        costs = [cost_model.insert_cost(block, vector) for block in range(6)]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[5] == pytest.approx((10 + 20) * 2)
+
+    def test_delete_cost_includes_point_query(self):
+        cost_model = CostModel(FrequencyModel(6), simple_constants())
+        vector = np.ones(6, dtype=bool)
+        assert cost_model.delete_cost(0, vector) == pytest.approx(
+            cost_model.point_query_cost(0, vector) + 20 + (10 + 20) * 6
+        )
+
+    def test_update_cost_symmetric_in_distance(self):
+        cost_model = CostModel(FrequencyModel(8), simple_constants())
+        vector = np.ones(8, dtype=bool)
+        forward = cost_model.update_cost(1, 6, vector)
+        backward = cost_model.update_cost(6, 1, vector)
+        assert forward == pytest.approx(backward)
+
+    def test_range_query_cost(self):
+        cost_model = CostModel(FrequencyModel(8), simple_constants())
+        vector = boundaries_to_vector(8, [4, 8])
+        cost = cost_model.range_query_cost(1, 6, vector)
+        # start: RR + bck(1)=1; middle blocks 2..5 -> 4 SR; end: SR + fwd(6)=1.
+        assert cost == pytest.approx(10 + 1 + 4 + 1 + 1)
+
+    def test_per_operation_totals_sum_close_to_total_cost(self):
+        rng = np.random.default_rng(0)
+        model = FrequencyModel(12)
+        for name in ("pq", "rs", "sc", "re", "in", "de"):
+            model.histograms[name][:] = rng.integers(0, 5, 12)
+        cost_model = CostModel(model, simple_constants())
+        vector = boundaries_to_vector(12, [4, 9, 12])
+        totals = cost_model.per_operation_totals(vector)
+        assert sum(totals.values()) == pytest.approx(cost_model.total_cost(vector))
+
+
+class TestEquiWidthCurve:
+    def test_curve_monotonic_for_point_queries(self):
+        model = FrequencyModel(32)
+        model.pq[:] = 1
+        curve = CostModel(model, simple_constants()).equi_width_cost_curve([1, 2, 4, 8, 16, 32])
+        values = list(curve.values())
+        assert values == sorted(values, reverse=True)

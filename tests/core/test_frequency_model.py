@@ -1,0 +1,204 @@
+"""Tests for the Frequency Model and its learning paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency_model import (
+    HISTOGRAM_NAMES,
+    BlockMapper,
+    FrequencyModel,
+    learn_from_distributions,
+    learn_from_workload,
+)
+from repro.workload.operations import (
+    Delete,
+    Insert,
+    PointQuery,
+    RangeQuery,
+    Update,
+    Workload,
+)
+
+
+class TestFrequencyModel:
+    def test_all_histograms_initialized(self):
+        model = FrequencyModel(16)
+        assert set(model.histograms) == set(HISTOGRAM_NAMES)
+        for histogram in model.histograms.values():
+            assert histogram.shape == (16,)
+            assert histogram.sum() == 0
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(0)
+
+    def test_invalid_histogram_shape(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(4, {"pq": np.zeros(3)})
+
+    def test_record_point_query(self):
+        model = FrequencyModel(8)
+        model.record_point_query(3)
+        assert model.pq[3] == 1
+
+    def test_record_point_query_clamped(self):
+        model = FrequencyModel(8)
+        model.record_point_query(100)
+        model.record_point_query(-5)
+        assert model.pq[7] == 1
+        assert model.pq[0] == 1
+
+    def test_record_range_query_paper_example(self):
+        # Fig. 7b: a range starting in block 1, scanning 2-3, ending in 4.
+        model = FrequencyModel(8)
+        model.record_range_query(1, 4)
+        assert model.rs[1] == 1
+        assert model.sc[2] == 1 and model.sc[3] == 1
+        assert model.re[4] == 1
+
+    def test_record_range_query_single_block(self):
+        model = FrequencyModel(8)
+        model.record_range_query(2, 2)
+        assert model.rs[2] == 1
+        assert model.re.sum() == 0
+        assert model.sc.sum() == 0
+
+    def test_record_update_forward_and_backward(self):
+        # Fig. 7f/7g: 3 -> 16 is a forward ripple, 55 -> 17 a backward one.
+        model = FrequencyModel(8)
+        model.record_update(0, 3)
+        model.record_update(5, 3)
+        assert model.udf[0] == 1 and model.utf[3] == 1
+        assert model.udb[5] == 1 and model.utb[3] == 1
+
+    def test_record_insert_and_delete(self):
+        model = FrequencyModel(8)
+        model.record_insert(3)
+        model.record_delete(5)
+        assert model.ins[3] == 1
+        assert model.de[5] == 1
+
+    def test_total_operations(self):
+        model = FrequencyModel(8)
+        model.record_point_query(0)
+        model.record_range_query(1, 3)
+        model.record_insert(2)
+        model.record_delete(2)
+        model.record_update(1, 5)
+        assert model.total_operations() == 5
+
+    def test_copy_is_independent(self):
+        model = FrequencyModel(8)
+        model.record_insert(1)
+        clone = model.copy()
+        clone.record_insert(1)
+        assert model.ins[1] == 1
+        assert clone.ins[1] == 2
+
+    def test_scaled(self):
+        model = FrequencyModel(4)
+        model.record_point_query(1)
+        assert model.scaled(3.0).pq[1] == 3.0
+
+    def test_merged(self):
+        first, second = FrequencyModel(4), FrequencyModel(4)
+        first.record_insert(0)
+        second.record_insert(0)
+        assert first.merged(second).ins[0] == 2
+        with pytest.raises(ValueError):
+            first.merged(FrequencyModel(8))
+
+    def test_coarsened_preserves_mass(self):
+        model = FrequencyModel(10)
+        model.pq[:] = np.arange(10)
+        coarse = model.coarsened(3)
+        assert coarse.num_blocks == 4
+        assert coarse.pq.sum() == model.pq.sum()
+
+    def test_coarsened_factor_one_is_copy(self):
+        model = FrequencyModel(10)
+        assert model.coarsened(1).num_blocks == 10
+        with pytest.raises(ValueError):
+            model.coarsened(0)
+
+
+class TestBlockMapper:
+    def test_block_of_maps_sorted_positions(self):
+        values = np.arange(0, 200, 2)
+        mapper = BlockMapper(values, block_values=10)
+        assert mapper.num_blocks == 10
+        assert mapper.block_of(0) == 0
+        assert mapper.block_of(21) == 1
+        assert mapper.block_of(198) == 9
+        assert mapper.block_of(10_000) == 9
+
+    def test_block_range(self):
+        values = np.arange(0, 200, 2)
+        mapper = BlockMapper(values, block_values=10)
+        assert mapper.block_range(0, 18) == (0, 0)
+        assert mapper.block_range(0, 58) == (0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockMapper(np.asarray([3, 1]), 4)
+        with pytest.raises(ValueError):
+            BlockMapper(np.empty(0), 4)
+        with pytest.raises(ValueError):
+            BlockMapper(np.arange(4), 0)
+
+
+class TestLearnFromWorkload:
+    def test_counts_match_operations(self):
+        values = np.arange(0, 2_000, 2)
+        workload = Workload(
+            operations=[
+                PointQuery(key=100),
+                PointQuery(key=1_500),
+                RangeQuery(low=0, high=500),
+                Insert(key=777),
+                Delete(key=200),
+                Update(old_key=100, new_key=1_999),
+            ]
+        )
+        model = learn_from_workload(workload, values, block_values=100)
+        assert model.pq.sum() == 2
+        assert model.rs.sum() == 1
+        assert model.ins.sum() == 1
+        assert model.de.sum() == 1
+        assert model.udf.sum() + model.udb.sum() == 1
+
+    def test_skewed_accesses_land_in_skewed_blocks(self):
+        values = np.arange(0, 2_000, 2)
+        workload = Workload(
+            operations=[PointQuery(key=1_900 + 2 * i) for i in range(20)]
+        )
+        model = learn_from_workload(workload, values, block_values=100)
+        assert model.pq[-1] == 20
+        assert model.pq[:-1].sum() == 0
+
+    def test_rejects_unknown_operation(self):
+        values = np.arange(10)
+        with pytest.raises(TypeError):
+            learn_from_workload(Workload(operations=["bogus"]), values, block_values=2)
+
+
+class TestLearnFromDistributions:
+    def test_histograms_assigned(self):
+        model = learn_from_distributions(
+            4,
+            point_queries=np.asarray([1.0, 2.0, 3.0, 4.0]),
+            inserts=np.asarray([4.0, 3.0, 2.0, 1.0]),
+            updates_from=np.asarray([1.0, 1.0, 1.0, 1.0]),
+            updates_to=np.asarray([2.0, 0.0, 0.0, 2.0]),
+        )
+        assert model.pq.tolist() == [1, 2, 3, 4]
+        assert model.ins.tolist() == [4, 3, 2, 1]
+        # Updates are split between forward and backward ripples.
+        assert (model.udf + model.udb).tolist() == [1, 1, 1, 1]
+        assert (model.utf + model.utb).tolist() == [2, 0, 0, 2]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            learn_from_distributions(4, point_queries=np.ones(3))

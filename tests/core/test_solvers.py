@@ -1,0 +1,159 @@
+"""Tests for the layout solvers: exact DP, BIP (scipy/HiGHS) and greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bip_solver import solve_bip
+from repro.core.cost_model import CostModel
+from repro.core.dp_solver import PartitioningResult, brute_force, solve_dp
+from repro.core.frequency_model import FrequencyModel
+from repro.core.greedy_solver import solve_greedy
+from repro.storage.cost_accounting import CostConstants
+
+
+def random_model(rng, n, *, read_heavy=False, write_heavy=False):
+    model = FrequencyModel(n)
+    for name in ("pq", "rs", "sc", "re", "de", "in", "udf", "utf", "udb", "utb"):
+        model.histograms[name][:] = rng.integers(0, 20, n)
+    if read_heavy:
+        model.ins[:] = 0
+        model.de[:] = 0
+    if write_heavy:
+        model.pq[:] = 0
+        model.rs[:] = 0
+        model.sc[:] = 0
+        model.re[:] = 0
+    return model
+
+
+def cost_model(model):
+    return CostModel(model, CostConstants(random_read=10, random_write=10, seq_read=3, seq_write=3))
+
+
+class TestDPSolver:
+    def test_read_only_workload_yields_fine_partitions(self):
+        model = FrequencyModel(16)
+        model.pq[:] = 5
+        result = solve_dp(cost_model(model))
+        assert result.num_partitions == 16
+
+    def test_insert_only_workload_yields_single_partition(self):
+        model = FrequencyModel(16)
+        model.ins[:] = 5
+        result = solve_dp(cost_model(model))
+        assert result.num_partitions == 1
+
+    def test_result_structure(self):
+        model = FrequencyModel(8)
+        model.pq[:] = 1
+        result = solve_dp(cost_model(model))
+        assert isinstance(result, PartitioningResult)
+        assert result.vector[-1]
+        assert result.boundary_blocks[-1] == 8
+        assert result.partition_widths().sum() == 8
+        assert result.solve_seconds >= 0
+
+    def test_cost_matches_cost_model(self):
+        rng = np.random.default_rng(5)
+        model = random_model(rng, 20)
+        cm = cost_model(model)
+        result = solve_dp(cm)
+        assert result.cost == pytest.approx(cm.total_cost(result.vector))
+
+    def test_max_partition_blocks_respected(self):
+        model = FrequencyModel(16)
+        model.ins[:] = 5  # wants one big partition
+        result = solve_dp(cost_model(model), max_partition_blocks=4)
+        assert result.partition_widths().max() <= 4
+
+    def test_max_partitions_respected(self):
+        model = FrequencyModel(16)
+        model.pq[:] = 5  # wants 16 partitions
+        result = solve_dp(cost_model(model), max_partitions=3)
+        assert result.num_partitions <= 3
+
+    def test_joint_constraints(self):
+        model = FrequencyModel(12)
+        model.pq[:] = 1
+        result = solve_dp(cost_model(model), max_partitions=4, max_partition_blocks=4)
+        assert result.num_partitions <= 4
+        assert result.partition_widths().max() <= 4
+
+    def test_infeasible_constraints_rejected(self):
+        model = FrequencyModel(16)
+        with pytest.raises(ValueError):
+            solve_dp(cost_model(model), max_partitions=2, max_partition_blocks=2)
+
+    def test_invalid_constraint_values(self):
+        model = FrequencyModel(8)
+        with pytest.raises(ValueError):
+            solve_dp(cost_model(model), max_partitions=0)
+        with pytest.raises(ValueError):
+            solve_dp(cost_model(model), max_partition_blocks=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 11))
+    def test_dp_matches_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cm = cost_model(random_model(rng, n))
+        assert solve_dp(cm).cost == pytest.approx(brute_force(cm).cost)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000), n=st.integers(4, 10))
+    def test_constrained_dp_matches_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cm = cost_model(random_model(rng, n))
+        half = max(2, (n + 1) // 2)
+        kwargs = dict(max_partitions=half, max_partition_blocks=half)
+        assert solve_dp(cm, **kwargs).cost == pytest.approx(brute_force(cm, **kwargs).cost)
+
+
+class TestBIPSolver:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 10))
+    def test_bip_matches_dp(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cm = cost_model(random_model(rng, n))
+        assert solve_bip(cm).cost == pytest.approx(solve_dp(cm).cost)
+
+    def test_bip_with_sla_bounds(self):
+        rng = np.random.default_rng(1)
+        cm = cost_model(random_model(rng, 8, read_heavy=True))
+        dp = solve_dp(cm, max_partitions=3, max_partition_blocks=4)
+        bip = solve_bip(cm, max_partitions=3, max_partition_blocks=4)
+        assert bip.cost == pytest.approx(dp.cost)
+        assert bip.num_partitions <= 3
+
+    def test_bip_rejects_large_instances(self):
+        cm = cost_model(FrequencyModel(128))
+        with pytest.raises(ValueError):
+            solve_bip(cm)
+
+
+class TestGreedySolver:
+    def test_greedy_is_feasible_and_not_much_worse_than_dp(self):
+        rng = np.random.default_rng(11)
+        cm = cost_model(random_model(rng, 24))
+        greedy = solve_greedy(cm)
+        optimal = solve_dp(cm)
+        assert greedy.vector[-1]
+        assert greedy.cost >= optimal.cost - 1e-6
+        assert greedy.cost <= optimal.cost * 1.5
+
+    def test_greedy_respects_constraints(self):
+        rng = np.random.default_rng(13)
+        cm = cost_model(random_model(rng, 16, read_heavy=True))
+        result = solve_greedy(cm, max_partitions=4, max_partition_blocks=8)
+        assert result.num_partitions <= 4
+        assert result.partition_widths().max() <= 8
+
+
+class TestBruteForce:
+    def test_rejects_large_instances(self):
+        cm = cost_model(FrequencyModel(25))
+        with pytest.raises(ValueError):
+            brute_force(cm)

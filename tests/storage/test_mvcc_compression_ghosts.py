@@ -1,0 +1,184 @@
+"""Tests for MVCC snapshot isolation, compression codecs and ghost helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.compression import (
+    DictionaryCodec,
+    FrameOfReferenceCodec,
+    RunLengthCodec,
+)
+from repro.storage.errors import TransactionConflictError, TransactionStateError
+from repro.storage.ghost_values import (
+    ghost_budget_from_fraction,
+    spread_evenly,
+    spread_proportionally,
+)
+from repro.storage.mvcc import TransactionManager, TransactionStatus
+
+
+class TestTransactionManager:
+    def test_commit_applies_buffered_writes(self):
+        manager = TransactionManager()
+        applied = []
+        txn = manager.begin()
+        txn.record_write(1, lambda: applied.append("a"))
+        manager.commit(txn)
+        assert applied == ["a"]
+        assert txn.status is TransactionStatus.COMMITTED
+
+    def test_first_committer_wins(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        second = manager.begin()
+        first.record_write(7, lambda: None)
+        second.record_write(7, lambda: None)
+        manager.commit(first)
+        with pytest.raises(TransactionConflictError):
+            manager.commit(second)
+        assert second.status is TransactionStatus.ABORTED
+        assert manager.aborted == 1
+
+    def test_disjoint_writes_do_not_conflict(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        second = manager.begin()
+        first.record_write(1, lambda: None)
+        second.record_write(2, lambda: None)
+        manager.commit(first)
+        manager.commit(second)
+        assert manager.committed == 2
+
+    def test_later_transaction_sees_no_conflict(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        first.record_write(5, lambda: None)
+        manager.commit(first)
+        second = manager.begin()  # begins after the commit
+        second.record_write(5, lambda: None)
+        manager.commit(second)
+
+    def test_abort_discards_writes(self):
+        manager = TransactionManager()
+        applied = []
+        txn = manager.begin()
+        txn.record_write(1, lambda: applied.append("x"))
+        manager.abort(txn)
+        assert applied == []
+        assert txn.status is TransactionStatus.ABORTED
+
+    def test_cannot_use_finished_transaction(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionStateError):
+            txn.record_write(1, lambda: None)
+        with pytest.raises(TransactionStateError):
+            manager.commit(txn)
+
+    def test_cannot_abort_committed(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionStateError):
+            manager.abort(txn)
+
+    def test_active_transactions_tracked(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        assert manager.active_transactions == 1
+        manager.commit(txn)
+        assert manager.active_transactions == 0
+
+
+class TestCompressionCodecs:
+    def test_dictionary_roundtrip(self, rng):
+        values = rng.integers(0, 100, 1_000)
+        codec = DictionaryCodec()
+        dictionary, codes = codec.encode(values)
+        assert np.array_equal(codec.decode(dictionary, codes), values)
+
+    def test_dictionary_ratio_improves_with_few_distinct(self, rng):
+        codec = DictionaryCodec()
+        few = codec.stats(rng.integers(0, 16, 10_000)).ratio
+        many = codec.stats(rng.integers(0, 2**30, 10_000)).ratio
+        assert few > many
+
+    def test_frame_of_reference_roundtrip(self, rng):
+        values = rng.integers(10_000, 20_000, 500)
+        codec = FrameOfReferenceCodec()
+        reference, offsets = codec.encode(values)
+        assert np.array_equal(codec.decode(reference, offsets), values)
+
+    def test_frame_of_reference_partitioned_beats_global(self):
+        # Sorted data: per-partition ranges are much smaller than the global one.
+        values = np.sort(np.random.default_rng(0).integers(0, 2**30, 65_536))
+        codec = FrameOfReferenceCodec()
+        global_ratio = codec.stats(values).ratio
+        partitioned = codec.partitioned_stats(values, list(range(1024, 65_537, 1024)))
+        assert partitioned.ratio > global_ratio
+
+    def test_rle_roundtrip(self):
+        values = np.asarray([1, 1, 1, 2, 2, 3, 3, 3, 3])
+        codec = RunLengthCodec()
+        run_values, run_lengths = codec.encode(values)
+        assert np.array_equal(codec.decode(run_values, run_lengths), values)
+
+    def test_rle_prefers_sorted_data(self, rng):
+        codec = RunLengthCodec()
+        data = rng.integers(0, 64, 10_000)
+        assert codec.stats(np.sort(data)).ratio > codec.stats(data).ratio
+
+    def test_stats_report_sizes(self, rng):
+        stats = DictionaryCodec().stats(rng.integers(0, 8, 1_000))
+        assert stats.values == 1_000
+        assert stats.uncompressed_bits == 32_000
+        assert stats.compressed_bits < stats.uncompressed_bits
+
+    def test_empty_frame_of_reference(self):
+        stats = FrameOfReferenceCodec().stats(np.empty(0, dtype=np.int64))
+        assert stats.values == 0
+
+
+class TestGhostHelpers:
+    def test_spread_evenly_sums_to_total(self):
+        allocation = spread_evenly(10, 4)
+        assert allocation.sum() == 10
+        assert allocation.max() - allocation.min() <= 1
+
+    def test_spread_evenly_validation(self):
+        with pytest.raises(ValueError):
+            spread_evenly(5, 0)
+        with pytest.raises(ValueError):
+            spread_evenly(-1, 5)
+
+    def test_spread_proportionally_matches_weights(self):
+        allocation = spread_proportionally(np.asarray([1.0, 3.0]), 100)
+        assert allocation.tolist() == [25, 75]
+
+    def test_spread_proportionally_zero_weights_falls_back(self):
+        allocation = spread_proportionally(np.zeros(4), 8)
+        assert allocation.sum() == 8
+
+    def test_spread_proportionally_validation(self):
+        with pytest.raises(ValueError):
+            spread_proportionally(np.asarray([-1.0, 1.0]), 5)
+
+    def test_ghost_budget_from_fraction(self):
+        assert ghost_budget_from_fraction(1_000_000, 0.001) == 1_000
+        with pytest.raises(ValueError):
+            ghost_budget_from_fraction(100, -0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=20),
+        total=st.integers(0, 10_000),
+    )
+    def test_proportional_allocation_always_sums_to_total(self, weights, total):
+        allocation = spread_proportionally(np.asarray(weights), total)
+        assert allocation.sum() == total
+        assert np.all(allocation >= 0)

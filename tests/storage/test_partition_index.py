@@ -1,0 +1,83 @@
+"""Tests for the shallow partition index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.partition_index import PartitionIndex
+
+
+@pytest.fixture
+def index():
+    idx = PartitionIndex(fanout=4)
+    idx.rebuild([10, 20, 30, 40, 50])
+    return idx
+
+
+class TestLocate:
+    def test_exact_fence_value(self, index):
+        assert index.locate(20) == 1
+
+    def test_value_between_fences(self, index):
+        assert index.locate(25) == 2
+
+    def test_value_below_all(self, index):
+        assert index.locate(-5) == 0
+
+    def test_value_above_all_routes_to_last(self, index):
+        assert index.locate(1000) == 4
+
+    def test_empty_index_raises(self):
+        with pytest.raises(IndexError):
+            PartitionIndex().locate(1)
+
+
+class TestLocateRange:
+    def test_range_within_one_partition(self, index):
+        assert index.locate_range(21, 25) == (2, 2)
+
+    def test_range_spanning_partitions(self, index):
+        assert index.locate_range(15, 45) == (1, 4)
+
+    def test_range_beyond_domain(self, index):
+        assert index.locate_range(100, 200) == (4, 4)
+
+    def test_invalid_range(self, index):
+        with pytest.raises(ValueError):
+            index.locate_range(5, 1)
+
+
+class TestStructure:
+    def test_rebuild_requires_monotone_fences(self):
+        index = PartitionIndex()
+        with pytest.raises(ValueError):
+            index.rebuild([3, 2, 5])
+
+    def test_depth_grows_with_partitions(self):
+        index = PartitionIndex(fanout=4)
+        index.rebuild(list(range(4)))
+        shallow = index.depth
+        index.rebuild(list(range(64)))
+        assert index.depth > shallow
+
+    def test_update_fence(self, index):
+        index.update_fence(4, 99)
+        assert index.locate(75) == 4
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            PartitionIndex(fanout=1)
+
+    def test_len(self, index):
+        assert len(index) == 5
+
+    def test_locate_matches_linear_scan(self):
+        rng = np.random.default_rng(3)
+        fences = np.sort(rng.integers(0, 10_000, 50))
+        index = PartitionIndex()
+        index.rebuild(fences)
+        for value in rng.integers(-10, 11_000, 200):
+            expected = int(np.searchsorted(fences, value, side="left"))
+            expected = min(expected, len(fences) - 1)
+            assert index.locate(int(value)) == expected

@@ -1,0 +1,135 @@
+"""Tests for the HAP benchmark and the TPC-H-like generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.layouts import LayoutKind, LayoutSpec
+from repro.storage.table import layout_chunk_builder
+from repro.workload.hap import (
+    HAPConfig,
+    NARROW_PAYLOAD_COLUMNS,
+    WIDE_PAYLOAD_COLUMNS,
+    WORKLOAD_PROFILES,
+    build_table,
+    figure12_profiles,
+    generate_keys,
+    generate_payload,
+    make_workload,
+    narrow_config,
+    wide_config,
+)
+from repro.workload.operations import Insert, OperationKind, PointQuery, RangeQuery
+from repro.workload.tpch import (
+    Q6_RANGE_DAYS,
+    SHIPDATE_DAYS,
+    TPCHConfig,
+    build_lineitem_table,
+    figure1_workload,
+    generate_lineitem,
+    q6_range,
+)
+
+
+@pytest.fixture
+def hap_config():
+    return HAPConfig(num_rows=4_096, chunk_size=4_096, block_values=64)
+
+
+class TestHAP:
+    def test_keys_are_even_and_dense(self, hap_config):
+        keys = generate_keys(hap_config)
+        assert keys.shape[0] == hap_config.num_rows
+        assert np.all(keys % 2 == 0)
+        assert keys[-1] == hap_config.key_domain[1]
+
+    def test_payload_shape(self, hap_config):
+        payload = generate_payload(hap_config)
+        assert payload.shape == (hap_config.num_rows, hap_config.payload_columns)
+
+    def test_narrow_and_wide_configs(self):
+        assert narrow_config(num_rows=10).payload_columns == NARROW_PAYLOAD_COLUMNS
+        assert wide_config(num_rows=10).payload_columns == WIDE_PAYLOAD_COLUMNS
+
+    def test_build_table(self, hap_config):
+        spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=8, block_values=64)
+        table = build_table(hap_config, layout_chunk_builder(spec))
+        assert table.num_rows == hap_config.num_rows
+        assert len(table.payload_names) == hap_config.payload_columns
+
+    def test_make_workload_known_profiles(self, hap_config):
+        for profile in WORKLOAD_PROFILES:
+            workload = make_workload(profile, hap_config, num_operations=50)
+            assert len(workload) == 50
+
+    def test_make_workload_unknown_profile(self, hap_config):
+        with pytest.raises(KeyError):
+            make_workload("nope", hap_config)
+
+    def test_figure12_profiles_cover_six_workloads(self):
+        assert len(figure12_profiles()) == 6
+
+    def test_workload_runs_against_table(self, hap_config):
+        spec = LayoutSpec(kind=LayoutKind.EQUI_GV, partitions=8, block_values=64)
+        table = build_table(hap_config, layout_chunk_builder(spec))
+        from repro.storage.engine import StorageEngine
+
+        engine = StorageEngine(table)
+        workload = make_workload("hybrid_skewed", hap_config, num_operations=100)
+        for operation in workload:
+            engine.execute(operation)
+        table.check_invariants()
+
+    def test_update_only_profile_has_no_reads(self, hap_config):
+        workload = make_workload("update_only_uniform", hap_config, num_operations=200)
+        mix = workload.mix()
+        assert OperationKind.POINT_QUERY not in mix
+        assert mix[OperationKind.INSERT] > 0.7
+
+
+class TestTPCH:
+    def test_lineitem_shape(self):
+        config = TPCHConfig(num_rows=8_192)
+        keys, payload = generate_lineitem(config)
+        assert keys.shape[0] == 8_192
+        assert payload.shape == (8_192, 4)
+        assert np.all(np.diff(keys) >= 0)
+        assert np.all(keys % 2 == 0)
+
+    def test_revenue_derived_from_price_and_discount(self):
+        config = TPCHConfig(num_rows=1_024)
+        _, payload = generate_lineitem(config)
+        quantity, discount, price, revenue = payload.T
+        assert np.all(revenue == price * discount // 100)
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        assert discount.min() >= 0 and discount.max() <= 10
+
+    def test_q6_range_spans_one_year(self):
+        config = TPCHConfig(num_rows=8_192)
+        low, high = q6_range(config, year_start_day=365)
+        keys, _ = generate_lineitem(config)
+        selectivity = ((keys >= low) & (keys <= high)).mean()
+        assert Q6_RANGE_DAYS / SHIPDATE_DAYS * 0.5 < selectivity < Q6_RANGE_DAYS / SHIPDATE_DAYS * 2
+
+    def test_figure1_workload_mix(self):
+        config = TPCHConfig(num_rows=4_096)
+        workload = figure1_workload(config, num_operations=600)
+        mix = workload.mix()
+        assert mix[OperationKind.POINT_QUERY] == pytest.approx(0.45, abs=0.07)
+        assert mix[OperationKind.RANGE_QUERY] == pytest.approx(0.10, abs=0.05)
+        assert mix[OperationKind.INSERT] == pytest.approx(0.45, abs=0.07)
+
+    def test_figure1_inserts_are_unique(self):
+        config = TPCHConfig(num_rows=2_048)
+        workload = figure1_workload(config, num_operations=300)
+        inserts = [op.key for op in workload if isinstance(op, Insert)]
+        assert len(set(inserts)) == len(inserts)
+
+    def test_lineitem_table_executes_q6(self):
+        config = TPCHConfig(num_rows=4_096, chunk_size=4_096, block_values=64)
+        spec = LayoutSpec(kind=LayoutKind.SORTED, block_values=64)
+        table = build_lineitem_table(config, layout_chunk_builder(spec))
+        low, high = q6_range(config, year_start_day=100)
+        total = table.range_sum(low, high, columns=["l_revenue"])
+        assert total > 0

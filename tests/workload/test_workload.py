@@ -1,0 +1,190 @@
+"""Tests for workload operations, distributions and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    EarlySkewSampler,
+    HotspotSampler,
+    RecentSkewSampler,
+    ShiftedSampler,
+    UniformSampler,
+    ZipfSampler,
+    histogram_of,
+)
+from repro.workload.generator import (
+    FIGURE12_MIXES,
+    HYBRID_SKEWED,
+    UPDATE_ONLY_UNIFORM,
+    WorkloadGenerator,
+    WorkloadMix,
+)
+from repro.workload.operations import (
+    Aggregate,
+    Delete,
+    Insert,
+    OperationKind,
+    PointQuery,
+    RangeQuery,
+    Update,
+    Workload,
+)
+
+
+class TestOperations:
+    def test_range_query_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(low=10, high=5)
+
+    def test_workload_counts_and_mix(self):
+        workload = Workload(
+            operations=[PointQuery(key=1), PointQuery(key=2), Insert(key=3), Delete(key=1)]
+        )
+        counts = workload.counts_by_kind()
+        assert counts[OperationKind.POINT_QUERY] == 2
+        assert counts[OperationKind.INSERT] == 1
+        mix = workload.mix()
+        assert mix[OperationKind.POINT_QUERY] == pytest.approx(0.5)
+
+    def test_workload_subset(self):
+        workload = Workload(operations=[PointQuery(key=1), Insert(key=3)])
+        subset = workload.subset([OperationKind.INSERT])
+        assert len(subset) == 1
+        assert isinstance(subset.operations[0], Insert)
+
+    def test_workload_append_extend_iter(self):
+        workload = Workload()
+        workload.append(PointQuery(key=1))
+        workload.extend([Insert(key=2), Update(old_key=1, new_key=3)])
+        assert len(list(workload)) == 3
+
+    def test_empty_mix(self):
+        assert Workload().mix() == {}
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            UniformSampler(),
+            RecentSkewSampler(),
+            EarlySkewSampler(),
+            ZipfSampler(),
+            HotspotSampler(),
+            ShiftedSampler(base=UniformSampler(), shift=0.3),
+        ],
+    )
+    def test_samples_within_domain(self, sampler, rng):
+        keys = sampler.sample(rng, 1_000, 10, 500)
+        assert keys.min() >= 10
+        assert keys.max() <= 500
+
+    def test_invalid_domain(self, rng):
+        with pytest.raises(ValueError):
+            UniformSampler().sample(rng, 10, 5, 1)
+
+    def test_recent_skew_concentrates_at_end(self, rng):
+        unit = RecentSkewSampler(exponent=4.0).sample_unit(rng, 20_000)
+        assert unit.mean() > 0.7
+
+    def test_early_skew_concentrates_at_start(self, rng):
+        unit = EarlySkewSampler(exponent=4.0).sample_unit(rng, 20_000)
+        assert unit.mean() < 0.3
+
+    def test_hotspot_mass_in_hot_region(self, rng):
+        sampler = HotspotSampler(hot_fraction=0.1, hot_probability=0.9)
+        unit = sampler.sample_unit(rng, 20_000)
+        assert (unit <= 0.1).mean() > 0.8
+
+    def test_zipf_skews_toward_low_buckets(self, rng):
+        unit = ZipfSampler(theta=1.2, buckets=64).sample_unit(rng, 20_000)
+        assert (unit <= 1 / 64).mean() > 0.2
+
+    def test_shifted_sampler_rotates(self, rng):
+        base = EarlySkewSampler(exponent=6.0)
+        shifted = ShiftedSampler(base=base, shift=0.5)
+        assert shifted.sample_unit(rng, 10_000).mean() > 0.4
+
+    def test_histogram_of_shape_and_mass(self):
+        hist = histogram_of(UniformSampler(), bins=32, samples=10_000)
+        assert hist.shape == (32,)
+        assert hist.sum() == 10_000
+
+
+class TestWorkloadMix:
+    def test_fractions_normalized(self):
+        mix = WorkloadMix(name="m", q1_point=1.0, q4_insert=3.0)
+        fractions = mix.fractions()
+        assert fractions["q1"] == pytest.approx(0.25)
+        assert fractions["q4"] == pytest.approx(0.75)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(name="empty").fractions()
+
+    def test_figure12_mixes_have_expected_shapes(self):
+        assert len(FIGURE12_MIXES) == 6
+        assert HYBRID_SKEWED.q4_insert == pytest.approx(0.50)
+        assert UPDATE_ONLY_UNIFORM.q5_delete == pytest.approx(0.19)
+
+
+class TestWorkloadGenerator:
+    def make_generator(self, seed=1):
+        keys = np.arange(0, 20_000, 2)
+        return WorkloadGenerator(keys, seed=seed), keys
+
+    def test_generates_requested_count_and_mix(self):
+        generator, _ = self.make_generator()
+        workload = generator.generate(HYBRID_SKEWED, 1_000)
+        assert len(workload) == 1_000
+        mix = workload.mix()
+        assert mix[OperationKind.POINT_QUERY] == pytest.approx(0.49, abs=0.05)
+        assert mix[OperationKind.INSERT] == pytest.approx(0.50, abs=0.05)
+
+    def test_inserts_use_fresh_odd_keys(self):
+        generator, keys = self.make_generator()
+        workload = generator.generate(
+            WorkloadMix(name="ins", q4_insert=1.0), 500
+        )
+        inserted = [op.key for op in workload]
+        assert all(key % 2 == 1 for key in inserted)
+        assert len(set(inserted)) == len(inserted)
+
+    def test_deletes_target_existing_keys_once(self):
+        generator, keys = self.make_generator()
+        workload = generator.generate(
+            WorkloadMix(name="del", q5_delete=1.0), 300
+        )
+        deleted = [op.key for op in workload]
+        assert all(key in set(keys.tolist()) for key in deleted)
+        assert len(set(deleted)) == len(deleted)
+
+    def test_updates_reference_existing_then_fresh(self):
+        generator, keys = self.make_generator()
+        workload = generator.generate(WorkloadMix(name="upd", q6_update=1.0), 200)
+        key_set = set(keys.tolist())
+        for op in workload:
+            assert op.old_key in key_set
+            assert op.new_key % 2 == 1
+
+    def test_range_queries_respect_selectivity(self):
+        generator, keys = self.make_generator()
+        mix = WorkloadMix(name="rq", q2_range_count=1.0, range_selectivity=0.01)
+        workload = generator.generate(mix, 100)
+        span = int(keys[-1]) - int(keys[0])
+        for op in workload:
+            assert op.aggregate is Aggregate.COUNT
+            assert (op.high - op.low) <= span * 0.011
+
+    def test_reproducible_with_seed(self):
+        first, _ = self.make_generator(seed=9)
+        second, _ = self.make_generator(seed=9)
+        a = first.generate(HYBRID_SKEWED, 100)
+        b = second.generate(HYBRID_SKEWED, 100)
+        assert a.operations == b.operations
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(np.empty(0))
