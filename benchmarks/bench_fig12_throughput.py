@@ -1,11 +1,24 @@
-"""Figure 12 benchmark: normalized throughput across six workloads and layouts."""
+"""Figure 12 benchmark: normalized throughput across six workloads and layouts.
+
+Also includes the routing fast-path smoke check: batched point queries on a
+1M-row, 16-chunk table must beat per-operation dispatch by >= 3x wall-clock.
+CI runs it at full scale (the table builds in about a second); set
+``REPRO_BENCH_ROWS`` to scale the table down on constrained machines.
+"""
 
 from __future__ import annotations
 
+import os
+import time
+
+import numpy as np
 import pytest
 
 from repro.bench.experiments import fig12
-from repro.storage.layouts import LayoutKind
+from repro.storage.engine import StorageEngine
+from repro.storage.layouts import LayoutKind, LayoutSpec
+from repro.storage.table import Table, layout_chunk_builder
+from repro.workload.operations import PointQuery
 
 
 @pytest.fixture(scope="module")
@@ -38,3 +51,55 @@ def test_fig12_normalized_throughput(benchmark, results):
     # Read-only workloads: Casper is competitive with the state of the art
     # (paper: within ~5% for skewed reads, better for uniform reads).
     assert norm("read_only_uniform", LayoutKind.CASPER) >= 0.9
+
+
+def test_fig12_batch_point_query_speedup(benchmark):
+    """Batched point queries beat per-op dispatch >= 3x on a 16-chunk table."""
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    num_rows = int(os.environ.get("REPRO_BENCH_ROWS", 1_048_576))
+    num_chunks = 16
+    num_queries = 4_096
+    block_values = 4_096
+    keys = np.arange(num_rows, dtype=np.int64) * 2
+    spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=16, block_values=block_values)
+    chunk_size = -(-num_rows // num_chunks)  # ceil: at most num_chunks chunks
+    table = Table(
+        keys,
+        chunk_size=chunk_size,
+        chunk_builder=layout_chunk_builder(spec),
+        block_values=block_values,
+    )
+    if num_rows % num_chunks == 0:
+        assert table.num_chunks == num_chunks
+    num_chunks = table.num_chunks
+    rng = np.random.default_rng(11)
+    query_keys = rng.choice(keys, size=num_queries, replace=True)
+    operations = [PointQuery(key=int(key)) for key in query_keys]
+
+    # Best of three repetitions per mode, so a scheduler hiccup on a shared
+    # CI runner cannot flip the ratio below the gate.
+    sequential_engine = StorageEngine(table)
+    sequential_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        sequential_results = [
+            sequential_engine.execute(operation).result for operation in operations
+        ]
+        sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+
+    batch_engine = StorageEngine(table)
+    batch_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch = batch_engine.execute_batch(operations)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    assert batch.results == sequential_results
+    speedup = sequential_seconds / batch_seconds
+    print(
+        f"\nbatch point-query fast path: {num_queries} ops on "
+        f"{num_rows} rows / {num_chunks} chunks -> per-op "
+        f"{sequential_seconds * 1e3:.1f}ms, batch {batch_seconds * 1e3:.1f}ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0

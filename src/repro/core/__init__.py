@@ -42,6 +42,7 @@ from .ghost_allocation import (
     data_movement_per_partition,
 )
 from .greedy_solver import solve_greedy
+from .monitor import ChunkActivity, WorkloadMonitor
 from .optimizer import LayoutSolution, SolverBackend, optimize_layout
 from .planner import CasperPlanner, ChunkPlan
 from .robustness import (
@@ -54,6 +55,7 @@ from .robustness import (
 __all__ = [
     "BlockMapper",
     "CasperPlanner",
+    "ChunkActivity",
     "ChunkPlan",
     "CostModel",
     "FrequencyModel",
@@ -67,6 +69,7 @@ __all__ = [
     "ScalabilityModel",
     "SolverBackend",
     "StructuralBounds",
+    "WorkloadMonitor",
     "WorkloadTerms",
     "allocate_ghost_values",
     "bck_read",

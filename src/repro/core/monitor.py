@@ -1,0 +1,192 @@
+"""Online workload monitor: close the Fig. 10 A->C loop at runtime.
+
+The paper's architecture learns a Frequency Model from an *offline* workload
+sample, optimizes per-chunk layouts and applies them.  Production systems see
+workloads drift, so the reproduction adds the online counterpart: a
+:class:`WorkloadMonitor` attached to a
+:class:`~repro.storage.engine.StorageEngine` records the per-chunk operation
+mix as operations execute (attributing each operation to the chunk span the
+table's router resolves, without charging simulated accesses) and can
+re-lay-out a drifted chunk in place via :meth:`replan_chunk`, feeding the
+recorded operations back through a :class:`~repro.core.planner.CasperPlanner`
+as the fresh workload sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..workload.operations import (
+    Delete,
+    Insert,
+    Operation,
+    PointQuery,
+    RangeQuery,
+    Update,
+    Workload,
+)
+
+#: Default bound on the per-chunk operation sample retained for replans.
+DEFAULT_SAMPLE_LIMIT = 4_096
+
+
+@dataclass
+class ChunkActivity:
+    """Recorded activity of one chunk: kind counts plus a bounded op sample.
+
+    ``sample`` is a bounded deque holding the most recent operations, so
+    appends stay O(1) on the engine's hot path.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+    sample: deque[Operation] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_SAMPLE_LIMIT)
+    )
+
+    @property
+    def total(self) -> int:
+        """Total operations attributed to the chunk."""
+        return sum(self.counts.values())
+
+    def mix(self) -> dict[str, float]:
+        """Fraction of operations of each kind."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {kind: count / total for kind, count in self.counts.items()}
+
+
+class WorkloadMonitor:
+    """Records per-chunk operation mixes and drives online re-planning.
+
+    Parameters
+    ----------
+    sample_limit:
+        Maximum number of operation objects retained per chunk as the replan
+        workload sample.  The sample is a sliding window of the *most recent*
+        operations, so a replan reflects the drifted mix rather than startup
+        traffic; counts keep accumulating beyond the limit.
+    """
+
+    def __init__(self, sample_limit: int = DEFAULT_SAMPLE_LIMIT) -> None:
+        if sample_limit < 0:
+            raise ValueError("sample_limit must be non-negative")
+        self.sample_limit = int(sample_limit)
+        self._activity: dict[int, ChunkActivity] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self,
+        table,
+        kind: str,
+        low: int,
+        high: int | None = None,
+        *,
+        write_target: bool = False,
+    ) -> None:
+        """Attribute one operation to the chunk span it touches.
+
+        ``low``/``high`` carry the operation's key (point kinds) or inclusive
+        range; routing uses :meth:`Table.chunk_span`, which does not charge
+        the access counter (monitoring is bookkeeping, not storage work).
+        Inserts and update *targets* land in the first candidate chunk only
+        (the table's insert routing rule), so they are attributed to that
+        single chunk; reads, deletes and update sources probe the full
+        candidate span and are attributed to every chunk in it.
+        """
+        first, last = table.chunk_span(low, high)
+        if kind == "insert" or write_target:
+            last = first
+        operation = self._synthesize(kind, int(low), high)
+        for chunk_index in range(first, last + 1):
+            activity = self._activity.get(chunk_index)
+            if activity is None:
+                activity = ChunkActivity(
+                    sample=deque(maxlen=self.sample_limit)
+                )
+                self._activity[chunk_index] = activity
+            activity.counts[kind] = activity.counts.get(kind, 0) + 1
+            if operation is not None:
+                activity.sample.append(operation)
+
+    @staticmethod
+    def _synthesize(kind: str, low: int, high: int | None) -> Operation | None:
+        """Reconstruct a workload operation object for the replan sample."""
+        if kind == "point_query":
+            return PointQuery(key=low)
+        if kind in ("range_count", "range_sum"):
+            return RangeQuery(low=low, high=int(high if high is not None else low))
+        if kind == "insert":
+            return Insert(key=low)
+        if kind == "delete":
+            return Delete(key=low)
+        if kind == "update":
+            # The engine reports the source and target keys separately; model
+            # each side as an in-place correction so the Frequency Model sees
+            # update pressure at the right location.
+            return Update(old_key=low, new_key=low)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def observed_chunks(self) -> list[int]:
+        """Chunk indices with any recorded activity, ascending."""
+        return sorted(self._activity)
+
+    def operation_counts(self, chunk_index: int) -> dict[str, int]:
+        """Raw per-kind operation counts for one chunk."""
+        activity = self._activity.get(chunk_index)
+        return dict(activity.counts) if activity is not None else {}
+
+    def chunk_mix(self, chunk_index: int) -> dict[str, float]:
+        """Operation-mix fractions for one chunk (empty when unobserved)."""
+        activity = self._activity.get(chunk_index)
+        return activity.mix() if activity is not None else {}
+
+    def hot_chunks(self, top: int | None = None) -> list[int]:
+        """Chunk indices ordered by recorded operation volume, hottest first."""
+        ranked = sorted(
+            self._activity, key=lambda chunk: self._activity[chunk].total, reverse=True
+        )
+        return ranked[:top] if top is not None else ranked
+
+    def recorded_workload(self, chunk_index: int) -> Workload:
+        """The retained operation sample for one chunk as a ``Workload``."""
+        activity = self._activity.get(chunk_index)
+        operations = list(activity.sample) if activity is not None else []
+        return Workload(operations=operations, name=f"monitor[chunk={chunk_index}]")
+
+    def reset_chunk(self, chunk_index: int) -> None:
+        """Forget one chunk's recorded activity (after a replan)."""
+        self._activity.pop(chunk_index, None)
+
+    def reset(self) -> None:
+        """Forget all recorded activity."""
+        self._activity.clear()
+
+    # ------------------------------------------------------------------ #
+    # Online reorganization
+    # ------------------------------------------------------------------ #
+
+    def replan_chunk(self, table, chunk_index: int, planner):
+        """Re-lay-out ``chunk_index`` of ``table`` in place via ``planner``.
+
+        When the monitor holds a recorded sample for the chunk, the planner
+        is re-targeted at it (:meth:`CasperPlanner.with_sample`), so the new
+        layout reflects the observed -- possibly drifted -- mix rather than
+        the offline training sample.  The chunk's recorded activity is reset
+        afterwards so the next drift decision starts fresh.  Returns the
+        rebuilt chunk.
+        """
+        sample = self.recorded_workload(chunk_index)
+        if len(sample) and hasattr(planner, "with_sample"):
+            planner = planner.with_sample(sample)
+        rebuilt = table.rebuild_chunk(chunk_index, planner.build_chunk)
+        self.reset_chunk(chunk_index)
+        return rebuilt

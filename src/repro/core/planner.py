@@ -12,7 +12,7 @@ the Casper operation mode of the Fig. 12/13 experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -78,6 +78,16 @@ class CasperPlanner:
     sla: SLAConstraints | None = None
     solver: SolverBackend | str = SolverBackend.DP
     plans: list[ChunkPlan] = field(default_factory=list)
+
+    def with_sample(self, workload: Workload) -> "CasperPlanner":
+        """A new planner with the same tuning but a fresh workload sample.
+
+        Used by the online loop (:class:`repro.core.monitor.WorkloadMonitor`)
+        to re-plan a drifted chunk against its *observed* operation mix
+        instead of the original offline training sample.  The plan history
+        starts empty so the caller can inspect exactly the replan decisions.
+        """
+        return replace(self, sample_workload=workload, plans=[])
 
     def plan_chunk(self, sorted_values: np.ndarray | list[int]) -> ChunkPlan:
         """Decide the layout of one chunk holding ``sorted_values``."""

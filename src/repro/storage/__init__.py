@@ -34,7 +34,7 @@ from .compression import (
     RunLengthCodec,
 )
 from .delta_store import DeltaStoreColumn
-from .engine import EngineStatistics, OperationResult, StorageEngine
+from .engine import BatchResult, EngineStatistics, OperationResult, StorageEngine
 from .errors import (
     CapacityError,
     LayoutError,
@@ -66,6 +66,7 @@ from .table import Row, Table, layout_chunk_builder, require_key
 
 __all__ = [
     "AccessCounter",
+    "BatchResult",
     "CACHE_LINE_BYTES",
     "RANDOM_ACCESS_NS",
     "SEQUENTIAL_LINE_NS",

@@ -77,6 +77,23 @@ def snap_boundaries_to_duplicates(
     return np.asarray(snapped, dtype=np.int64)
 
 
+def expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``np.arange(s, s + l)`` for aligned start/length arrays.
+
+    The workhorse of the vectorized batch probes: it materializes many
+    half-open index ranges in one shot without a Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    return np.repeat(starts, lengths) + offsets
+
+
 def equal_width_boundaries(size: int, partitions: int) -> np.ndarray:
     """Exclusive end offsets for ``partitions`` near-equal partitions of ``size``."""
     if partitions <= 0:
@@ -337,6 +354,149 @@ class PartitionedColumn:
             return self._rowids[positions]
         return positions
 
+    def multi_point_query(
+        self, values: np.ndarray | list[int], *, return_rowids: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized point queries over many values at once.
+
+        Returns ``(hits, counts)``: ``counts[i]`` is the number of matches of
+        ``values[i]`` and ``hits`` is the flat concatenation of the matching
+        positions (or row ids), grouped by input value in input order.
+
+        Values are routed with one ``searchsorted`` over the fences, grouped
+        by partition, and each touched partition is resolved through a sorted
+        view (built once per partition, or reused directly when the live
+        segment is already sorted).  The charged accesses are identical to
+        issuing each point query individually: one index probe plus one
+        random read and ``blocks - 1`` sequential reads per value.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        m = int(values.size)
+        empty = np.empty(0, dtype=np.int64)
+        if m == 0:
+            return empty, empty
+        if return_rowids and not self._track_rowids:
+            raise LayoutError("row-id tracking is disabled for this column")
+        self.counter.index_probe(m)
+        partitions = np.minimum(
+            np.searchsorted(self._index.fences, values, side="left"),
+            self.num_partitions - 1,
+        )
+        counts_out = np.zeros(m, dtype=np.int64)
+        owner_pieces: list[np.ndarray] = []
+        hit_pieces: list[np.ndarray] = []
+        for partition in np.unique(partitions):
+            sel = np.nonzero(partitions == partition)[0]
+            blocks = self._partition_blocks(int(partition))
+            if blocks > 0:
+                self.counter.random_read(int(sel.size))
+                if blocks > 1:
+                    self.counter.seq_read((blocks - 1) * int(sel.size))
+            start = int(self._starts[partition])
+            count = int(self._counts[partition])
+            segment = self._data[start : start + count]
+            if count > 1 and np.any(segment[1:] < segment[:-1]):
+                seg_order = np.argsort(segment, kind="stable")
+                seg_sorted = segment[seg_order]
+            else:
+                seg_order = None
+                seg_sorted = segment
+            wanted = values[sel]
+            lo = np.searchsorted(seg_sorted, wanted, side="left")
+            hi = np.searchsorted(seg_sorted, wanted, side="right")
+            hits_per_value = (hi - lo).astype(np.int64)
+            if not np.any(hits_per_value):
+                continue
+            local = expand_ranges(lo, hits_per_value)
+            if seg_order is not None:
+                # Stable argsort keeps equal values in physical order, so the
+                # per-value hit order matches the per-op partition scan.
+                local = seg_order[local]
+            positions = local + start
+            counts_out[sel] = hits_per_value
+            owner_pieces.append(np.repeat(sel, hits_per_value))
+            hit_pieces.append(
+                self._rowids[positions] if return_rowids else positions
+            )
+        if not owner_pieces:
+            return empty, counts_out
+        owners = np.concatenate(owner_pieces)
+        hits = np.concatenate(hit_pieces)
+        return hits[np.argsort(owners, kind="stable")], counts_out
+
+    def multi_range_count(
+        self, lows: np.ndarray | list[int], highs: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Vectorized range counts for aligned ``lows``/``highs`` arrays.
+
+        Boundary partitions are resolved through per-partition sorted views;
+        fully covered middle partitions contribute their live counts through
+        a prefix sum (they are blindly consumed, exactly like
+        :meth:`range_query`).  Charged accesses match issuing each range
+        query individually with ``materialize=False``.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        m = int(lows.size)
+        if m == 0:
+            if lows.shape != highs.shape:
+                raise ValueError("lows and highs must be aligned")
+            return np.empty(0, dtype=np.int64)
+        first, last = self._index.locate_range_batch(lows, highs, spanning=False)
+        self.counter.index_probe(m)
+
+        counts = self._counts.astype(np.int64)
+        blocks = np.where(
+            counts > 0, (counts + self.block_values - 1) // self.block_values, 0
+        )
+        blocks_cum = np.concatenate(([0], np.cumsum(blocks)))
+        counts_cum = np.concatenate(([0], np.cumsum(counts)))
+        first_blocks = blocks[first]
+        random_reads = int(np.count_nonzero(first_blocks > 0))
+        seq_reads = int(np.sum(np.where(first_blocks > 0, first_blocks - 1, 0)))
+        seq_reads += int(np.sum(blocks_cum[last + 1] - blocks_cum[first + 1]))
+        if random_reads:
+            self.counter.random_read(random_reads)
+        if seq_reads:
+            self.counter.seq_read(seq_reads)
+
+        sorted_segments: dict[int, np.ndarray] = {}
+
+        def sorted_segment(partition: int) -> np.ndarray:
+            cached = sorted_segments.get(partition)
+            if cached is None:
+                start = int(self._starts[partition])
+                count = int(self._counts[partition])
+                segment = self._data[start : start + count]
+                if count > 1 and np.any(segment[1:] < segment[:-1]):
+                    cached = np.sort(segment)
+                else:
+                    cached = segment
+                sorted_segments[partition] = cached
+            return cached
+
+        def bounded_count(partition: int, low: int, high: int) -> int:
+            segment = sorted_segment(partition)
+            return int(
+                np.searchsorted(segment, high, side="right")
+                - np.searchsorted(segment, low, side="left")
+            )
+
+        totals = np.zeros(m, dtype=np.int64)
+        for i in range(m):
+            f, l = int(first[i]), int(last[i])
+            low, high = int(lows[i]), int(highs[i])
+            if f == l:
+                totals[i] = bounded_count(f, low, high)
+            else:
+                middle = int(counts_cum[l] - counts_cum[f + 1])
+                totals[i] = (
+                    bounded_count(f, low, high)
+                    + middle
+                    + bounded_count(l, low, high)
+                )
+        return totals
+
     def range_query(
         self,
         low: int,
@@ -355,7 +515,10 @@ class PartitionedColumn:
         if low > high:
             raise ValueError("low must be <= high")
         self.counter.index_probe()
-        first, last = self._index.locate_range(int(low), int(high))
+        # Boundaries are snapped to duplicate runs and inserts route to the
+        # first candidate partition, so no run straddles a partition
+        # boundary: the tight span is exact and matches the cost model.
+        first, last = self._index.locate_range(int(low), int(high), spanning=False)
 
         total = 0
         position_chunks: list[np.ndarray] = []
@@ -449,13 +612,13 @@ class PartitionedColumn:
         self._refresh_minmax_on_insert(target, value)
         return int(rowid)
 
-    def delete(self, value: int, *, limit: int = 1) -> int:
-        """Delete up to ``limit`` occurrences of ``value``.
+    def _charged_point_scan(self, value: int) -> tuple[int, np.ndarray]:
+        """Locate and scan ``value``'s partition, charging the accesses.
 
-        Returns the number of deleted entries.  Raises
-        :class:`ValueNotFoundError` when the value is absent.
+        The shared preamble of every single-value write path: one index
+        probe, one random read plus ``blocks - 1`` sequential reads for the
+        partition scan.  Raises :class:`ValueNotFoundError` when absent.
         """
-        value = int(value)
         partition = self.locate_partition(value)
         blocks = self._partition_blocks(partition)
         if blocks > 0:
@@ -465,6 +628,16 @@ class PartitionedColumn:
         positions = self._scan_partition_for(partition, value, return_rowids=False)
         if positions.shape[0] == 0:
             raise ValueNotFoundError(f"value {value} not found")
+        return partition, positions
+
+    def delete(self, value: int, *, limit: int = 1) -> int:
+        """Delete up to ``limit`` occurrences of ``value``.
+
+        Returns the number of deleted entries.  Raises
+        :class:`ValueNotFoundError` when the value is absent.
+        """
+        value = int(value)
+        partition, positions = self._charged_point_scan(value)
         victims = positions[:limit] if limit is not None else positions
         deleted = 0
         for _ in range(victims.shape[0]):
@@ -479,6 +652,23 @@ class PartitionedColumn:
                 self._ripple_hole_forward(partition)
         return deleted
 
+    def remove_one(self, value: int) -> int | None:
+        """Delete one occurrence of ``value`` and return its row id.
+
+        Identical to ``delete(value, limit=1)`` in behavior and charged
+        accesses, but reports which row id the deletion actually removed
+        (``None`` when row ids are untracked) so callers moving a row
+        between chunks keep global row ids consistent.
+        """
+        value = int(value)
+        partition, positions = self._charged_point_scan(value)
+        position = int(positions[0])
+        rowid = int(self._rowids[position]) if self._track_rowids else None
+        self._remove_at(partition, position)
+        if self.dense:
+            self._ripple_hole_forward(partition)
+        return rowid
+
     def update(self, old_value: int, new_value: int) -> None:
         """Update one occurrence of ``old_value`` to ``new_value``.
 
@@ -491,15 +681,7 @@ class PartitionedColumn:
         """
         old_value = int(old_value)
         new_value = int(new_value)
-        source = self.locate_partition(old_value)
-        blocks = self._partition_blocks(source)
-        if blocks > 0:
-            self.counter.random_read(1)
-            if blocks > 1:
-                self.counter.seq_read(blocks - 1)
-        positions = self._scan_partition_for(source, old_value, return_rowids=False)
-        if positions.shape[0] == 0:
-            raise ValueNotFoundError(f"value {old_value} not found")
+        source, positions = self._charged_point_scan(old_value)
         rowid = (
             int(self._rowids[int(positions[0])]) if self._track_rowids else None
         )

@@ -26,7 +26,7 @@ from .cost_accounting import (
     AccessCounter,
     blocks_spanned,
 )
-from .errors import ValueNotFoundError
+from .errors import LayoutError, ValueNotFoundError
 
 
 class DeltaStoreColumn:
@@ -114,22 +114,48 @@ class DeltaStoreColumn:
         physical = self._main.physical_size + len(self._delta_values)
         return float(physical) / live if live else 1.0
 
+    def _live_main_mask(self, main_values: np.ndarray) -> np.ndarray | None:
+        """Keep-mask dropping the first tombstoned occurrences of each value.
+
+        ``values`` and ``rowids`` must suppress the *same* entries or they
+        misalign; both derive their mask here.  Returns ``None`` when no
+        tombstones exist.
+        """
+        if not self._tombstones:
+            return None
+        keep = np.ones(main_values.shape[0], dtype=bool)
+        remaining = dict(self._tombstones)
+        for i, value in enumerate(main_values):
+            count = remaining.get(int(value), 0)
+            if count > 0:
+                keep[i] = False
+                remaining[int(value)] = count - 1
+        return keep
+
     def values(self) -> np.ndarray:
         """Materialize all live values (main minus tombstones, plus delta)."""
         main_values = self._main.values()
-        if self._tombstones:
-            keep = np.ones(main_values.shape[0], dtype=bool)
-            remaining = dict(self._tombstones)
-            for i, value in enumerate(main_values):
-                count = remaining.get(int(value), 0)
-                if count > 0:
-                    keep[i] = False
-                    remaining[int(value)] = count - 1
+        keep = self._live_main_mask(main_values)
+        if keep is not None:
             main_values = main_values[keep]
         if not self._delta_values:
             return main_values
         return np.concatenate(
             (main_values, np.asarray(self._delta_values, dtype=np.int64))
+        )
+
+    def rowids(self) -> np.ndarray:
+        """Live row ids, aligned with :meth:`values`."""
+        if not self._track_rowids:
+            raise LayoutError("row-id tracking is disabled for this column")
+        main_rowids = self._main.rowids()
+        keep = self._live_main_mask(self._main.values())
+        if keep is not None:
+            main_rowids = main_rowids[keep]
+        if not self._delta_rowids:
+            return main_rowids
+        return np.concatenate(
+            (main_rowids, np.asarray(self._delta_rowids, dtype=np.int64))
         )
 
     # ------------------------------------------------------------------ #
@@ -246,10 +272,36 @@ class DeltaStoreColumn:
             raise ValueNotFoundError(f"value {value} not found")
         return deleted
 
+    def remove_one(self, value: int) -> int | None:
+        """Delete one occurrence of ``value`` and return its row id.
+
+        The victim is removed exactly as :meth:`delete` would remove it (the
+        delta copy first, then the first untombstoned main copy) and its row
+        id is reported (``None`` when untracked), so callers moving a row
+        elsewhere keep global row ids consistent.  Charges match
+        ``delete(value, limit=1)``.
+        """
+        value = int(value)
+        self._charge_delta_scan()
+        for i, buffered in enumerate(self._delta_values):
+            if buffered == value:
+                self._delta_values.pop(i)
+                rowid = self._delta_rowids.pop(i)
+                self.counter.random_write(1)
+                return int(rowid)
+        hits = self._main.point_query(value, return_rowids=self._track_rowids)
+        suppressed = self._tombstones.get(value, 0)
+        if hits.shape[0] - suppressed <= 0:
+            raise ValueNotFoundError(f"value {value} not found")
+        rowid = int(hits[suppressed]) if self._track_rowids else None
+        self._tombstones[value] = suppressed + 1
+        self.counter.random_write(1)
+        return rowid
+
     def update(self, old_value: int, new_value: int) -> None:
-        """Update one occurrence of ``old_value`` to ``new_value``."""
-        self.delete(old_value, limit=1)
-        self.insert(new_value)
+        """Update one occurrence of ``old_value``, preserving its row id."""
+        rowid = self.remove_one(old_value)
+        self.insert(new_value, rowid=rowid)
 
     # ------------------------------------------------------------------ #
     # Merge

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from ..core.monitor import WorkloadMonitor
 
 import numpy as np
 
@@ -24,6 +27,7 @@ from .cost_accounting import (
     AccessCounter,
     CostConstants,
 )
+from .errors import ValueNotFoundError
 from .mvcc import Transaction, TransactionManager
 from .table import Row, Table
 
@@ -41,6 +45,28 @@ class OperationResult:
         self, constants: CostConstants = DEFAULT_COST_CONSTANTS
     ) -> float:
         """Simulated latency in nanoseconds under ``constants``."""
+        return self.accesses.cost(constants)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batched sequence of operations.
+
+    ``results`` holds the per-operation result payloads in submission order
+    (``None`` for operations that raised ``ValueNotFoundError``); ``accesses``
+    is the aggregate simulated block-access tally of the whole batch.
+    """
+
+    results: list[Any]
+    accesses: AccessCounter
+    wall_ns: float
+    operations: int
+    errors: int = 0
+
+    def simulated_ns(
+        self, constants: CostConstants = DEFAULT_COST_CONSTANTS
+    ) -> float:
+        """Aggregate simulated latency in nanoseconds under ``constants``."""
         return self.accesses.cost(constants)
 
 
@@ -75,11 +101,28 @@ class StorageEngine:
         *,
         constants: CostConstants = DEFAULT_COST_CONSTANTS,
         enable_transactions: bool = False,
+        monitor: "WorkloadMonitor | None" = None,
     ) -> None:
         self.table = table
         self.constants = constants
         self.statistics = EngineStatistics()
         self.transactions = TransactionManager() if enable_transactions else None
+        #: Optional :class:`repro.core.monitor.WorkloadMonitor` observing the
+        #: per-chunk operation mix for online reorganization (Fig. 10 A->C).
+        self.monitor = monitor
+
+    def _observe(
+        self,
+        kind: str,
+        low: int,
+        high: int | None = None,
+        *,
+        write_target: bool = False,
+    ) -> None:
+        if self.monitor is not None:
+            self.monitor.observe(
+                self.table, kind, low, high, write_target=write_target
+            )
 
     @property
     def counter(self) -> AccessCounter:
@@ -104,28 +147,57 @@ class StorageEngine:
         self, key: int, columns: Sequence[str] | None = None
     ) -> OperationResult:
         """Q1: fetch the row(s) with the given key."""
+        self._observe("point_query", key)
         return self._measure("point_query", self.table.point_query, key, columns)
+
+    def multi_point_query(
+        self, keys: Sequence[int], columns: Sequence[str] | None = None
+    ) -> OperationResult:
+        """Batched Q1 on the vectorized fast path."""
+        if self.monitor is not None:
+            for key in keys:
+                self._observe("point_query", int(key))
+        return self._measure(
+            "multi_point_query", self.table.multi_point_query, keys, columns
+        )
 
     def range_count(self, low: int, high: int) -> OperationResult:
         """Q2: count rows with key in ``[low, high]``."""
+        self._observe("range_count", low, high)
         return self._measure("range_count", self.table.range_count, low, high)
+
+    def multi_range_count(
+        self, bounds: Sequence[tuple[int, int]]
+    ) -> OperationResult:
+        """Batched Q2 on the vectorized fast path."""
+        if self.monitor is not None:
+            for low, high in bounds:
+                self._observe("range_count", int(low), int(high))
+        return self._measure(
+            "multi_range_count", self.table.multi_range_count, bounds
+        )
 
     def range_sum(
         self, low: int, high: int, columns: Sequence[str] | None = None
     ) -> OperationResult:
         """Q3: sum payload attributes over rows with key in ``[low, high]``."""
+        self._observe("range_sum", low, high)
         return self._measure("range_sum", self.table.range_sum, low, high, columns)
 
     def insert(self, key: int, payload: Sequence[int] | None = None) -> OperationResult:
         """Q4: insert a new row."""
+        self._observe("insert", key)
         return self._measure("insert", self.table.insert, key, payload)
 
     def delete(self, key: int) -> OperationResult:
         """Q5: delete a row by key."""
+        self._observe("delete", key)
         return self._measure("delete", self.table.delete, key)
 
     def update_key(self, old_key: int, new_key: int) -> OperationResult:
         """Q6: change a row's key value."""
+        self._observe("update", old_key)
+        self._observe("update", new_key, write_target=True)
         return self._measure("update", self.table.update_key, old_key, new_key)
 
     def full_scan(self) -> OperationResult:
@@ -195,7 +267,81 @@ class StorageEngine:
             return self.delete(operation.key)
         if isinstance(operation, ops.Update):
             return self.update_key(operation.old_key, operation.new_key)
+        if isinstance(operation, ops.MultiPointQuery):
+            return self.multi_point_query(list(operation.keys), operation.columns)
+        if isinstance(operation, ops.MultiRangeCount):
+            return self.multi_range_count(list(operation.bounds))
         raise TypeError(f"unsupported operation type: {type(operation)!r}")
+
+    def execute_batch(self, operations) -> BatchResult:
+        """Execute a sequence of operations on the vectorized batch fast path.
+
+        Maximal consecutive runs of point queries (with identical column
+        lists) and of counting range queries are grouped and resolved through
+        :meth:`multi_point_query` / :meth:`multi_range_count`; every other
+        operation is dispatched individually, preserving the submission order
+        of writes relative to the reads around them.  The simulated access
+        counts are identical to calling :meth:`execute` once per operation;
+        results are returned in submission order (``None`` for operations
+        that raised ``ValueNotFoundError``).  Statistics are recorded per
+        dispatched operation -- grouped runs under the ``multi_*`` kinds,
+        the rest under their own kind.
+        """
+        from ..workload import operations as ops
+
+        oplist = list(operations)
+        before = self.counter.snapshot()
+        start = time.perf_counter_ns()
+        results: list[Any] = []
+        errors = 0
+        i = 0
+        n = len(oplist)
+        while i < n:
+            operation = oplist[i]
+            if isinstance(operation, ops.PointQuery):
+                j = i
+                while (
+                    j < n
+                    and isinstance(oplist[j], ops.PointQuery)
+                    and oplist[j].columns == operation.columns
+                ):
+                    j += 1
+                keys = [op.key for op in oplist[i:j]]
+                results.extend(
+                    self.multi_point_query(keys, operation.columns).result
+                )
+                i = j
+            elif (
+                isinstance(operation, ops.RangeQuery)
+                and operation.aggregate is ops.Aggregate.COUNT
+            ):
+                j = i
+                while (
+                    j < n
+                    and isinstance(oplist[j], ops.RangeQuery)
+                    and oplist[j].aggregate is ops.Aggregate.COUNT
+                ):
+                    j += 1
+                bounds = [(op.low, op.high) for op in oplist[i:j]]
+                counts = self.multi_range_count(bounds).result
+                results.extend(int(count) for count in counts)
+                i = j
+            else:
+                try:
+                    results.append(self.execute(operation).result)
+                except ValueNotFoundError:
+                    results.append(None)
+                    errors += 1
+                i += 1
+        wall = float(time.perf_counter_ns() - start)
+        accesses = self.counter.diff(before)
+        return BatchResult(
+            results=results,
+            accesses=accesses,
+            wall_ns=wall,
+            operations=n,
+            errors=errors,
+        )
 
     def values(self) -> np.ndarray:
         """All live key values (for validation)."""

@@ -8,6 +8,28 @@ metadata behaves like Zonemaps and can simply be scanned.
 The index cost is charged through ``AccessCounter.index_probe`` and, per the
 paper, is *shared* by every operation and therefore excluded from the layout
 optimization objective.
+
+Fence-maintenance invariants
+----------------------------
+
+The index routes by *upper fences*: ``fences[i]`` is the largest value that
+partition ``i`` may hold.  Callers that keep an index consistent with live
+data must preserve:
+
+1. **Monotonicity** -- fences are non-decreasing.  Equal neighbouring fences
+   are legal and mean a duplicate run spans several partitions.
+2. **Coverage** -- every live value of partition ``i`` is ``<= fences[i]``.
+   The last fence is conventionally ``int64 max`` so inserts of new maxima
+   route to the last partition without fence updates.
+3. **Lower bound** -- every live value of partition ``i`` is ``>=
+   fences[i - 1]``.  Note the inclusive bound: a duplicate run may straddle a
+   boundary, so a value *equal* to the previous fence may legally live in the
+   next partition.  Point lookups therefore must probe the full
+   :meth:`PartitionIndex.locate_all` span, not a single partition.
+4. **Raising fences** -- inserting a value ``v`` into partition ``i`` with
+   ``v > fences[i]`` requires :meth:`PartitionIndex.update_fence` (only the
+   last partition, whose fence is ``int64 max``, is exempt).  Deletes may
+   leave fences stale-high; that only widens routing and never loses rows.
 """
 
 from __future__ import annotations
@@ -30,10 +52,12 @@ class PartitionMetadata:
 class PartitionIndex:
     """k-ary search tree over partition upper fences.
 
-    The index maps a value to the partition that may contain it: the first
-    partition whose upper fence is >= the value.  Values larger than every
-    fence map to the last partition (which is where inserts of new maxima
-    land).
+    The index maps a value to the partition(s) that may contain it: the first
+    partition whose upper fence is >= the value, plus -- when duplicate runs
+    make neighbouring fences equal, or a run straddles a boundary -- the
+    partitions immediately after it (see :meth:`locate_all`).  Values larger
+    than every fence map to the last partition (which is where inserts of new
+    maxima land).
 
     Parameters
     ----------
@@ -83,9 +107,12 @@ class PartitionIndex:
         return depth
 
     def locate(self, value: int) -> int:
-        """Partition id that may contain ``value``.
+        """First partition id that may contain ``value``.
 
-        Values beyond the last fence are routed to the last partition.
+        Values beyond the last fence are routed to the last partition.  This
+        is the *insert* routing rule: new values always land in the first
+        candidate partition, which keeps duplicates of a value from spreading
+        further than the load-time layout put them.
         """
         if len(self) == 0:
             raise IndexError("index is empty")
@@ -94,16 +121,98 @@ class PartitionIndex:
             pos = len(self) - 1
         return pos
 
-    def locate_range(self, low: int, high: int) -> tuple[int, int]:
+    def locate_all(self, value: int) -> tuple[int, int]:
+        """Inclusive ``(first, last)`` span of partitions that may hold ``value``.
+
+        With strictly increasing fences and no straddling duplicate runs this
+        span is a single partition.  Two situations widen it:
+
+        * neighbouring fences equal to ``value`` (a duplicate run filling
+          whole partitions) -- every partition of the equal-fence run is a
+          candidate;
+        * ``value`` equal to a fence with the run spilling into the next
+          partition (invariant 3 above) -- the partition after the equal-fence
+          run is a candidate as well.
+
+        When ``fences[first] > value`` neither applies and the span collapses
+        to ``(first, first)``.
+        """
+        if len(self) == 0:
+            raise IndexError("index is empty")
+        n = len(self)
+        first = int(np.searchsorted(self._fences, value, side="left"))
+        if first >= n:
+            return n - 1, n - 1
+        last = min(int(np.searchsorted(self._fences, value, side="right")), n - 1)
+        return first, max(first, last)
+
+    def locate_range(
+        self, low: int, high: int, *, spanning: bool = True
+    ) -> tuple[int, int]:
         """Partitions spanned by the inclusive value range ``[low, high]``.
 
-        Returns ``(first, last)`` partition ids with ``first <= last``.
+        Returns ``(first, last)`` partition ids with ``first <= last``.  By
+        default the high bound uses ``side="right"`` semantics: all
+        partitions whose fence *equals* ``high`` (equal-fence duplicate runs)
+        are spanned, plus the partition immediately after them, whose leading
+        values may equal the shared fence (a duplicate run straddling the
+        boundary).
+
+        Callers that maintain the snapped-boundary invariant -- no duplicate
+        run ever straddles a partition boundary, as
+        :class:`~repro.storage.column.PartitionedColumn` guarantees -- may
+        pass ``spanning=False`` for the tight ``side="left"`` span, which is
+        the span the optimizer's cost model prices.
         """
         if low > high:
             raise ValueError("low must be <= high")
         first = self.locate(low)
-        pos = int(np.searchsorted(self._fences, high, side="left"))
-        last = min(pos, len(self) - 1)
+        side = "right" if spanning else "left"
+        last = min(int(np.searchsorted(self._fences, high, side=side)), len(self) - 1)
         if last < first:
             last = first
         return first, last
+
+    def locate_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate_all` over an array of values.
+
+        Returns ``(first, last)`` arrays of candidate spans, one entry per
+        input value.
+        """
+        if len(self) == 0:
+            raise IndexError("index is empty")
+        values = np.asarray(values, dtype=np.int64)
+        n = len(self)
+        first = np.minimum(
+            np.searchsorted(self._fences, values, side="left"), n - 1
+        ).astype(np.int64)
+        last = np.minimum(
+            np.searchsorted(self._fences, values, side="right"), n - 1
+        ).astype(np.int64)
+        return first, np.maximum(first, last)
+
+    def locate_range_batch(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        spanning: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate_range` over aligned bound arrays."""
+        if len(self) == 0:
+            raise IndexError("index is empty")
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must be aligned")
+        if np.any(lows > highs):
+            raise ValueError("low must be <= high")
+        n = len(self)
+        side = "right" if spanning else "left"
+        first = np.minimum(
+            np.searchsorted(self._fences, lows, side="left"), n - 1
+        ).astype(np.int64)
+        last = np.minimum(
+            np.searchsorted(self._fences, highs, side=side), n - 1
+        ).astype(np.int64)
+        return first, np.maximum(first, last)

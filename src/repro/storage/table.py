@@ -8,6 +8,15 @@ ids, so data movement inside the key column (ripples, delta merges) never has
 to touch the payload -- this mirrors the paper's positioning that Casper
 controls the layout of individual columns/column groups and is orthogonal to
 the rest of the table layout.
+
+Routing across chunks goes through a chunk-level
+:class:`~repro.storage.partition_index.PartitionIndex` whose fences are the
+chunk upper bounds (the last chunk's fence is ``int64 max`` so inserts of new
+maxima route there without fence maintenance).  Because the chunking of the
+loaded key column simply slices the sorted keys, a duplicate run may straddle
+a chunk boundary; point operations therefore probe the *span* of candidate
+chunks returned by :meth:`PartitionIndex.locate_all`, never just one chunk.
+Every routing decision is charged through ``AccessCounter.index_probe``.
 """
 
 from __future__ import annotations
@@ -22,8 +31,10 @@ from .cost_accounting import (
     AccessCounter,
     blocks_spanned,
 )
+from .column import expand_ranges
 from .errors import LayoutError, ValueNotFoundError
 from .layouts import ColumnLike, LayoutKind, LayoutSpec, build_column
+from .partition_index import PartitionIndex
 
 #: Per-chunk column builder: (sorted chunk keys, global rowids, counter) -> chunk.
 ChunkBuilder = Callable[[np.ndarray, np.ndarray, AccessCounter], ColumnLike]
@@ -79,6 +90,7 @@ class Table:
         chunk_builder: ChunkBuilder | None = None,
         payload_names: Sequence[str] | None = None,
         block_values: int = DEFAULT_BLOCK_VALUES,
+        router_fanout: int = 16,
     ) -> None:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.ndim != 1:
@@ -130,6 +142,8 @@ class Table:
             if start >= n:
                 break
         self._chunk_bounds[-1] = np.iinfo(np.int64).max
+        self._router = PartitionIndex(fanout=router_fanout)
+        self._rebuild_router()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -150,6 +164,16 @@ class Table:
         """The key-column chunks (read-only use)."""
         return list(self._chunks)
 
+    @property
+    def chunk_bounds(self) -> np.ndarray:
+        """Upper fence (maximum routable key) of each chunk."""
+        return np.asarray(self._chunk_bounds, dtype=np.int64)
+
+    @property
+    def router(self) -> PartitionIndex:
+        """The chunk-level routing index (read-only use)."""
+        return self._router
+
     def keys(self) -> np.ndarray:
         """Materialize all live keys (unsorted)."""
         pieces = [chunk.values() for chunk in self._chunks]
@@ -159,17 +183,33 @@ class Table:
     # Routing
     # ------------------------------------------------------------------ #
 
-    def _route(self, key: int) -> int:
-        """Chunk index responsible for ``key``."""
-        for i, high in enumerate(self._chunk_bounds):
-            if key <= high:
-                return i
-        return len(self._chunks) - 1
+    def _rebuild_router(self) -> None:
+        self._router.rebuild(np.asarray(self._chunk_bounds, dtype=np.int64))
+
+    def _route_key(self, key: int) -> tuple[int, int]:
+        """Inclusive span of chunks that may contain ``key`` (index probe).
+
+        Duplicate runs straddling a chunk boundary make the span wider than
+        one chunk; all candidates must be probed for correct point reads,
+        deletes and key updates.
+        """
+        self.counter.index_probe()
+        return self._router.locate_all(int(key))
+
+    def _route_insert(self, key: int) -> int:
+        """Chunk that receives an insert of ``key`` (first candidate)."""
+        self.counter.index_probe()
+        return self._router.locate(int(key))
 
     def _route_range(self, low: int, high: int) -> tuple[int, int]:
-        first = self._route(low)
-        last = self._route(high)
-        return first, max(first, last)
+        self.counter.index_probe()
+        return self._router.locate_range(int(low), int(high))
+
+    def chunk_span(self, low: int, high: int | None = None) -> tuple[int, int]:
+        """Chunk span for monitoring/planning purposes (no access charged)."""
+        if high is None:
+            return self._router.locate_all(int(low))
+        return self._router.locate_range(int(low), int(high))
 
     # ------------------------------------------------------------------ #
     # Payload access
@@ -199,22 +239,13 @@ class Table:
         self._next_rowid += 1
         return rowid
 
-    # ------------------------------------------------------------------ #
-    # HAP-style operations
-    # ------------------------------------------------------------------ #
-
-    def point_query(
-        self, key: int, columns: Sequence[str] | None = None
+    def _materialize_rows(
+        self,
+        key: int,
+        rowids: np.ndarray,
+        columns: list[str],
+        indices: list[int],
     ) -> list[Row]:
-        """Q1: return the rows whose key equals ``key`` with payload columns."""
-        chunk_index = self._route(int(key))
-        chunk = self._chunks[chunk_index]
-        columns = list(columns) if columns is not None else list(self.payload_names)
-        indices = self._payload_indices(columns)
-        rowids = chunk.point_query(int(key), return_rowids=True)
-        rowids = np.asarray(rowids, dtype=np.int64)
-        if rowids.size and columns:
-            self.counter.random_read(int(rowids.size) * len(columns))
         rows: list[Row] = []
         for rowid in rowids:
             rowid = int(rowid)
@@ -224,6 +255,106 @@ class Table:
             }
             rows.append(Row(key=int(key), rowid=rowid, payload=payload))
         return rows
+
+    # ------------------------------------------------------------------ #
+    # HAP-style operations
+    # ------------------------------------------------------------------ #
+
+    def point_query(
+        self, key: int, columns: Sequence[str] | None = None
+    ) -> list[Row]:
+        """Q1: return the rows whose key equals ``key`` with payload columns."""
+        key = int(key)
+        first, last = self._route_key(key)
+        columns = list(columns) if columns is not None else list(self.payload_names)
+        indices = self._payload_indices(columns)
+        pieces: list[np.ndarray] = []
+        for chunk_index in range(first, last + 1):
+            hits = self._chunks[chunk_index].point_query(key, return_rowids=True)
+            hits = np.asarray(hits, dtype=np.int64)
+            if hits.size:
+                pieces.append(hits)
+        rowids = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        if rowids.size and columns:
+            self.counter.random_read(int(rowids.size) * len(columns))
+        return self._materialize_rows(key, rowids, columns, indices)
+
+    def multi_point_query(
+        self, keys: np.ndarray | Sequence[int], columns: Sequence[str] | None = None
+    ) -> list[list[Row]]:
+        """Vectorized Q1 batch: one row list per input key, in input order.
+
+        Keys are routed with a single ``searchsorted`` over the chunk fences,
+        grouped by chunk and resolved with vectorized per-chunk probes; the
+        simulated block accesses are identical to issuing each point query
+        individually.
+        """
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        if keys_arr.ndim != 1:
+            raise LayoutError("keys must be one-dimensional")
+        columns = list(columns) if columns is not None else list(self.payload_names)
+        indices = self._payload_indices(columns)
+        m = int(keys_arr.size)
+        if m == 0:
+            return []
+        self.counter.index_probe(m)
+        first, last = self._router.locate_batch(keys_arr)
+        spans = (last - first + 1).astype(np.int64)
+        expanded_pos = np.repeat(np.arange(m, dtype=np.int64), spans)
+        expanded_chunks = expand_ranges(first, spans)
+        counts_per_key = np.zeros(m, dtype=np.int64)
+        owner_pieces: list[np.ndarray] = []
+        hit_pieces: list[np.ndarray] = []
+        # Chunks are visited in ascending order, so the stable owner sort
+        # below reproduces the per-op candidate-chunk probing order.
+        for chunk_index in np.unique(expanded_chunks):
+            positions = expanded_pos[expanded_chunks == chunk_index]
+            chunk_keys = keys_arr[positions]
+            chunk = self._chunks[int(chunk_index)]
+            if hasattr(chunk, "multi_point_query"):
+                hits, counts = chunk.multi_point_query(
+                    chunk_keys, return_rowids=True
+                )
+            else:
+                found = [
+                    np.asarray(
+                        chunk.point_query(int(value), return_rowids=True),
+                        dtype=np.int64,
+                    )
+                    for value in chunk_keys
+                ]
+                counts = np.asarray([hit.size for hit in found], dtype=np.int64)
+                hits = (
+                    np.concatenate(found)
+                    if found
+                    else np.empty(0, dtype=np.int64)
+                )
+            if not int(counts.sum()):
+                continue
+            counts_per_key[positions] += counts
+            owner_pieces.append(np.repeat(positions, counts))
+            hit_pieces.append(hits)
+        total_hits = int(counts_per_key.sum())
+        if total_hits and columns:
+            self.counter.random_read(total_hits * len(columns))
+        if owner_pieces:
+            owners = np.concatenate(owner_pieces)
+            hits_flat = np.concatenate(hit_pieces)
+            hits_flat = hits_flat[np.argsort(owners, kind="stable")]
+        else:
+            hits_flat = np.empty(0, dtype=np.int64)
+        results: list[list[Row]] = []
+        offset = 0
+        for i in range(m):
+            count = int(counts_per_key[i])
+            rowids = hits_flat[offset : offset + count]
+            offset += count
+            results.append(
+                self._materialize_rows(int(keys_arr[i]), rowids, columns, indices)
+            )
+        return results
 
     def range_count(self, low: int, high: int) -> int:
         """Q2: ``SELECT count(*) WHERE key BETWEEN low AND high``."""
@@ -235,6 +366,50 @@ class Table:
             )
             total += result.count
         return total
+
+    def multi_range_count(
+        self, bounds: Sequence[tuple[int, int]] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized Q2 batch: one count per ``(low, high)`` pair.
+
+        Ranges are routed with one ``searchsorted`` pass over the chunk
+        fences and resolved per chunk with vectorized fence lookups; the
+        simulated accesses are identical to issuing each range count
+        individually.
+        """
+        bounds_arr = np.asarray(bounds, dtype=np.int64)
+        if bounds_arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if bounds_arr.ndim != 2 or bounds_arr.shape[1] != 2:
+            raise LayoutError("bounds must be a sequence of (low, high) pairs")
+        lows = bounds_arr[:, 0]
+        highs = bounds_arr[:, 1]
+        if np.any(lows > highs):
+            raise ValueError("low must be <= high")
+        m = int(bounds_arr.shape[0])
+        self.counter.index_probe(m)
+        first, last = self._router.locate_range_batch(lows, highs)
+        totals = np.zeros(m, dtype=np.int64)
+        spans = (last - first + 1).astype(np.int64)
+        expanded_pos = np.repeat(np.arange(m, dtype=np.int64), spans)
+        expanded_chunks = expand_ranges(first, spans)
+        for chunk_index in np.unique(expanded_chunks):
+            positions = expanded_pos[expanded_chunks == chunk_index]
+            chunk = self._chunks[int(chunk_index)]
+            if hasattr(chunk, "multi_range_count"):
+                counts = chunk.multi_range_count(lows[positions], highs[positions])
+            else:
+                counts = np.asarray(
+                    [
+                        chunk.range_query(
+                            int(lows[pos]), int(highs[pos]), materialize=False
+                        ).count
+                        for pos in positions
+                    ],
+                    dtype=np.int64,
+                )
+            np.add.at(totals, positions, counts)
+        return totals
 
     def range_sum(
         self, low: int, high: int, columns: Sequence[str] | None = None
@@ -259,29 +434,53 @@ class Table:
         """Q4: insert a new row; returns its global row id."""
         payload = payload if payload is not None else [0] * len(self.payload_names)
         rowid = self._append_payload(payload)
-        chunk_index = self._route(int(key))
+        chunk_index = self._route_insert(int(key))
         self._chunks[chunk_index].insert(int(key), rowid=rowid)
         return rowid
 
     def delete(self, key: int) -> int:
-        """Q5: delete one row by key; returns the number of deleted rows."""
-        chunk_index = self._route(int(key))
-        return self._chunks[chunk_index].delete(int(key), limit=1)
+        """Q5: delete one row by key; returns the number of deleted rows.
+
+        All candidate chunks are probed in routing order, so duplicates split
+        across a chunk boundary are reachable by repeated deletes.
+        """
+        key = int(key)
+        first, last = self._route_key(key)
+        for chunk_index in range(first, last + 1):
+            try:
+                return self._chunks[chunk_index].delete(key, limit=1)
+            except ValueNotFoundError:
+                continue
+        raise ValueNotFoundError(f"key {key} not found")
 
     def update_key(self, old_key: int, new_key: int) -> None:
-        """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``)."""
-        source = self._route(int(old_key))
-        target = self._route(int(new_key))
-        if source == target:
-            self._chunks[source].update(int(old_key), int(new_key))
-            return
-        chunk = self._chunks[source]
-        rowids = chunk.point_query(int(old_key), return_rowids=True)
-        rowid = int(rowids[0]) if len(rowids) else None
-        if rowid is None:
-            raise ValueNotFoundError(f"key {old_key} not found")
-        chunk.delete(int(old_key), limit=1)
-        self._chunks[target].insert(int(new_key), rowid=rowid)
+        """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``).
+
+        The source chunk is the first candidate chunk that actually holds
+        ``old_key`` (duplicate runs may straddle chunk bounds); the target is
+        the insert route of ``new_key``.  A same-chunk update rewrites in
+        place via the column's ripple update; a cross-chunk move preserves
+        the global row id, so the payload never moves.
+        """
+        old_key, new_key = int(old_key), int(new_key)
+        first, last = self._route_key(old_key)
+        target = self._route_insert(new_key)
+        for chunk_index in range(first, last + 1):
+            try:
+                if chunk_index == target:
+                    # Same-chunk update: the column's ripple update performs
+                    # (and charges) the single source scan, per Eq. 12/14.
+                    self._chunks[chunk_index].update(old_key, new_key)
+                else:
+                    # Cross-chunk move: remove_one reports the row id the
+                    # deletion actually picked (delta-store chunks prefer
+                    # their buffer), keeping global row ids consistent.
+                    rowid = self._chunks[chunk_index].remove_one(old_key)
+                    self._chunks[target].insert(new_key, rowid=rowid)
+                return
+            except ValueNotFoundError:
+                continue
+        raise ValueNotFoundError(f"key {old_key} not found")
 
     def scan(self) -> np.ndarray:
         """Full scan of the key column."""
@@ -294,13 +493,93 @@ class Table:
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
+    # Online reorganization
+    # ------------------------------------------------------------------ #
+
+    def rebuild_chunk(
+        self, chunk_index: int, chunk_builder: ChunkBuilder | None = None
+    ) -> ColumnLike:
+        """Re-lay-out one chunk in place (the paper's online loop, Fig. 10).
+
+        The chunk's live keys and row ids are extracted, re-sorted and fed
+        back through ``chunk_builder`` (the table's default builder when
+        omitted -- pass e.g. ``CasperPlanner.build_chunk`` to re-optimize for
+        a drifted workload).  The chunk's upper fence is refreshed from the
+        surviving maximum and the router rebuilt, so stale-high fences left
+        by deletes are tightened.
+        """
+        if not 0 <= chunk_index < len(self._chunks):
+            raise LayoutError(f"chunk index {chunk_index} out of range")
+        chunk = self._chunks[chunk_index]
+        if not hasattr(chunk, "rowids"):
+            raise LayoutError(
+                "chunk does not expose row ids; cannot rebuild in place"
+            )
+        values = np.asarray(chunk.values(), dtype=np.int64)
+        rowids = np.asarray(chunk.rowids(), dtype=np.int64)
+        if values.size == 0:
+            return chunk
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_rowids = rowids[order]
+        # A re-layout reads and rewrites the whole chunk sequentially, the
+        # same charge DeltaStoreColumn.merge pays for its reorganization.
+        blocks = blocks_spanned(0, int(values.size), self.block_values)
+        self.counter.seq_read(blocks)
+        self.counter.seq_write(blocks)
+        builder = chunk_builder if chunk_builder is not None else self._chunk_builder
+        rebuilt = builder(sorted_values, sorted_rowids, self.counter)
+        self._chunks[chunk_index] = rebuilt
+        if chunk_index < len(self._chunks) - 1:
+            self._chunk_bounds[chunk_index] = int(sorted_values[-1])
+        self._rebuild_router()
+        return rebuilt
+
+    # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
 
     def check_invariants(self) -> None:
-        """Validate every chunk."""
-        for chunk in self._chunks:
+        """Validate every chunk plus the cross-chunk routing invariants.
+
+        Beyond per-chunk structure this asserts the fence-maintenance
+        contract of :mod:`repro.storage.partition_index`: non-decreasing
+        chunk bounds mirrored by the router, a ``+inf`` final fence, every
+        chunk's keys at most its own bound and at least the previous bound
+        (equality allowed -- duplicate runs may straddle a boundary), and
+        globally unique row ids.
+        """
+        bounds = np.asarray(self._chunk_bounds, dtype=np.int64)
+        assert bounds.shape[0] == len(self._chunks), "bounds/chunks mismatch"
+        assert bounds.size == 0 or np.all(np.diff(bounds) >= 0), (
+            "chunk bounds must be non-decreasing"
+        )
+        assert bounds.size and bounds[-1] == np.iinfo(np.int64).max, (
+            "last chunk bound must be +inf"
+        )
+        assert np.array_equal(self._router.fences, bounds), (
+            "router fences out of sync with chunk bounds"
+        )
+        previous_bound = np.iinfo(np.int64).min
+        all_rowids: list[np.ndarray] = []
+        for i, chunk in enumerate(self._chunks):
             chunk.check_invariants()
+            values = np.asarray(chunk.values(), dtype=np.int64)
+            if values.size:
+                assert int(values.min()) >= previous_bound, (
+                    f"chunk {i} holds keys below the previous chunk bound"
+                )
+                assert int(values.max()) <= int(bounds[i]), (
+                    f"chunk {i} holds keys above its bound"
+                )
+            if hasattr(chunk, "rowids"):
+                all_rowids.append(np.asarray(chunk.rowids(), dtype=np.int64))
+            previous_bound = int(bounds[i])
+        if all_rowids:
+            merged = np.concatenate(all_rowids)
+            assert np.unique(merged).shape[0] == merged.shape[0], (
+                "duplicate row ids across chunks"
+            )
 
 
 def require_key(rows: list[Row], key: int) -> Row:

@@ -15,13 +15,21 @@ from typing import Sequence
 
 
 class OperationKind(Enum):
-    """The five fundamental access patterns."""
+    """The five fundamental access patterns, plus vectorized batch forms.
+
+    The batch kinds are not new access patterns: they group many point or
+    range lookups into one operation so the engine can resolve them on the
+    vectorized fast path (single ``searchsorted`` calls per chunk) instead of
+    per-operation Python dispatch.
+    """
 
     POINT_QUERY = "point_query"
     RANGE_QUERY = "range_query"
     INSERT = "insert"
     DELETE = "delete"
     UPDATE = "update"
+    MULTI_POINT_QUERY = "multi_point_query"
+    MULTI_RANGE_COUNT = "multi_range_count"
 
 
 class Aggregate(Enum):
@@ -86,7 +94,39 @@ class Update:
     kind = OperationKind.UPDATE
 
 
-Operation = PointQuery | RangeQuery | Insert | Delete | Update
+@dataclass(frozen=True)
+class MultiPointQuery:
+    """Batched Q1: fetch the rows for every key in ``keys`` in one operation."""
+
+    keys: tuple[int, ...]
+    columns: tuple[str, ...] | None = None
+
+    kind = OperationKind.MULTI_POINT_QUERY
+
+
+@dataclass(frozen=True)
+class MultiRangeCount:
+    """Batched Q2: count rows for every ``(low, high)`` pair in ``bounds``."""
+
+    bounds: tuple[tuple[int, int], ...]
+
+    kind = OperationKind.MULTI_RANGE_COUNT
+
+    def __post_init__(self) -> None:
+        for low, high in self.bounds:
+            if low > high:
+                raise ValueError("range low must be <= high")
+
+
+Operation = (
+    PointQuery
+    | RangeQuery
+    | Insert
+    | Delete
+    | Update
+    | MultiPointQuery
+    | MultiRangeCount
+)
 
 
 @dataclass

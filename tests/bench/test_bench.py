@@ -34,6 +34,33 @@ class TestHarness:
         assert "insert" in result.mean_latency_ns
         assert result.counts["insert"] > 0
 
+    def test_run_workload_batched_matches_sequential_accesses(self, tiny_config):
+        workload = make_workload("hybrid_skewed", tiny_config, num_operations=200)
+        sequential_engine = build_hap_engine(
+            LayoutKind.EQUI, tiny_config, partitions=8
+        )
+        batch_engine = build_hap_engine(LayoutKind.EQUI, tiny_config, partitions=8)
+        sequential = run_workload(sequential_engine, workload, layout_name="equi")
+        batched = run_workload(
+            batch_engine, workload, layout_name="equi", batch_size=64
+        )
+        assert batched.operations == sequential.operations
+        assert batched.errors == sequential.errors
+        # The aggregate simulated block accesses are identical; per-run
+        # simulated_seconds may differ because the sequential path drops the
+        # partial charges of failed (not-found) operations from its tally.
+        assert (
+            batch_engine.counter.snapshot()
+            == sequential_engine.counter.snapshot()
+        )
+        assert batched.counts["batch"] == 200 // 64 + 1
+
+    def test_run_workload_rejects_bad_batch_size(self, tiny_config):
+        engine = build_hap_engine(LayoutKind.EQUI, tiny_config, partitions=8)
+        workload = make_workload("hybrid_skewed", tiny_config, num_operations=10)
+        with pytest.raises(ValueError):
+            run_workload(engine, workload, batch_size=0)
+
     def test_build_casper_engine_requires_training(self, tiny_config):
         with pytest.raises(ValueError):
             build_hap_engine(LayoutKind.CASPER, tiny_config)

@@ -48,6 +48,56 @@ class TestLocateRange:
             index.locate_range(5, 1)
 
 
+class TestDuplicateFences:
+    """Equal neighbouring fences mark duplicate runs spanning partitions."""
+
+    @pytest.fixture
+    def dup_index(self):
+        idx = PartitionIndex(fanout=4)
+        idx.rebuild([5, 5, 5, 9, 12])
+        return idx
+
+    def test_locate_returns_first_candidate(self, dup_index):
+        assert dup_index.locate(5) == 0
+
+    def test_locate_all_spans_equal_fence_run_and_successor(self, dup_index):
+        # Partitions 0-2 share the fence; partition 3 may start with the same
+        # value when the run straddles the boundary.
+        assert dup_index.locate_all(5) == (0, 3)
+
+    def test_locate_all_single_partition_between_fences(self, dup_index):
+        assert dup_index.locate_all(7) == (3, 3)
+
+    def test_locate_all_on_last_fence(self, dup_index):
+        assert dup_index.locate_all(12) == (4, 4)
+
+    def test_locate_all_beyond_domain(self, dup_index):
+        assert dup_index.locate_all(100) == (4, 4)
+
+    def test_locate_range_high_on_equal_fences_spans_full_run(self, dup_index):
+        # side="left" on the high fence used to stop at partition 0,
+        # under-spanning the duplicate run.
+        assert dup_index.locate_range(5, 5) == (0, 3)
+
+    def test_locate_range_high_on_unique_fence_includes_successor(self):
+        idx = PartitionIndex()
+        idx.rebuild([10, 20, 30])
+        assert idx.locate_range(15, 20) == (1, 2)
+
+    def test_locate_range_strictly_between_fences_is_tight(self, dup_index):
+        assert dup_index.locate_range(6, 8) == (3, 3)
+
+    def test_locate_batch_matches_locate_all(self, dup_index):
+        values = np.asarray([-1, 5, 6, 9, 10, 12, 50])
+        first, last = dup_index.locate_batch(values)
+        for i, value in enumerate(values):
+            assert (int(first[i]), int(last[i])) == dup_index.locate_all(int(value))
+
+    def test_locate_batch_empty_index_raises(self):
+        with pytest.raises(IndexError):
+            PartitionIndex().locate_batch(np.asarray([1]))
+
+
 class TestStructure:
     def test_rebuild_requires_monotone_fences(self):
         index = PartitionIndex()

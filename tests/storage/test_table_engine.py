@@ -147,6 +147,152 @@ class TestTableOperations:
         assert len(table.point_query(201)) == 1
 
 
+def make_straddle_table(chunk_size=4):
+    """A table whose chunk boundary falls inside the duplicate run of 100s."""
+    keys = np.asarray([1, 2, 3, 100, 100, 100, 100, 200, 300], dtype=np.int64)
+    payload = np.arange(keys.shape[0], dtype=np.int64).reshape(-1, 1)
+    return Table(keys, payload, chunk_size=chunk_size, block_values=4)
+
+
+class TestCrossChunkDuplicates:
+    """Regression: duplicate runs split across a chunk boundary (seed bug)."""
+
+    def test_boundary_falls_inside_duplicate_run(self):
+        table = make_straddle_table()
+        assert table.num_chunks == 3
+        # The first chunk ends inside the run: its bound equals the key.
+        assert int(table.chunk_bounds[0]) == 100
+
+    def test_point_query_returns_full_duplicate_run(self):
+        table = make_straddle_table()
+        rows = table.point_query(100)
+        assert len(rows) == 4
+        assert sorted(row.payload["a1"] for row in rows) == [3, 4, 5, 6]
+
+    def test_repeated_delete_removes_full_duplicate_run(self):
+        table = make_straddle_table()
+        deleted = 0
+        for _ in range(4):
+            deleted += table.delete(100)
+        assert deleted == 4
+        assert table.point_query(100) == []
+        with pytest.raises(ValueNotFoundError):
+            table.delete(100)
+        table.check_invariants()
+
+    def test_update_key_finds_duplicate_beyond_first_candidate_chunk(self):
+        table = make_straddle_table()
+        # Exhaust the copies in the first candidate chunk, then update: the
+        # remaining copies live only in the second candidate chunk.
+        table.delete(100)
+        table.update_key(100, 150)
+        assert len(table.point_query(150)) == 1
+        assert len(table.point_query(100)) == 2
+        table.check_invariants()
+
+    def test_routing_uses_partition_index(self):
+        from repro.storage.partition_index import PartitionIndex
+
+        table = make_straddle_table()
+        assert isinstance(table.router, PartitionIndex)
+        assert np.array_equal(table.router.fences, table.chunk_bounds)
+        # The seed's O(num_chunks) linear scan is gone.
+        assert not hasattr(Table, "_route")
+
+    def test_point_routing_charges_index_probes(self):
+        table = make_straddle_table()
+        before = table.counter.snapshot()
+        table.point_query(100)
+        assert table.counter.diff(before).index_probes > 0
+
+
+class TestUpdateKeyFenceConsistency:
+    def test_update_key_to_same_value_same_chunk(self):
+        table = make_table(num_rows=1_024, chunk_size=256)
+        table.update_key(40, 40)
+        assert len(table.point_query(40)) == 1
+        assert table.num_rows == 1_024
+        table.check_invariants()
+
+    def test_update_key_to_same_value_on_chunk_bound(self):
+        table = make_straddle_table()
+        table.update_key(100, 100)
+        assert len(table.point_query(100)) == 4
+        table.check_invariants()
+
+    def test_cross_chunk_move_of_key_equal_to_chunk_bound(self):
+        table = make_table(num_rows=1_024, chunk_size=256)
+        bound = int(table.chunk_bounds[0])
+        table.update_key(bound, bound + 1_001)
+        assert table.point_query(bound) == []
+        assert len(table.point_query(bound + 1_001)) == 1
+        table.check_invariants()
+
+    def test_move_onto_chunk_bound_routes_to_owning_chunk(self):
+        table = make_table(num_rows=1_024, chunk_size=256)
+        bound = int(table.chunk_bounds[0])
+        # Odd keys are absent from the loaded table; the new key equals no
+        # chunk bound's own key but routes onto the first chunk's fence.
+        table.update_key(bound - 2, bound)
+        assert len(table.point_query(bound)) == 2
+        table.check_invariants()
+
+    def test_update_key_preserves_rowid_on_delta_store_chunks(self):
+        # Regression: DeltaStoreColumn.update used to fabricate a fresh
+        # column-local row id, colliding with live rows in other chunks and
+        # returning another row's payload.
+        keys = np.asarray([10, 20, 30, 40, 100, 110, 120, 130])
+        payload = np.arange(8, dtype=np.int64).reshape(-1, 1)
+        spec = LayoutSpec(kind=LayoutKind.STATE_OF_ART, block_values=64)
+        table = Table(
+            keys,
+            payload,
+            chunk_size=4,
+            chunk_builder=layout_chunk_builder(spec),
+            block_values=64,
+        )
+        table.update_key(10, 15)
+        rows = table.point_query(15)
+        assert [row.payload["a1"] for row in rows] == [0]
+        assert [row.payload["a1"] for row in table.point_query(100)] == [4]
+        table.check_invariants()
+
+    def test_cross_chunk_update_moves_the_rowid_the_delete_picked(self):
+        # Regression: with a delta-store chunk holding a key both in main and
+        # in its delta buffer, the cross-chunk move must migrate the row id
+        # of the copy the delete actually removes (the buffered one), not
+        # the first point-query hit (the main one).
+        keys = np.asarray([10, 20, 30, 40, 100, 110, 120, 130])
+        payload = np.arange(8, dtype=np.int64).reshape(-1, 1)
+        # A high merge trigger keeps the inserted copy in the delta buffer.
+        spec = LayoutSpec(
+            kind=LayoutKind.STATE_OF_ART, block_values=64, merge_entries=100
+        )
+        table = Table(
+            keys,
+            payload,
+            chunk_size=4,
+            chunk_builder=layout_chunk_builder(spec),
+            block_values=64,
+        )
+        duplicate_rowid = table.insert(10, payload=[8])  # buffered copy
+        table.update_key(10, 105)  # moves to the second chunk
+        moved = table.point_query(105)
+        assert [row.rowid for row in moved] == [duplicate_rowid]
+        assert [row.payload["a1"] for row in moved] == [8]
+        assert [row.payload["a1"] for row in table.point_query(10)] == [0]
+        table.check_invariants()
+
+    def test_rebuild_chunk_tightens_stale_bound(self):
+        table = make_table(num_rows=1_024, chunk_size=256)
+        bound = int(table.chunk_bounds[0])
+        table.delete(bound)
+        assert int(table.chunk_bounds[0]) == bound  # stale-high, still routable
+        table.rebuild_chunk(0)
+        assert int(table.chunk_bounds[0]) < bound
+        table.check_invariants()
+
+
 class TestStorageEngine:
     def test_measured_operation_results(self):
         engine = StorageEngine(make_table())
