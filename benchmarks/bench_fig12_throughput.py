@@ -1,13 +1,21 @@
 """Figure 12 benchmark: normalized throughput across six workloads and layouts.
 
-Also includes the routing fast-path smoke check: batched point queries on a
-1M-row, 16-chunk table must beat per-operation dispatch by >= 3x wall-clock.
-CI runs it at full scale (the table builds in about a second); set
+Also includes two fast-path smoke checks on a 1M-row, 16-chunk table:
+
+* batched point queries must beat per-operation dispatch by >= 3x wall-clock
+  (the PR-1 read fast path), and
+* a write-heavy Fig. 12-style workload (50% insert/delete, recent-skewed,
+  ``batch_size=256``) must beat per-operation dispatch by >= 3x wall-clock on
+  the bulk-write fast path, with the result trajectory emitted to
+  ``BENCH_fig12_writes.json``.
+
+CI runs both at full scale (the table builds in well under a second); set
 ``REPRO_BENCH_ROWS`` to scale the table down on constrained machines.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -15,10 +23,17 @@ import numpy as np
 import pytest
 
 from repro.bench.experiments import fig12
+from repro.bench.harness import run_workload
 from repro.storage.engine import StorageEngine
 from repro.storage.layouts import LayoutKind, LayoutSpec
 from repro.storage.table import Table, layout_chunk_builder
-from repro.workload.operations import PointQuery
+from repro.workload.operations import (
+    Delete,
+    Insert,
+    PointQuery,
+    RangeQuery,
+    Workload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -102,4 +117,106 @@ def test_fig12_batch_point_query_speedup(benchmark):
         f"{sequential_seconds * 1e3:.1f}ms, batch {batch_seconds * 1e3:.1f}ms "
         f"({speedup:.1f}x)"
     )
+    assert speedup >= 3.0
+
+
+def test_fig12_write_heavy_batch_speedup(benchmark):
+    """Bulk-write fast path: a write-heavy Fig. 12-style workload (50%
+    insert/delete, recent-skewed like the paper's hybrid profiles) at 1M rows
+    and ``batch_size=256`` beats per-op dispatch >= 3x wall-clock."""
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    num_rows = int(os.environ.get("REPRO_BENCH_ROWS", 1_048_576))
+    num_chunks = 16
+    batch_size = 256
+    # Scale the op count down with the table: each op quarter samples the
+    # hot-key pool (1/8th of the rows) without replacement, so it can never
+    # exceed that pool on REPRO_BENCH_ROWS-shrunk runs.
+    quarter = min(1_024, num_rows // 8)
+    num_ops = quarter * 4
+    block_values = 4_096
+    keys = np.arange(num_rows, dtype=np.int64) * 2
+    spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=16, block_values=block_values)
+    chunk_size = -(-num_rows // num_chunks)
+
+    def build_engine() -> StorageEngine:
+        return StorageEngine(
+            Table(
+                keys,
+                chunk_size=chunk_size,
+                chunk_builder=layout_chunk_builder(spec),
+                block_values=block_values,
+            )
+        )
+
+    # Phased write-heavy mix (one op kind per batch_size slice): 25% inserts
+    # of fresh odd keys, 25% deletes of loaded keys, 25% point reads, 25%
+    # range counts, all recent-skewed onto the top 1/8th of the key domain.
+    rng = np.random.default_rng(11)
+    domain = num_rows * 2
+    hot_low = (domain * 7) // 8
+    hot_keys = keys[keys >= hot_low]
+    fresh = (hot_low | 1) + 2 * rng.choice(
+        (domain - hot_low) // 2, quarter, replace=False
+    )
+    victims = rng.choice(hot_keys, quarter, replace=False)
+    reads = rng.choice(hot_keys, quarter, replace=True)
+    range_width = min(1_000, (domain - hot_low) // 4)
+    lows = rng.integers(hot_low, domain - range_width - 1, quarter)
+    operations: list = []
+    cursor = 0
+    while cursor < quarter:
+        stop = cursor + batch_size
+        operations.extend(Insert(key=int(k)) for k in fresh[cursor:stop])
+        operations.extend(PointQuery(key=int(k)) for k in reads[cursor:stop])
+        operations.extend(Delete(key=int(k)) for k in victims[cursor:stop])
+        operations.extend(
+            RangeQuery(low=int(low), high=int(low) + range_width)
+            for low in lows[cursor:stop]
+        )
+        cursor = stop
+    workload = Workload(operations=operations, name="fig12 write-heavy")
+
+    # Writes mutate the table, so every repetition gets a fresh build; the
+    # best of three keeps a shared-runner hiccup from flipping the gate.
+    sequential_seconds = float("inf")
+    for _ in range(3):
+        sequential_engine = build_engine()
+        start = time.perf_counter()
+        sequential_result = run_workload(sequential_engine, workload)
+        sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+    batch_seconds = float("inf")
+    for _ in range(3):
+        batch_engine = build_engine()
+        start = time.perf_counter()
+        batch_result = run_workload(batch_engine, workload, batch_size=batch_size)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    assert sequential_result.errors == 0
+    assert batch_result.errors == 0
+    assert np.array_equal(
+        np.sort(sequential_engine.table.keys()),
+        np.sort(batch_engine.table.keys()),
+    )
+    batch_engine.table.check_invariants()
+    speedup = sequential_seconds / batch_seconds
+    print(
+        f"\nbulk-write fast path: {num_ops} ops (50% insert/delete) on "
+        f"{num_rows} rows / {num_chunks} chunks -> per-op "
+        f"{sequential_seconds * 1e3:.1f}ms, batch {batch_seconds * 1e3:.1f}ms "
+        f"({speedup:.1f}x)"
+    )
+    payload = {
+        "experiment": "fig12_write_heavy_batch",
+        "num_rows": num_rows,
+        "num_chunks": num_chunks,
+        "num_operations": num_ops,
+        "write_fraction": 0.5,
+        "batch_size": batch_size,
+        "sequential_ms": sequential_seconds * 1e3,
+        "batch_ms": batch_seconds * 1e3,
+        "speedup": speedup,
+    }
+    out_path = os.environ.get("REPRO_BENCH_WRITES_JSON", "BENCH_fig12_writes.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
     assert speedup >= 3.0

@@ -26,6 +26,7 @@ as the simulated latency.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,21 +61,57 @@ def snap_boundaries_to_duplicates(
     """
     sorted_values = np.asarray(sorted_values)
     n = sorted_values.shape[0]
-    snapped: list[int] = []
-    for end in boundaries:
-        end = int(end)
-        if end <= 0 or end > n:
+    ends = np.asarray(boundaries, dtype=np.int64).ravel()
+    if ends.size:
+        bad = (ends <= 0) | (ends > n)
+        if np.any(bad):
+            end = int(ends[np.nonzero(bad)[0][0]])
             raise LayoutError(f"boundary {end} out of range (0, {n}]")
-        while end < n and sorted_values[end] == sorted_values[end - 1]:
-            end += 1
-        if not snapped or end > snapped[-1]:
-            snapped.append(end)
-    if not snapped or snapped[-1] != n:
-        if snapped and snapped[-1] > n:
-            raise LayoutError("snapped boundary exceeded data size")
-        if not snapped or snapped[-1] < n:
-            snapped.append(n)
-    return np.asarray(snapped, dtype=np.int64)
+        # The end of the duplicate run containing sorted_values[end - 1] is
+        # its right insertion point; a boundary that does not split a run is
+        # its own insertion point, so one searchsorted snaps every boundary.
+        snapped = np.searchsorted(
+            sorted_values, sorted_values[ends - 1], side="right"
+        ).astype(np.int64)
+        prefix_max = np.concatenate(
+            ([np.int64(-1)], np.maximum.accumulate(snapped)[:-1])
+        )
+        snapped = snapped[snapped > prefix_max]
+    else:
+        snapped = np.empty(0, dtype=np.int64)
+    if snapped.size == 0 or snapped[-1] != n:
+        snapped = np.append(snapped, n)
+    return snapped.astype(np.int64)
+
+
+def sort_batch_with_rowids(
+    values: np.ndarray | list[int],
+    rowids: np.ndarray | None,
+    next_rowid: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared bulk-write preamble: stable-sort a batch and assign row ids.
+
+    Returns ``(order, sorted_values, sorted_rowids, out)`` where ``order``
+    is the stable ascending-value permutation and ``out`` carries the
+    assigned row ids back in *input* order.  When ``rowids`` is ``None``,
+    fresh ids starting at ``next_rowid`` are assigned in sorted order,
+    exactly as sequential inserts would hand them out.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise LayoutError("values must be one-dimensional")
+    m = int(values.size)
+    order = np.argsort(values, kind="stable")
+    if rowids is None:
+        sorted_rowids = np.arange(next_rowid, next_rowid + m, dtype=np.int64)
+    else:
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if rowids.shape != values.shape:
+            raise LayoutError("rowids must align with values")
+        sorted_rowids = rowids[order]
+    out = np.empty(m, dtype=np.int64)
+    out[order] = sorted_rowids
+    return order, values[order], sorted_rowids, out
 
 
 def expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -210,6 +247,11 @@ class PartitionedColumn:
                 self._rowids[offset : offset + counts[i]] = rowids[lo:hi]
             offset += int(capacities[i])
 
+        #: Lazily-built sorted views per partition for the batch read probes:
+        #: partition -> (sorted_segment, order) where ``order`` maps sorted
+        #: slots back to local positions (``None`` when the live segment is
+        #: already sorted).  Any write to a partition invalidates its entry.
+        self._sorted_views: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
         self._fences = np.zeros(k, dtype=np.int64)
         self._mins = np.zeros(k, dtype=np.int64)
         self._maxs = np.zeros(k, dtype=np.int64)
@@ -316,6 +358,41 @@ class PartitionedColumn:
             return 0
         return blocks_spanned(0, count, self.block_values)
 
+    def _invalidate_sorted(self, partition: int) -> None:
+        self._sorted_views.pop(partition, None)
+
+    def _sorted_view(
+        self, partition: int, probe_count: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None] | None:
+        """Sorted live segment of ``partition`` plus its position mapping.
+
+        Returns ``(sorted_segment, order)`` where ``order`` maps sorted
+        slots back to local positions; ``order`` is ``None`` when the live
+        segment is already sorted.  Views are cached until the partition is
+        written (every data-moving primitive invalidates its entry), which
+        keeps repeated batch probes from re-sorting unchanged partitions.
+
+        ``probe_count`` is the number of probes the caller wants to resolve
+        against the view: when building one would require an argsort that
+        costs more than that many linear scans, ``None`` is returned (and
+        nothing cached) so the caller can fall back to per-probe scans.
+        """
+        cached = self._sorted_views.get(partition)
+        if cached is not None:
+            return cached
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        segment = self._data[start : start + count]
+        if count > 1 and np.any(segment[1:] < segment[:-1]):
+            if probe_count is not None and probe_count * 16 < count:
+                return None
+            order = np.argsort(segment, kind="stable")
+            cached = (segment[order], order)
+        else:
+            cached = (segment, None)
+        self._sorted_views[partition] = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # Read operations
     # ------------------------------------------------------------------ #
@@ -385,23 +462,43 @@ class PartitionedColumn:
         counts_out = np.zeros(m, dtype=np.int64)
         owner_pieces: list[np.ndarray] = []
         hit_pieces: list[np.ndarray] = []
-        for partition in np.unique(partitions):
-            sel = np.nonzero(partitions == partition)[0]
-            blocks = self._partition_blocks(int(partition))
+        order = np.argsort(partitions, kind="stable")
+        unique_parts, group_starts, group_counts = np.unique(
+            partitions[order], return_index=True, return_counts=True
+        )
+        random_reads = 0
+        seq_reads = 0
+        for partition, group_lo, group_size in zip(
+            unique_parts.tolist(), group_starts.tolist(), group_counts.tolist()
+        ):
+            sel = order[group_lo : group_lo + group_size]
+            blocks = self._partition_blocks(partition)
             if blocks > 0:
-                self.counter.random_read(int(sel.size))
-                if blocks > 1:
-                    self.counter.seq_read((blocks - 1) * int(sel.size))
+                random_reads += group_size
+                seq_reads += (blocks - 1) * group_size
             start = int(self._starts[partition])
             count = int(self._counts[partition])
-            segment = self._data[start : start + count]
-            if count > 1 and np.any(segment[1:] < segment[:-1]):
-                seg_order = np.argsort(segment, kind="stable")
-                seg_sorted = segment[seg_order]
-            else:
-                seg_order = None
-                seg_sorted = segment
             wanted = values[sel]
+            view = self._sorted_view(partition, probe_count=group_size)
+            if view is None:
+                # Small probe group on an unindexed partition: per-value
+                # linear scans beat building a sorted view.
+                segment = self._data[start : start + count]
+                for owner, value in zip(sel.tolist(), wanted.tolist()):
+                    local = np.nonzero(segment == value)[0]
+                    if local.size:
+                        counts_out[owner] = local.size
+                        owner_pieces.append(
+                            np.full(local.size, owner, dtype=np.int64)
+                        )
+                        positions = local + start
+                        hit_pieces.append(
+                            self._rowids[positions]
+                            if return_rowids
+                            else positions
+                        )
+                continue
+            seg_sorted, seg_order = view
             lo = np.searchsorted(seg_sorted, wanted, side="left")
             hi = np.searchsorted(seg_sorted, wanted, side="right")
             hits_per_value = (hi - lo).astype(np.int64)
@@ -418,6 +515,10 @@ class PartitionedColumn:
             hit_pieces.append(
                 self._rowids[positions] if return_rowids else positions
             )
+        if random_reads:
+            self.counter.random_read(random_reads)
+        if seq_reads:
+            self.counter.seq_read(seq_reads)
         if not owner_pieces:
             return empty, counts_out
         owners = np.concatenate(owner_pieces)
@@ -460,41 +561,40 @@ class PartitionedColumn:
         if seq_reads:
             self.counter.seq_read(seq_reads)
 
-        sorted_segments: dict[int, np.ndarray] = {}
-
-        def sorted_segment(partition: int) -> np.ndarray:
-            cached = sorted_segments.get(partition)
-            if cached is None:
+        totals = np.zeros(m, dtype=np.int64)
+        spanning = last > first
+        totals[spanning] = (
+            counts_cum[last[spanning]] - counts_cum[first[spanning] + 1]
+        )
+        # Boundary partitions, grouped by partition: each touched partition is
+        # sorted (or reused directly) once and resolves all of its ranges
+        # with a single searchsorted pair.
+        boundary_parts = np.concatenate((first, last[spanning]))
+        owners = np.concatenate(
+            (np.arange(m, dtype=np.int64), np.nonzero(spanning)[0])
+        )
+        for partition in np.unique(boundary_parts):
+            partition = int(partition)
+            sel = owners[boundary_parts == partition]
+            view = self._sorted_view(partition, probe_count=int(sel.size))
+            if view is None:
+                # Small range group on an unindexed partition: per-range
+                # mask counts beat building a sorted view.
                 start = int(self._starts[partition])
                 count = int(self._counts[partition])
                 segment = self._data[start : start + count]
-                if count > 1 and np.any(segment[1:] < segment[:-1]):
-                    cached = np.sort(segment)
-                else:
-                    cached = segment
-                sorted_segments[partition] = cached
-            return cached
-
-        def bounded_count(partition: int, low: int, high: int) -> int:
-            segment = sorted_segment(partition)
-            return int(
-                np.searchsorted(segment, high, side="right")
-                - np.searchsorted(segment, low, side="left")
+                for owner in sel.tolist():
+                    totals[owner] += int(
+                        (
+                            (segment >= lows[owner]) & (segment <= highs[owner])
+                        ).sum()
+                    )
+                continue
+            segment, _ = view
+            totals[sel] += (
+                np.searchsorted(segment, highs[sel], side="right")
+                - np.searchsorted(segment, lows[sel], side="left")
             )
-
-        totals = np.zeros(m, dtype=np.int64)
-        for i in range(m):
-            f, l = int(first[i]), int(last[i])
-            low, high = int(lows[i]), int(highs[i])
-            if f == l:
-                totals[i] = bounded_count(f, low, high)
-            else:
-                middle = int(counts_cum[l] - counts_cum[f + 1])
-                totals[i] = (
-                    bounded_count(f, low, high)
-                    + middle
-                    + bounded_count(l, low, high)
-                )
         return totals
 
     def range_query(
@@ -607,6 +707,7 @@ class PartitionedColumn:
         if self._track_rowids:
             self._rowids[position] = rowid
         self._counts[target] += 1
+        self._invalidate_sorted(target)
         self.counter.random_read(1)
         self.counter.random_write(1)
         self._refresh_minmax_on_insert(target, value)
@@ -634,19 +735,16 @@ class PartitionedColumn:
         """Delete up to ``limit`` occurrences of ``value``.
 
         Returns the number of deleted entries.  Raises
-        :class:`ValueNotFoundError` when the value is absent.
+        :class:`ValueNotFoundError` when the value is absent.  All victims
+        come from the single charged partition scan; they are removed
+        back-to-front so a swap-with-last can never move a pending victim.
         """
         value = int(value)
         partition, positions = self._charged_point_scan(value)
         victims = positions[:limit] if limit is not None else positions
-        deleted = 0
-        for _ in range(victims.shape[0]):
-            # Re-locate one victim each round because swap-with-last moves data.
-            current = self._scan_partition_for(partition, value, return_rowids=False)
-            if current.shape[0] == 0:
-                break
-            self._remove_at(partition, int(current[0]))
-            deleted += 1
+        deleted = int(victims.shape[0])
+        for position in victims[::-1]:
+            self._remove_at(partition, int(position))
         if self.dense:
             for _ in range(deleted):
                 self._ripple_hole_forward(partition)
@@ -705,9 +803,385 @@ class PartitionedColumn:
         if self._track_rowids:
             self._rowids[position] = rowid if rowid is not None else self._next_rowid
         self._counts[placement] += 1
+        self._invalidate_sorted(placement)
         self.counter.random_read(1)
         self.counter.random_write(1)
         self._refresh_minmax_on_insert(placement, new_value)
+
+    # ------------------------------------------------------------------ #
+    # Bulk write operations
+    # ------------------------------------------------------------------ #
+
+    def bulk_insert(
+        self, values: np.ndarray | list[int], rowids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Insert a batch of values with one coalesced ripple sweep.
+
+        Equivalent to calling :meth:`insert` once per value in ascending
+        (stable) value order: the final layout, row ids and fences are
+        byte-identical.  The batch is routed with a single ``searchsorted``
+        over the fences, slack donors are consumed in the same greedy order
+        as the sequential path, and all ripples are folded into one backward
+        pass that rotates each touched partition once (the batched Fig. 4a).
+        Charged accesses are at most the sequential path's: the per-partition
+        ripple and tail placements charge each touched block once instead of
+        once per insert, and are exactly equal when no partition is rippled
+        through or appended to more than once.
+
+        Returns the row ids of the inserted values, aligned with the *input*
+        order.  When ``rowids`` is omitted, fresh row ids are assigned in
+        ascending value order, exactly as sequential inserts would.
+        """
+        _, sorted_values, sorted_rowids, out = sort_batch_with_rowids(
+            values, rowids, self._next_rowid
+        )
+        m = int(sorted_values.size)
+        if m == 0:
+            return out
+        self._next_rowid = max(self._next_rowid, int(sorted_rowids.max()) + 1)
+
+        self.counter.index_probe(m)
+        k = self.num_partitions
+        # First-candidate (insert) routing is locate_batch's `first` array.
+        targets, _ = self._index.locate_batch(sorted_values)
+
+        # Replay the sequential donor selection on metadata only: slack is
+        # consumed greedily from the first partition >= target, with a
+        # next-nonzero pointer chain standing in for the per-insert scan.
+        slack = (self._capacities() - self._counts).astype(np.int64).tolist()
+        nxt = list(range(k + 1))
+
+        def find_slack(partition: int) -> int:
+            cursor = partition
+            path = []
+            while cursor < k and slack[cursor] == 0:
+                path.append(cursor)
+                cursor = nxt[cursor] if nxt[cursor] > cursor else cursor + 1
+            for node in path:
+                nxt[node] = cursor
+            return cursor
+
+        grow_extra = self.GROWTH_BLOCKS * self.block_values
+        growths = 0
+        if k == 1 or not any(slack[:-1]):
+            # Dense columns keep all slack at the tail (holes ripple to the
+            # end of the column), so every donor is the last partition and
+            # the greedy replay collapses to closed forms: ripples through
+            # partition p are the inserts targeting partitions before it.
+            tail_slack = slack[k - 1]
+            if m > tail_slack:
+                growths = -(-(m - tail_slack) // grow_extra)
+            donor_pairs = int(np.count_nonzero(targets != k - 1))
+            through = np.searchsorted(targets, np.arange(k), side="left")
+            through[0] = 0
+        else:
+            donor_pairs = 0
+            ripple_diff = np.zeros(k + 1, dtype=np.int64)
+            for target in targets.tolist():
+                donor = find_slack(target)
+                if donor == k:
+                    # Only the last partition ever regains slack (via growth).
+                    if slack[k - 1] > 0:
+                        donor = k - 1
+                    else:
+                        growths += 1
+                        slack[k - 1] += grow_extra
+                        donor = k - 1
+                if donor != target:
+                    donor_pairs += 1
+                    ripple_diff[target + 1] += 1
+                    ripple_diff[donor + 1] -= 1
+                slack[donor] -= 1
+            through = np.cumsum(ripple_diff)[:k]
+
+        for _ in range(growths):
+            self._grow()
+        if donor_pairs:
+            self.counter.random_read(donor_pairs)
+            self.counter.random_write(donor_pairs)
+
+        # Coalesced backward ripple sweep: rippling through a partition n
+        # times rotates it left by n and shifts its start right by n, so one
+        # rotation per touched partition reproduces the sequential layout.
+        # Descending order keeps each partition's source region intact until
+        # it has been relocated.
+        for partition in np.nonzero(through > 0)[0][::-1]:
+            shift = int(through[partition])
+            start = int(self._starts[partition])
+            count = int(self._counts[partition])
+            self.counter.random_read(blocks_spanned(start, shift, self.block_values))
+            self.counter.random_write(
+                blocks_spanned(start + count, shift, self.block_values)
+            )
+            if count > 0:
+                if shift < count:
+                    # Rotating left by ``shift`` while the region shifts
+                    # right by ``shift`` leaves all but the first ``shift``
+                    # elements at their absolute positions: only the rotated
+                    # prefix moves (to the new tail).
+                    self._data[start + count : start + count + shift] = self._data[
+                        start : start + shift
+                    ]
+                    if self._track_rowids:
+                        self._rowids[start + count : start + count + shift] = (
+                            self._rowids[start : start + shift]
+                        )
+                else:
+                    rotation = shift % count
+                    segment = self._data[start : start + count]
+                    if rotation:
+                        segment = np.concatenate(
+                            (segment[rotation:], segment[:rotation])
+                        )
+                    self._data[start + shift : start + shift + count] = segment
+                    if self._track_rowids:
+                        ids = self._rowids[start : start + count]
+                        if rotation:
+                            ids = np.concatenate((ids[rotation:], ids[:rotation]))
+                        self._rowids[start + shift : start + shift + count] = ids
+            self._invalidate_sorted(int(partition))
+        self._starts += through
+
+        # Tail placements, one contiguous write per target partition.
+        unique_targets, group_starts, group_counts = np.unique(
+            targets, return_index=True, return_counts=True
+        )
+        for partition, lo, arrivals in zip(
+            unique_targets.tolist(), group_starts.tolist(), group_counts.tolist()
+        ):
+            tail = int(self._starts[partition]) + int(self._counts[partition])
+            blocks = blocks_spanned(tail, arrivals, self.block_values)
+            self.counter.random_read(blocks)
+            self.counter.random_write(blocks)
+            self._data[tail : tail + arrivals] = sorted_values[lo : lo + arrivals]
+            if self._track_rowids:
+                self._rowids[tail : tail + arrivals] = sorted_rowids[
+                    lo : lo + arrivals
+                ]
+            self._invalidate_sorted(partition)
+            previous_count = int(self._counts[partition])
+            self._counts[partition] = previous_count + arrivals
+            low = int(sorted_values[lo])
+            high = int(sorted_values[lo + arrivals - 1])
+            if previous_count == 0:
+                self._mins[partition] = low
+                self._maxs[partition] = high
+            else:
+                if low < self._mins[partition]:
+                    self._mins[partition] = low
+                if high > self._maxs[partition]:
+                    self._maxs[partition] = high
+            if partition < k - 1 and high > self._fences[partition]:
+                self._fences[partition] = high
+                self._index.update_fence(partition, high)
+        return out
+
+    def bulk_delete(self, values: np.ndarray | list[int]) -> np.ndarray:
+        """Delete one occurrence of each value with one coalesced hole sweep.
+
+        Equivalent to calling ``delete(value, limit=1)`` once per value in
+        ascending (stable) value order, except that absent values are
+        reported as ``0`` in the returned per-value count array instead of
+        raising.  Each touched partition is scanned once for all of its
+        victims, the sequential swap-with-last cascade is replayed in
+        place, and in dense mode all holes ripple to the end of the
+        column in one forward rotation sweep (the batched Fig. 4b).  The
+        live layout -- every partition's start, count, live values and row
+        ids, plus fences and min/max metadata -- is identical to the
+        sequential path's; only dead slots (ghost slack and rippled-out
+        holes, which no read ever touches) may retain different stale
+        bytes, because the coalesced sweep does not rewrite slots it
+        immediately abandons.  Charged accesses are at most the
+        ascending-order sequential path's and exactly equal when at most
+        one hole passes through any partition.  (Relative to some *other*
+        submission order the totals can differ slightly: a missed delete's
+        scan is charged at the live count the ascending replay sees, which
+        is the documented reference.)
+
+        Returns an array aligned with the input: 1 where a value was
+        deleted, 0 where it was absent.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise LayoutError("values must be one-dimensional")
+        m = int(values.size)
+        deleted = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return deleted
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        self.counter.index_probe(m)
+        k = self.num_partitions
+        # Deletes scan the first candidate partition, like locate().
+        targets, _ = self._index.locate_batch(sorted_values)
+        deleted_sorted = np.zeros(m, dtype=np.int64)
+
+        unique_targets, group_starts, group_counts = np.unique(
+            targets, return_index=True, return_counts=True
+        )
+        groups = {
+            int(partition): (int(lo), int(cnt))
+            for partition, lo, cnt in zip(
+                unique_targets, group_starts, group_counts
+            )
+        }
+        first_touched = int(unique_targets[0])
+        last_touched = int(unique_targets[-1])
+        sweep_end = k if self.dense else last_touched + 1
+        holes = 0
+        for partition in range(first_touched, sweep_end):
+            if holes:
+                self._apply_hole_rotation(partition, holes)
+            group = groups.get(partition)
+            if group is None:
+                continue
+            lo, cnt = group
+            removed = self._bulk_delete_partition(
+                partition, sorted_values, deleted_sorted, lo, cnt
+            )
+            if self.dense:
+                holes += removed
+        deleted[order] = deleted_sorted
+        return deleted
+
+    def _apply_hole_rotation(self, partition: int, holes: int) -> None:
+        """Ripple ``holes`` empty slots through ``partition`` in one rotation.
+
+        The coalesced form of ``holes`` consecutive
+        :meth:`_ripple_hole_forward` steps: the partition rotates right by
+        ``holes`` and its start shifts left, with the read/write charges
+        covering each touched block once instead of once per hole.
+        """
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        self.counter.random_read(
+            blocks_spanned(start + count - holes, holes, self.block_values)
+        )
+        self.counter.random_write(
+            blocks_spanned(start - holes, holes, self.block_values)
+        )
+        if count > 0:
+            if holes < count:
+                # Rotating right by ``holes`` while the region shifts left by
+                # ``holes`` leaves all but the last ``holes`` elements at
+                # their absolute positions: only the rotated suffix moves (to
+                # the new front).
+                self._data[start - holes : start] = self._data[
+                    start + count - holes : start + count
+                ]
+                if self._track_rowids:
+                    self._rowids[start - holes : start] = self._rowids[
+                        start + count - holes : start + count
+                    ]
+            else:
+                rotation = holes % count
+                segment = self._data[start : start + count]
+                if rotation:
+                    segment = np.concatenate(
+                        (segment[-rotation:], segment[:-rotation])
+                    )
+                self._data[start - holes : start - holes + count] = segment
+                if self._track_rowids:
+                    ids = self._rowids[start : start + count]
+                    if rotation:
+                        ids = np.concatenate((ids[-rotation:], ids[:-rotation]))
+                    self._rowids[start - holes : start - holes + count] = ids
+        self._starts[partition] = start - holes
+        self._invalidate_sorted(partition)
+
+    def _bulk_delete_partition(
+        self,
+        partition: int,
+        sorted_values: np.ndarray,
+        deleted_sorted: np.ndarray,
+        lo: int,
+        cnt: int,
+    ) -> int:
+        """Delete ``sorted_values[lo : lo + cnt]`` from one partition.
+
+        One scan finds every victim candidate; the sequential swap-with-last
+        cascade is then replayed in place on the live segment (lazy
+        first-occurrence heaps track values re-exposed by swaps), charging
+        each delete the same partition scan and swap write it would pay on
+        the per-value path.  Returns the number of removed entries.
+        """
+        start = int(self._starts[partition])
+        count = int(self._counts[partition])
+        segment = self._data[start : start + count]
+        ids = self._rowids[start : start + count] if self._track_rowids else None
+        small_group = cnt * 16 < count
+        positions_by_value: dict[int, list[int]] = {}
+        if count and not small_group:
+            wanted = sorted_values[lo : lo + cnt]
+            for position in np.nonzero(np.isin(segment, wanted))[0].tolist():
+                positions_by_value.setdefault(int(segment[position]), []).append(
+                    position
+                )
+        live = count
+        removed = 0
+        last_victim = 0
+        random_reads = 0
+        seq_reads = 0
+        random_writes = 0
+        for i in range(lo, lo + cnt):
+            value = int(sorted_values[i])
+            blocks = blocks_spanned(0, live, self.block_values)
+            if blocks > 0:
+                random_reads += 1
+                seq_reads += blocks - 1
+            if small_group:
+                # Few victims in a large partition: a per-value scan of the
+                # (in-place mutated) live segment replays the sequential
+                # first-occurrence choice without the candidate index.
+                local = np.nonzero(segment[:live] == value)[0]
+                position = int(local[0]) if local.size else None
+            else:
+                heap = positions_by_value.get(value)
+                position = None
+                while heap:
+                    candidate = heap[0]
+                    if candidate >= live or int(segment[candidate]) != value:
+                        heapq.heappop(heap)
+                        continue
+                    position = heapq.heappop(heap)
+                    break
+            if position is None:
+                continue
+            last = live - 1
+            moved = int(segment[last])
+            segment[position] = moved
+            if ids is not None:
+                ids[position] = ids[last]
+            random_writes += 1
+            live -= 1
+            if (
+                not small_group
+                and position < live
+                and moved in positions_by_value
+            ):
+                heapq.heappush(positions_by_value[moved], position)
+            deleted_sorted[i] = 1
+            removed += 1
+            last_victim = value
+        if random_reads:
+            self.counter.random_read(random_reads)
+        if seq_reads:
+            self.counter.seq_read(seq_reads)
+        if random_writes:
+            self.counter.random_write(random_writes)
+        if removed:
+            self._counts[partition] = live
+            self._invalidate_sorted(partition)
+            if live > 0:
+                live_segment = segment[:live]
+                self._mins[partition] = int(live_segment.min())
+                self._maxs[partition] = int(live_segment.max())
+            else:
+                # The sequential path's last refresh saw the lone survivor,
+                # which is the final victim itself.
+                self._mins[partition] = last_victim
+                self._maxs[partition] = last_victim
+        return removed
 
     # ------------------------------------------------------------------ #
     # Internal mechanics
@@ -736,6 +1210,9 @@ class PartitionedColumn:
             self._rowids = np.concatenate(
                 (self._rowids, np.full(extra, -1, dtype=np.int64))
             )
+        # Cached sorted views slice the replaced buffers; drop them so they
+        # do not pin the pre-growth array generations in memory.
+        self._sorted_views.clear()
         self.counter.seq_write(self.GROWTH_BLOCKS)
 
     def _ripple_slot_backward(self, donor: int, target: int) -> None:
@@ -755,6 +1232,7 @@ class PartitionedColumn:
                 if self._track_rowids:
                     self._rowids[free_slot] = self._rowids[start]
             self._starts[partition] = start + 1
+            self._invalidate_sorted(partition)
             self.counter.random_read(1)
             self.counter.random_write(1)
 
@@ -770,6 +1248,7 @@ class PartitionedColumn:
                 if self._track_rowids:
                     self._rowids[hole] = self._rowids[last]
             self._starts[follower] = start - 1
+            self._invalidate_sorted(follower)
             self.counter.random_read(1)
             self.counter.random_write(1)
 
@@ -791,6 +1270,7 @@ class PartitionedColumn:
                     if self._track_rowids:
                         self._rowids[hole] = self._rowids[last]
                 self._starts[follower] = start - 1
+                self._invalidate_sorted(follower)
                 self.counter.random_read(1)
                 self.counter.random_write(1)
         else:
@@ -803,6 +1283,7 @@ class PartitionedColumn:
                     if self._track_rowids:
                         self._rowids[free_slot] = self._rowids[start]
                 self._starts[predecessor] = start + 1
+                self._invalidate_sorted(predecessor)
                 self.counter.random_read(1)
                 self.counter.random_write(1)
         return target
@@ -816,6 +1297,7 @@ class PartitionedColumn:
         if self._track_rowids:
             self._rowids[position] = self._rowids[last]
         self._counts[partition] = count - 1
+        self._invalidate_sorted(partition)
         self.counter.random_write(1)
         self._refresh_minmax_on_delete(partition)
 

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .column import PartitionedColumn, RangeResult, equal_width_boundaries
+from .column import (
+    PartitionedColumn,
+    RangeResult,
+    equal_width_boundaries,
+    expand_ranges,
+    sort_batch_with_rowids,
+)
 from .cost_accounting import (
     DEFAULT_BLOCK_VALUES,
     AccessCounter,
@@ -163,11 +169,7 @@ class DeltaStoreColumn:
     # ------------------------------------------------------------------ #
 
     def _charge_delta_scan(self) -> None:
-        blocks = blocks_spanned(0, len(self._delta_values), self.block_values)
-        if blocks > 0:
-            self.counter.random_read(1)
-            if blocks > 1:
-                self.counter.seq_read(blocks - 1)
+        self._charge_delta_scans(1)
 
     def point_query(self, value: int, *, return_rowids: bool = False) -> np.ndarray:
         """Positions/row ids of entries equal to ``value`` in main and delta."""
@@ -187,6 +189,107 @@ class DeltaStoreColumn:
                 (main_hits, np.asarray(delta_hits, dtype=np.int64))
             )
         return main_hits
+
+    def _charge_delta_scans(self, scans: int) -> None:
+        """Charge ``scans`` independent delta-buffer scans at once."""
+        blocks = blocks_spanned(0, len(self._delta_values), self.block_values)
+        if blocks > 0 and scans > 0:
+            self.counter.random_read(scans)
+            if blocks > 1:
+                self.counter.seq_read((blocks - 1) * scans)
+
+    def multi_point_query(
+        self, values: np.ndarray | list[int], *, return_rowids: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized point queries over main and delta at once.
+
+        Same contract as :meth:`PartitionedColumn.multi_point_query`:
+        ``(hits, counts)`` grouped by input value in input order, with main
+        hits (first tombstoned occurrences suppressed) preceding delta hits
+        per value.  Charged accesses match issuing each point query
+        individually.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        m = int(values.size)
+        empty = np.empty(0, dtype=np.int64)
+        if m == 0:
+            return empty, empty
+        main_hits, main_counts = self._main.multi_point_query(
+            values, return_rowids=return_rowids
+        )
+        if self._tombstones:
+            suppressed = np.asarray(
+                [self._tombstones.get(int(value), 0) for value in values],
+                dtype=np.int64,
+            )
+            group_starts = np.cumsum(main_counts) - main_counts
+            local = np.arange(main_hits.size, dtype=np.int64) - np.repeat(
+                group_starts, main_counts
+            )
+            keep = local >= np.repeat(suppressed, main_counts)
+            main_hits = main_hits[keep]
+            main_counts = np.maximum(main_counts - suppressed, 0)
+        self._charge_delta_scans(m)
+        delta_counts = np.zeros(m, dtype=np.int64)
+        delta_hits = empty
+        if self._delta_values:
+            delta_values = np.asarray(self._delta_values, dtype=np.int64)
+            delta_order = np.argsort(delta_values, kind="stable")
+            delta_sorted = delta_values[delta_order]
+            lo = np.searchsorted(delta_sorted, values, side="left")
+            hi = np.searchsorted(delta_sorted, values, side="right")
+            delta_counts = (hi - lo).astype(np.int64)
+            indices = delta_order[expand_ranges(lo, delta_counts)]
+            if return_rowids:
+                delta_rowids = np.asarray(self._delta_rowids, dtype=np.int64)
+                delta_hits = delta_rowids[indices]
+            else:
+                delta_hits = -(indices + 1)
+        counts = main_counts + delta_counts
+        owners = np.concatenate(
+            (
+                np.repeat(np.arange(m, dtype=np.int64), main_counts),
+                np.repeat(np.arange(m, dtype=np.int64), delta_counts),
+            )
+        )
+        hits = np.concatenate((main_hits, delta_hits))
+        return hits[np.argsort(owners, kind="stable")], counts
+
+    def multi_range_count(
+        self, lows: np.ndarray | list[int], highs: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Vectorized range counts over main (minus tombstones) plus delta.
+
+        Charged accesses match issuing each range query individually with
+        ``materialize=False``.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        m = int(lows.size)
+        if m == 0:
+            if lows.shape != highs.shape:
+                raise ValueError("lows and highs must be aligned")
+            return np.empty(0, dtype=np.int64)
+        totals = self._main.multi_range_count(lows, highs)
+        if self._tombstones:
+            tombstone_values = np.sort(
+                np.fromiter(self._tombstones, dtype=np.int64)
+            )
+            tombstone_counts = np.asarray(
+                [self._tombstones[int(v)] for v in tombstone_values],
+                dtype=np.int64,
+            )
+            cumulative = np.concatenate(([0], np.cumsum(tombstone_counts)))
+            totals -= (
+                cumulative[np.searchsorted(tombstone_values, highs, side="right")]
+                - cumulative[np.searchsorted(tombstone_values, lows, side="left")]
+            )
+        self._charge_delta_scans(m)
+        if self._delta_values:
+            delta_sorted = np.sort(np.asarray(self._delta_values, dtype=np.int64))
+            totals += np.searchsorted(delta_sorted, highs, side="right")
+            totals -= np.searchsorted(delta_sorted, lows, side="left")
+        return totals
 
     def range_query(
         self, low: int, high: int, *, materialize: bool = True
@@ -302,6 +405,121 @@ class DeltaStoreColumn:
         """Update one occurrence of ``old_value``, preserving its row id."""
         rowid = self.remove_one(old_value)
         self.insert(new_value, rowid=rowid)
+
+    # ------------------------------------------------------------------ #
+    # Bulk writes
+    # ------------------------------------------------------------------ #
+
+    def bulk_insert(
+        self, values: np.ndarray | list[int], rowids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Append a batch to the delta buffer with one merge-threshold check.
+
+        Values are appended in ascending (stable) value order, matching the
+        sequential path's processing order for bulk writes, but the merge
+        trigger is evaluated once for the whole batch: the batch is ingested
+        atomically (the delta-store idiom for batched deltas) and at most one
+        reorganization is paid per batch instead of one per crossing insert.
+        Note the charge consequence: the single deferred merge folds a
+        *larger* delta than sequential's earlier, smaller merge would have,
+        so when a batch crosses the threshold mid-run its charges are not
+        bounded by the sequential path's -- fewer merges, but each one
+        bigger.  Returns the row ids of the inserted values aligned with the
+        input order.
+        """
+        _, sorted_values, sorted_rowids, out = sort_batch_with_rowids(
+            values, rowids, self._next_rowid
+        )
+        m = int(sorted_values.size)
+        if m == 0:
+            return out
+        self._next_rowid = max(self._next_rowid, int(sorted_rowids.max()) + 1)
+        self._delta_values.extend(int(v) for v in sorted_values)
+        self._delta_rowids.extend(int(r) for r in sorted_rowids)
+        self.counter.random_write(m)
+        self._maybe_merge()
+        return out
+
+    def bulk_delete(self, values: np.ndarray | list[int]) -> np.ndarray:
+        """Delete one occurrence of each value; absent values report 0.
+
+        Equivalent to calling ``delete(value, limit=1)`` per value in
+        ascending (stable) value order -- delta copies are consumed before
+        main-resident copies are tombstoned -- with identical charged
+        accesses, but the delta buffer and the main column are each scanned
+        once for the whole batch.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise LayoutError("values must be one-dimensional")
+        m = int(values.size)
+        deleted = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return deleted
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        deleted_sorted = np.zeros(m, dtype=np.int64)
+
+        # One pass over the delta buffer: per requested value, the indices of
+        # its buffered copies in append order.
+        delta_indices: dict[int, list[int]] = {}
+        if self._delta_values:
+            wanted = set(int(v) for v in sorted_values)
+            for index, buffered in enumerate(self._delta_values):
+                if buffered in wanted:
+                    delta_indices.setdefault(buffered, []).append(index)
+        popped: set[int] = set()
+        needs_main = np.zeros(m, dtype=bool)
+        # Each delete scans the delta buffer as it stands at its turn: pops
+        # shrink the buffer, so the scan charges shrink exactly as they do on
+        # the per-value path.
+        buffered_len = len(self._delta_values)
+        random_reads = 0
+        seq_reads = 0
+        for i, value in enumerate(sorted_values.tolist()):
+            blocks = blocks_spanned(0, buffered_len, self.block_values)
+            if blocks > 0:
+                random_reads += 1
+                seq_reads += blocks - 1
+            queue = delta_indices.get(value)
+            if queue:
+                popped.add(queue.pop(0))
+                buffered_len -= 1
+                self.counter.random_write(1)
+                deleted_sorted[i] = 1
+            else:
+                needs_main[i] = True
+        if random_reads:
+            self.counter.random_read(random_reads)
+        if seq_reads:
+            self.counter.seq_read(seq_reads)
+
+        if np.any(needs_main):
+            main_values = sorted_values[needs_main]
+            # One vectorized probe of the main column, charged per value
+            # exactly as the per-value path's point queries.
+            _, main_counts = self._main.multi_point_query(main_values)
+            available = {}
+            for value, count in zip(main_values.tolist(), main_counts.tolist()):
+                if value not in available:
+                    available[value] = count - self._tombstones.get(value, 0)
+            main_positions = np.nonzero(needs_main)[0]
+            for i, value in zip(main_positions.tolist(), main_values.tolist()):
+                if available[value] > 0:
+                    available[value] -= 1
+                    self._tombstones[value] = self._tombstones.get(value, 0) + 1
+                    self.counter.random_write(1)
+                    deleted_sorted[i] = 1
+
+        if popped:
+            self._delta_values = [
+                v for i, v in enumerate(self._delta_values) if i not in popped
+            ]
+            self._delta_rowids = [
+                r for i, r in enumerate(self._delta_rowids) if i not in popped
+            ]
+        deleted[order] = deleted_sorted
+        return deleted
 
     # ------------------------------------------------------------------ #
     # Merge

@@ -194,6 +194,30 @@ class StorageEngine:
         self._observe("delete", key)
         return self._measure("delete", self.table.delete, key)
 
+    def multi_insert(
+        self,
+        keys: Sequence[int],
+        payloads: Sequence[Sequence[int]] | None = None,
+    ) -> OperationResult:
+        """Batched Q4 on the bulk-write fast path; result is the row ids."""
+        if self.monitor is not None:
+            for key in keys:
+                self._observe("insert", int(key))
+        return self._measure(
+            "multi_insert", self.table.bulk_insert, keys, payloads
+        )
+
+    def multi_delete(self, keys: Sequence[int]) -> OperationResult:
+        """Batched Q5 on the bulk-write fast path.
+
+        The result is the per-key deleted-count array (0 marks a missing
+        key; no :class:`ValueNotFoundError` is raised on the bulk path).
+        """
+        if self.monitor is not None:
+            for key in keys:
+                self._observe("delete", int(key))
+        return self._measure("multi_delete", self.table.bulk_delete, keys)
+
     def update_key(self, old_key: int, new_key: int) -> OperationResult:
         """Q6: change a row's key value."""
         self._observe("update", old_key)
@@ -271,21 +295,49 @@ class StorageEngine:
             return self.multi_point_query(list(operation.keys), operation.columns)
         if isinstance(operation, ops.MultiRangeCount):
             return self.multi_range_count(list(operation.bounds))
+        if isinstance(operation, ops.MultiInsert):
+            payloads = (
+                [list(row) for row in operation.payloads]
+                if operation.payloads is not None
+                else None
+            )
+            return self.multi_insert(list(operation.keys), payloads)
+        if isinstance(operation, ops.MultiDelete):
+            return self.multi_delete(list(operation.keys))
         raise TypeError(f"unsupported operation type: {type(operation)!r}")
 
     def execute_batch(self, operations) -> BatchResult:
         """Execute a sequence of operations on the vectorized batch fast path.
 
         Maximal consecutive runs of point queries (with identical column
-        lists) and of counting range queries are grouped and resolved through
-        :meth:`multi_point_query` / :meth:`multi_range_count`; every other
-        operation is dispatched individually, preserving the submission order
-        of writes relative to the reads around them.  The simulated access
-        counts are identical to calling :meth:`execute` once per operation;
-        results are returned in submission order (``None`` for operations
-        that raised ``ValueNotFoundError``).  Statistics are recorded per
-        dispatched operation -- grouped runs under the ``multi_*`` kinds,
-        the rest under their own kind.
+        lists), of counting range queries, of inserts and of deletes are
+        grouped and resolved through :meth:`multi_point_query` /
+        :meth:`multi_range_count` / :meth:`multi_insert` /
+        :meth:`multi_delete`; every other operation is dispatched
+        individually, preserving the submission order of writes relative to
+        the reads around them.  Grouped reads charge simulated accesses
+        identical to per-operation dispatch; grouped writes are applied in
+        ascending key order within their run and charge at most that
+        ordering's per-operation accesses (coalesced ripple sweeps charge
+        each touched block once per batch), returning the same row ids and
+        deleted counts.  One caveat follows from the in-run reordering: the
+        ascending replay is the charge/layout reference, not submission
+        order.  For delete runs the two differ when the table holds
+        duplicate copies of a deleted key (which physical copy a delete
+        removes depends on the order neighbouring deletes reshuffled the
+        partition) or when a run mixes hits and *misses* in one partition
+        (a reordered miss is scanned at the partition size the replay sees,
+        which can cross a block boundary submission order would not).
+        Runs whose deletes hit keys that are unique in the table -- e.g.
+        the HAP generator's -- are unaffected.  Delta-store chunks add one
+        more caveat: a batch that crosses the merge threshold mid-run pays
+        one larger deferred merge instead of sequential's earlier smaller
+        one, which can exceed the sequential charge (see
+        :meth:`DeltaStoreColumn.bulk_insert`).
+        Results are returned in submission order (``None`` for operations
+        that raised ``ValueNotFoundError`` and for deletes of missing keys).
+        Statistics are recorded per dispatched operation -- grouped runs
+        under the ``multi_*`` kinds, the rest under their own kind.
         """
         from ..workload import operations as ops
 
@@ -325,6 +377,33 @@ class StorageEngine:
                 bounds = [(op.low, op.high) for op in oplist[i:j]]
                 counts = self.multi_range_count(bounds).result
                 results.extend(int(count) for count in counts)
+                i = j
+            elif isinstance(operation, ops.Insert):
+                j = i
+                while j < n and isinstance(oplist[j], ops.Insert):
+                    j += 1
+                group = oplist[i:j]
+                width = len(self.table.payload_names)
+                payloads = [
+                    list(op.payload) if op.payload is not None else [0] * width
+                    for op in group
+                ]
+                rowids = self.multi_insert(
+                    [op.key for op in group], payloads
+                ).result
+                results.extend(int(rowid) for rowid in rowids)
+                i = j
+            elif isinstance(operation, ops.Delete):
+                j = i
+                while j < n and isinstance(oplist[j], ops.Delete):
+                    j += 1
+                counts = self.multi_delete([op.key for op in oplist[i:j]]).result
+                for count in counts:
+                    if int(count) > 0:
+                        results.append(int(count))
+                    else:
+                        results.append(None)
+                        errors += 1
                 i = j
             else:
                 try:

@@ -224,8 +224,21 @@ class Table:
     def _append_payload(self, values: Sequence[int]) -> int:
         if len(values) != len(self.payload_names):
             raise LayoutError("payload width mismatch")
-        if self._next_rowid >= self._payload_capacity:
-            extra = max(1024, self._payload_capacity // 2)
+        row = np.asarray(values, dtype=np.int64).reshape(1, -1)
+        return int(self._append_payload_batch(row)[0])
+
+    def _append_payload_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Append ``rows`` (one payload row per new key) in one write.
+
+        Returns the assigned global row ids, in row order.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != len(self.payload_names):
+            raise LayoutError("payload width mismatch")
+        count = int(rows.shape[0])
+        needed = self._next_rowid + count
+        if needed > self._payload_capacity:
+            extra = max(1024, self._payload_capacity // 2, needed - self._payload_capacity)
             self._payload = np.vstack(
                 (
                     self._payload,
@@ -233,11 +246,11 @@ class Table:
                 )
             )
             self._payload_capacity = self._payload.shape[0]
-        rowid = self._next_rowid
+        start = self._next_rowid
         if self._payload.shape[1]:
-            self._payload[rowid, :] = np.asarray(values, dtype=np.int64)
-        self._next_rowid += 1
-        return rowid
+            self._payload[start:needed, :] = rows
+        self._next_rowid = needed
+        return np.arange(start, needed, dtype=np.int64)
 
     def _materialize_rows(
         self,
@@ -452,6 +465,109 @@ class Table:
             except ValueNotFoundError:
                 continue
         raise ValueNotFoundError(f"key {key} not found")
+
+    def bulk_insert(
+        self,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | Sequence[Sequence[int]] | None = None,
+    ) -> np.ndarray:
+        """Batched Q4: insert many rows on the vectorized bulk-write path.
+
+        Payload rows are appended (and global row ids assigned) in *input*
+        order with one array write; the keys are then routed with a single
+        ``searchsorted`` over the chunk fences and handed to each receiving
+        chunk's :meth:`~repro.storage.column.PartitionedColumn.bulk_insert`
+        in ascending key order.  The resulting table state is identical to
+        inserting the same (key, row id) pairs sequentially in ascending key
+        order; chunk bounds never change on insert (the last fence is
+        ``int64 max``), so the router is left untouched.  Returns the new
+        global row ids aligned with the input order.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise LayoutError("keys must be one-dimensional")
+        m = int(keys.size)
+        if payload is None:
+            rows = np.zeros((m, len(self.payload_names)), dtype=np.int64)
+        else:
+            try:
+                rows = np.asarray(payload, dtype=np.int64)
+            except ValueError as exc:
+                raise LayoutError("payload width mismatch") from exc
+            if rows.ndim != 2 or rows.shape[0] != m:
+                raise LayoutError("payload must have one row per key")
+        rowids = self._append_payload_batch(rows)
+        if m == 0:
+            return rowids
+        self.counter.index_probe(m)
+        # First-candidate (insert) routing is locate_batch's `first` array.
+        chunk_ids, _ = self._router.locate_batch(keys)
+        order = np.argsort(keys, kind="stable")
+        sorted_chunks = chunk_ids[order]
+        unique_chunks, group_starts, group_counts = np.unique(
+            sorted_chunks, return_index=True, return_counts=True
+        )
+        for chunk_index, lo, count in zip(
+            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
+        ):
+            sel = order[lo : lo + count]
+            chunk = self._chunks[chunk_index]
+            if hasattr(chunk, "bulk_insert"):
+                chunk.bulk_insert(keys[sel], rowids[sel])
+            else:
+                for i in sel.tolist():
+                    chunk.insert(int(keys[i]), rowid=int(rowids[i]))
+        return rowids
+
+    def bulk_delete(self, keys: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Batched Q5: delete one row per key on the vectorized bulk path.
+
+        Keys are routed with one ``searchsorted`` pass over the chunk fences
+        and resolved in ascending key order; keys that miss their first
+        candidate chunk retry the next chunk of their candidate span, so
+        duplicate runs straddling a chunk boundary stay reachable exactly as
+        on the per-key path.  Chunk bounds are left stale-high (deletes only
+        widen routing), so the router is never rebuilt.  Returns an array
+        aligned with the input: 1 where a row was deleted, 0 where the key
+        was absent.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise LayoutError("keys must be one-dimensional")
+        m = int(keys.size)
+        deleted = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return deleted
+        self.counter.index_probe(m)
+        first, last = self._router.locate_batch(keys)
+        order = np.argsort(keys, kind="stable")
+        attempt = first[order].copy()
+        span_last = last[order]
+        unresolved = np.ones(m, dtype=bool)
+        for chunk_index in range(int(attempt.min()), int(span_last.max()) + 1):
+            group = np.nonzero(unresolved & (attempt == chunk_index))[0]
+            if group.size == 0:
+                continue
+            sel = order[group]
+            chunk = self._chunks[chunk_index]
+            if hasattr(chunk, "bulk_delete"):
+                counts = chunk.bulk_delete(keys[sel])
+            else:
+                counts = np.zeros(group.size, dtype=np.int64)
+                for j, i in enumerate(sel.tolist()):
+                    try:
+                        counts[j] = chunk.delete(int(keys[i]), limit=1)
+                    except ValueNotFoundError:
+                        counts[j] = 0
+            hit = counts > 0
+            deleted[sel[hit]] = counts[hit]
+            unresolved[group[hit]] = False
+            missed = group[~hit]
+            retriable = missed[span_last[missed] > chunk_index]
+            unresolved[missed] = False
+            unresolved[retriable] = True
+            attempt[retriable] = chunk_index + 1
+        return deleted
 
     def update_key(self, old_key: int, new_key: int) -> None:
         """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``).

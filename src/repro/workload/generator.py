@@ -225,6 +225,14 @@ UPDATE_ONLY_UNIFORM = WorkloadMix(
     q6_update=0.01,
 )
 
+WRITE_HEAVY = WorkloadMix(
+    name="write-heavy hybrid (Q1 40%, Q2 10%, Q4 25%, Q5 25%)",
+    q1_point=0.40,
+    q2_range_count=0.10,
+    q4_insert=0.25,
+    q5_delete=0.25,
+)
+
 SLA_HYBRID = WorkloadMix(
     name="hybrid (Q1 89%, Q4 10%, Q6 1%)",
     q1_point=0.89,

@@ -34,6 +34,7 @@ from .generator import (
     SLA_HYBRID,
     UPDATE_ONLY_SKEWED,
     UPDATE_ONLY_UNIFORM,
+    WRITE_HEAVY,
     WorkloadGenerator,
     WorkloadMix,
 )
@@ -109,6 +110,7 @@ WORKLOAD_PROFILES: dict[str, WorkloadMix] = {
     "read_only_uniform": READ_ONLY_UNIFORM,
     "update_only_skewed": UPDATE_ONLY_SKEWED,
     "update_only_uniform": UPDATE_ONLY_UNIFORM,
+    "write_heavy": WRITE_HEAVY,
     "sla_hybrid": SLA_HYBRID,
 }
 

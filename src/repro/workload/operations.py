@@ -30,6 +30,8 @@ class OperationKind(Enum):
     UPDATE = "update"
     MULTI_POINT_QUERY = "multi_point_query"
     MULTI_RANGE_COUNT = "multi_range_count"
+    MULTI_INSERT = "multi_insert"
+    MULTI_DELETE = "multi_delete"
 
 
 class Aggregate(Enum):
@@ -118,6 +120,33 @@ class MultiRangeCount:
                 raise ValueError("range low must be <= high")
 
 
+@dataclass(frozen=True)
+class MultiInsert:
+    """Batched Q4: insert one row per key on the bulk-write fast path.
+
+    ``payloads`` optionally carries one payload tuple per key; ``None``
+    inserts zero payloads, as the per-row :class:`Insert` default does.
+    """
+
+    keys: tuple[int, ...]
+    payloads: tuple[tuple[int, ...], ...] | None = None
+
+    kind = OperationKind.MULTI_INSERT
+
+    def __post_init__(self) -> None:
+        if self.payloads is not None and len(self.payloads) != len(self.keys):
+            raise ValueError("payloads must align with keys")
+
+
+@dataclass(frozen=True)
+class MultiDelete:
+    """Batched Q5: delete one row per key on the bulk-write fast path."""
+
+    keys: tuple[int, ...]
+
+    kind = OperationKind.MULTI_DELETE
+
+
 Operation = (
     PointQuery
     | RangeQuery
@@ -126,6 +155,8 @@ Operation = (
     | Update
     | MultiPointQuery
     | MultiRangeCount
+    | MultiInsert
+    | MultiDelete
 )
 
 

@@ -46,13 +46,17 @@ class TestHarness:
         )
         assert batched.operations == sequential.operations
         assert batched.errors == sequential.errors
-        # The aggregate simulated block accesses are identical; per-run
-        # simulated_seconds may differ because the sequential path drops the
-        # partial charges of failed (not-found) operations from its tally.
-        assert (
-            batch_engine.counter.snapshot()
-            == sequential_engine.counter.snapshot()
-        )
+        # Grouped reads charge identically; grouped writes coalesce ripple
+        # charges, so every access tally is bounded by the sequential one
+        # and the index-probe count (never coalesced) matches exactly.
+        # (The <= bound is order-safe here because hybrid_skewed has no
+        # deletes and inserts only fresh unique keys -- see
+        # StorageEngine.execute_batch's duplicate-key caveat.)
+        batch_counts = batch_engine.counter.snapshot()
+        sequential_counts = sequential_engine.counter.snapshot()
+        assert batch_counts.index_probes == sequential_counts.index_probes
+        for field in ("random_reads", "random_writes", "seq_reads", "seq_writes"):
+            assert getattr(batch_counts, field) <= getattr(sequential_counts, field)
         assert batched.counts["batch"] == 200 // 64 + 1
 
     def test_run_workload_rejects_bad_batch_size(self, tiny_config):

@@ -201,8 +201,23 @@ class TestExecuteBatch:
         assert batch.operations == len(workload)
         assert batch.errors == sequential_errors
         assert batch.results == sequential_results
-        assert batch_engine.counter.snapshot() == sequential_engine.counter.snapshot()
-        assert batch_engine.table.keys().shape == sequential_engine.table.keys().shape
+        # Grouped reads charge identically; grouped insert runs coalesce
+        # ripple/placement charges, so each tally is bounded by the
+        # sequential one and the probe count matches exactly.  (Both the
+        # result and <= comparisons rely on hybrid_skewed's structure: no
+        # deletes, and the generator's inserted keys are fresh and unique,
+        # so the bulk path's ascending in-run replay cannot pick different
+        # duplicate victims or charge larger miss scans than submission
+        # order -- see StorageEngine.execute_batch's duplicate-key caveat.)
+        batch_counts = batch_engine.counter.snapshot()
+        sequential_counts = sequential_engine.counter.snapshot()
+        assert batch_counts.index_probes == sequential_counts.index_probes
+        for field in ("random_reads", "random_writes", "seq_reads", "seq_writes"):
+            assert getattr(batch_counts, field) <= getattr(sequential_counts, field)
+        assert np.array_equal(
+            np.sort(batch_engine.table.keys()),
+            np.sort(sequential_engine.table.keys()),
+        )
         batch_engine.table.check_invariants()
 
     def test_batch_dispatch_of_multi_operations(self):
