@@ -21,6 +21,18 @@ Quickstart
 'insert'
 """
 
+from .api import (
+    AdaptivePolicy,
+    Database,
+    ExecutionPolicy,
+    ReorgDecision,
+    ReorgPolicy,
+    SerialPolicy,
+    Session,
+    SessionReport,
+    SessionResult,
+    VectorizedPolicy,
+)
 from .core import (
     CasperPlanner,
     ChunkPlan,
@@ -65,13 +77,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessCounter",
+    "AdaptivePolicy",
     "CasperPlanner",
     "ChunkPlan",
     "CostConstants",
     "CostModel",
+    "Database",
     "DEFAULT_BLOCK_VALUES",
     "DEFAULT_COST_CONSTANTS",
     "DeltaStoreColumn",
+    "ExecutionPolicy",
     "FrequencyModel",
     "HAPConfig",
     "LayoutKind",
@@ -79,10 +94,17 @@ __all__ = [
     "LayoutSpec",
     "PartitionedColumn",
     "PartitioningResult",
+    "ReorgDecision",
+    "ReorgPolicy",
     "SLAConstraints",
+    "SerialPolicy",
+    "Session",
+    "SessionReport",
+    "SessionResult",
     "SolverBackend",
     "StorageEngine",
     "TPCHConfig",
+    "VectorizedPolicy",
     "Table",
     "Workload",
     "WorkloadGenerator",

@@ -1,0 +1,44 @@
+"""Public session API: the declarative façade over the Casper stack.
+
+This package is the recommended entry point for applications::
+
+    from repro.api import AdaptivePolicy, Database, ReorgPolicy
+
+    db = Database.plan_for(training_workload, keys, payload)
+    with db.session(execution=AdaptivePolicy(), reorg=ReorgPolicy()) as s:
+        outcome = s.execute(workload)
+    report = s.report()
+
+:class:`Database` builds the planner/table/engine/monitor stack from a
+declaration; :class:`Session` executes operations through a pluggable
+:class:`ExecutionPolicy` (serial, fixed-size vectorized, or adaptive batch
+sizing) and runs an automatic, cost-gated reorganization lifecycle
+(:class:`ReorgPolicy`) that closes the paper's Fig. 10 online loop.  The
+``StorageEngine`` entry points remain available through ``db.engine`` as a
+compatibility layer.
+"""
+
+from .database import Database
+from .policies import (
+    AdaptivePolicy,
+    ExecutionPolicy,
+    SerialPolicy,
+    VectorizedPolicy,
+    longest_groupable_run,
+)
+from .reorg import ReorgDecision, ReorgPolicy
+from .session import Session, SessionReport, SessionResult
+
+__all__ = [
+    "AdaptivePolicy",
+    "Database",
+    "ExecutionPolicy",
+    "ReorgDecision",
+    "ReorgPolicy",
+    "SerialPolicy",
+    "Session",
+    "SessionReport",
+    "SessionResult",
+    "VectorizedPolicy",
+    "longest_groupable_run",
+]

@@ -1,0 +1,253 @@
+"""The :class:`Database` façade: declarative stack construction.
+
+Where the lower layers expose planner, table, engine and monitor as
+separate components the caller wires by hand, :class:`Database` builds the
+whole stack from a declaration of *what* to store and *which* workload to
+tune for:
+
+* :meth:`Database.from_rows` loads rows under one of the fixed layout
+  modes (sorted, equi-width, delta store, ...);
+* :meth:`Database.plan_for` runs the paper's offline pipeline -- learn the
+  Frequency Model from a workload sample, optimize per-chunk layouts,
+  allocate ghost values -- and keeps the planner attached so sessions can
+  replan drifted chunks online;
+* :meth:`Database.session` opens the execution surface: a context-managed
+  :class:`~repro.api.session.Session` with pluggable execution and
+  reorganization policies.
+
+The engine (with its workload monitor) stays reachable through
+``db.engine`` as the compatibility layer for pre-façade code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.constraints import SLAConstraints
+from ..core.monitor import WorkloadMonitor
+from ..core.optimizer import SolverBackend
+from ..core.planner import CasperPlanner
+from ..storage.cost_accounting import (
+    DEFAULT_BLOCK_VALUES,
+    CostConstants,
+    constants_for_block_values,
+)
+from ..storage.engine import EngineStatistics, StorageEngine
+from ..storage.layouts import LayoutKind, LayoutSpec
+from ..storage.table import Table, layout_chunk_builder
+from ..workload.operations import Workload
+from .policies import ExecutionPolicy
+from .reorg import ReorgPolicy
+from .session import Session
+
+
+class Database:
+    """Declarative façade over the planner/table/engine/monitor stack.
+
+    Most callers construct one through :meth:`from_rows` or
+    :meth:`plan_for`; the constructor itself wraps an existing
+    :class:`Table` (attaching a fresh engine and workload monitor), which is
+    the migration path for code that already builds tables directly.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        constants: CostConstants | None = None,
+        planner: CasperPlanner | None = None,
+        monitor: WorkloadMonitor | bool | None = None,
+        enable_transactions: bool = False,
+    ) -> None:
+        self.table = table
+        self.constants = (
+            constants
+            if constants is not None
+            else constants_for_block_values(table.block_values)
+        )
+        self.planner = planner
+        # Monitoring costs a per-operation attribution on the hot path and
+        # only pays off where a planner can act on it, so by default it is
+        # attached exactly when a planner is (pass ``True``/an instance to
+        # force it on, ``False`` to force it off).
+        if monitor is None:
+            monitor = planner is not None
+        if monitor is True:
+            monitor = WorkloadMonitor()
+        elif monitor is False:
+            monitor = None
+        self.monitor = monitor
+        self.engine = StorageEngine(
+            table,
+            constants=self.constants,
+            enable_transactions=enable_transactions,
+            monitor=self.monitor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Declarative constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(
+        cls,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | None = None,
+        *,
+        layout: LayoutKind | LayoutSpec = LayoutKind.SORTED,
+        chunk_size: int = 1_000_000,
+        block_values: int = DEFAULT_BLOCK_VALUES,
+        partitions: int = 64,
+        ghost_fraction: float = 0.01,
+        merge_threshold: float = 0.01,
+        merge_entries: int | None = 16,
+        payload_names: Sequence[str] | None = None,
+        constants: CostConstants | None = None,
+        monitor: WorkloadMonitor | bool | None = None,
+        enable_transactions: bool = False,
+    ) -> "Database":
+        """Load rows under a fixed layout mode.
+
+        ``layout`` is either a :class:`LayoutKind` (with the partitioning
+        knobs passed alongside) or a fully-specified :class:`LayoutSpec`.
+        The Casper mode needs a workload sample to tune for -- use
+        :meth:`plan_for` instead.  No workload monitor is attached unless
+        requested (``monitor=True``): without a planner there is nothing to
+        replan, so per-operation attribution would be pure overhead.
+        """
+        if isinstance(layout, LayoutSpec):
+            spec = layout
+            # The spec's block size governs the physical layout; the table
+            # and the cost constants must price the same block size.
+            block_values = spec.block_values
+        else:
+            if layout is LayoutKind.CASPER:
+                raise ValueError(
+                    "the Casper layout is workload-driven; "
+                    "use Database.plan_for(workload, keys, ...)"
+                )
+            spec = LayoutSpec(
+                kind=layout,
+                partitions=partitions,
+                ghost_fraction=ghost_fraction,
+                merge_threshold=merge_threshold,
+                merge_entries=merge_entries,
+                block_values=block_values,
+            )
+        table = Table(
+            keys,
+            payload,
+            chunk_size=chunk_size,
+            chunk_builder=layout_chunk_builder(spec),
+            payload_names=payload_names,
+            block_values=block_values,
+        )
+        return cls(
+            table,
+            constants=constants,
+            monitor=monitor,
+            enable_transactions=enable_transactions,
+        )
+
+    @classmethod
+    def plan_for(
+        cls,
+        workload: Workload,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | None = None,
+        *,
+        chunk_size: int = 1_000_000,
+        block_values: int = DEFAULT_BLOCK_VALUES,
+        ghost_fraction: float = 0.001,
+        sla: SLAConstraints | None = None,
+        solver: SolverBackend | str = SolverBackend.DP,
+        payload_names: Sequence[str] | None = None,
+        constants: CostConstants | None = None,
+        monitor: WorkloadMonitor | bool | None = None,
+        enable_transactions: bool = False,
+    ) -> "Database":
+        """Build a Casper-planned database tuned for ``workload``.
+
+        Runs the offline pipeline of Fig. 10 (A-C): the planner learns the
+        Frequency Model from the sample, solves every chunk's layout and
+        allocates ghost values while the table loads.  The planner stays
+        attached, so sessions opened with a
+        :class:`~repro.api.reorg.ReorgPolicy` can replan drifted chunks
+        online against their observed mixes.  A workload monitor is
+        attached by default (the reorg lifecycle needs it); pass
+        ``monitor=False`` when no session will ever replan and the per-op
+        attribution overhead is unwanted.
+        """
+        constants = (
+            constants
+            if constants is not None
+            else constants_for_block_values(block_values)
+        )
+        planner = CasperPlanner(
+            sample_workload=workload,
+            block_values=block_values,
+            ghost_fraction=ghost_fraction,
+            constants=constants,
+            sla=sla,
+            solver=solver,
+        )
+        table = Table(
+            keys,
+            payload,
+            chunk_size=chunk_size,
+            chunk_builder=planner.build_chunk,
+            payload_names=payload_names,
+            block_values=block_values,
+        )
+        return cls(
+            table,
+            constants=constants,
+            planner=planner,
+            monitor=monitor,
+            enable_transactions=enable_transactions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+
+    def session(
+        self,
+        *,
+        execution: ExecutionPolicy | None = None,
+        reorg: ReorgPolicy | None = None,
+    ) -> Session:
+        """Open a :class:`Session` with the given policies.
+
+        ``execution`` defaults to serial dispatch; pass
+        :class:`~repro.api.policies.VectorizedPolicy` or
+        :class:`~repro.api.policies.AdaptivePolicy` for the batched fast
+        paths, and a :class:`~repro.api.reorg.ReorgPolicy` to enable the
+        automatic reorganization lifecycle.
+        """
+        return Session(self, execution=execution, reorg=reorg)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live rows."""
+        return self.table.num_rows
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of column chunks backing the key column."""
+        return self.table.num_chunks
+
+    @property
+    def statistics(self) -> EngineStatistics:
+        """The engine's running per-operation-kind statistics."""
+        return self.engine.statistics
+
+    def check_invariants(self) -> None:
+        """Validate the underlying table's structural invariants."""
+        self.table.check_invariants()

@@ -1,0 +1,282 @@
+"""Reorganization policy: automatic, cost-gated online replans.
+
+The paper's Fig. 10 loop (sample -> plan -> execute -> monitor -> replan)
+closes here: a :class:`ReorgPolicy` attached to a session watches the
+per-chunk operation mixes the engine's
+:class:`~repro.core.monitor.WorkloadMonitor` records, detects drift against
+a baseline mix (seeded from the planner's offline training sample), and
+re-lays-out a drifted chunk *only when the modeled savings beat the rebuild
+charge*:
+
+* **drift detection** -- total-variation distance between the chunk's
+  observed mix and its baseline (:func:`repro.core.monitor.mix_distance`),
+  thresholded once enough operations have accumulated;
+* **cost gate** -- a candidate plan for the chunk's recorded sample is
+  solved (:meth:`CasperPlanner.plan_chunk`) and its modeled cost compared to
+  the *current* layout priced under the same frequency model
+  (:meth:`CasperPlanner.evaluate_layout`); the replan proceeds only if the
+  modeled savings exceed ``rebuild_margin`` times the sequential
+  read+rewrite charge of the rebuild itself;
+* **replan** -- :meth:`WorkloadMonitor.replan_chunk` rebuilds the chunk in
+  place against the recorded sample and resets its activity; the chunk's
+  baseline mix becomes the mix that triggered the replan.
+
+Every evaluation that crosses the drift threshold is recorded as a
+:class:`ReorgDecision`, whether or not it replanned, so sessions can report
+exactly why the lifecycle did (or did not) act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.monitor import WorkloadMonitor, mix_distance
+from ..storage.cost_accounting import blocks_spanned
+
+if TYPE_CHECKING:
+    from .database import Database
+
+
+@dataclass
+class ReorgDecision:
+    """Outcome of evaluating one drifted chunk."""
+
+    chunk_index: int
+    drift: float
+    observed_operations: int
+    replanned: bool
+    reason: str
+    current_cost_ns: float | None = None
+    planned_cost_ns: float | None = None
+    rebuild_cost_ns: float | None = None
+
+    @property
+    def modeled_savings_ns(self) -> float | None:
+        """Modeled cost reduction of the replan over the recorded sample."""
+        if self.current_cost_ns is None or self.planned_cost_ns is None:
+            return None
+        return self.current_cost_ns - self.planned_cost_ns
+
+
+@dataclass
+class ReorgPolicy:
+    """When (and whether) a session replans drifted chunks.
+
+    Parameters
+    ----------
+    drift_threshold:
+        Total-variation distance between a chunk's observed operation mix
+        and its baseline above which the chunk becomes a replan candidate.
+    min_chunk_operations:
+        Minimum operations attributed to a chunk (since its last replan)
+        before drift is evaluated, so a handful of operations cannot trigger
+        a rebuild.
+    cost_gate:
+        When true (the default), a candidate layout is solved for the
+        chunk's recorded sample and the replan only proceeds if the modeled
+        savings beat ``rebuild_margin`` times the rebuild charge.  A
+        rejection adopts the evaluated mix as the chunk's new baseline and
+        resets its recorded window, so a workload that persists in a
+        judged-unprofitable mix never re-triggers the solver -- the mix has
+        to drift past the threshold again.  When false, crossing the drift
+        threshold replans unconditionally.
+    rebuild_margin:
+        Multiplier on the rebuild charge the modeled savings must exceed.
+    check_interval:
+        Evaluate drift only every N-th ``Session.execute`` call (1 = every
+        call).
+
+    A policy instance carries per-database state (baseline mixes, call
+    counts), so it is bound to the first database it evaluates; create a
+    fresh instance per database (sharing one across a database's sessions
+    is fine -- baselines deliberately persist across them).
+    """
+
+    drift_threshold: float = 0.25
+    min_chunk_operations: int = 256
+    cost_gate: bool = True
+    rebuild_margin: float = 1.0
+    check_interval: int = 1
+    decisions: list[ReorgDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must be in [0, 1]")
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self._baselines: dict[int, dict[str, float]] = {}
+        self._baselines_seeded = False
+        self._calls = 0
+        self._database: "Database | None" = None
+
+    @property
+    def replans(self) -> int:
+        """Number of replans performed so far."""
+        return sum(1 for decision in self.decisions if decision.replanned)
+
+    def _seed_baselines(self, database: "Database") -> None:
+        """Seed baseline chunk mixes from the planner's training sample."""
+        if self._baselines_seeded:
+            return
+        self._baselines_seeded = True
+        planner = database.planner
+        if planner is None or not len(planner.sample_workload):
+            return
+        probe = WorkloadMonitor(sample_limit=0)
+        probe.observe_workload(database.table, planner.sample_workload)
+        for chunk_index in probe.observed_chunks():
+            self._baselines[chunk_index] = probe.chunk_mix(chunk_index)
+
+    def maybe_reorganize(
+        self, database: "Database", *, force: bool = False
+    ) -> list[ReorgDecision]:
+        """Evaluate every active chunk; replan where drift and gate agree.
+
+        Returns the decisions made during this check (also appended to
+        :attr:`decisions`).  A no-op unless the database carries both a
+        monitor and a planner.  ``force`` bypasses ``check_interval`` (the
+        session's close-time check uses it, so drift accumulated by the
+        last execute calls is always evaluated once).
+        """
+        if self._database is None:
+            self._database = database
+        elif self._database is not database:
+            raise ValueError(
+                "ReorgPolicy instances carry per-database state (baseline "
+                "mixes, call counts); create a fresh policy per database"
+            )
+        self._calls += 1
+        if not force and self._calls % self.check_interval:
+            return []
+        monitor = database.monitor
+        planner = database.planner
+        if monitor is None or planner is None:
+            return []
+        self._seed_baselines(database)
+        made: list[ReorgDecision] = []
+        for chunk_index in monitor.observed_chunks():
+            decision = self._evaluate_chunk(database, chunk_index)
+            if decision is not None:
+                self.decisions.append(decision)
+                made.append(decision)
+        return made
+
+    def _evaluate_chunk(
+        self, database: "Database", chunk_index: int
+    ) -> ReorgDecision | None:
+        monitor = database.monitor
+        planner = database.planner
+        table = database.table
+        counts = monitor.operation_counts(chunk_index)
+        total = sum(counts.values())
+        if total < self.min_chunk_operations:
+            return None
+        mix = monitor.chunk_mix(chunk_index)
+        baseline = self._baselines.get(chunk_index)
+        if baseline is None:
+            # First sighting of an un-trained chunk: adopt the observed mix
+            # as its baseline rather than replanning against nothing.
+            self._baselines[chunk_index] = mix
+            return None
+        drift = mix_distance(mix, baseline)
+        if drift < self.drift_threshold:
+            return None
+        chunk = table.chunks[chunk_index]
+        if not hasattr(chunk, "rowids"):
+            return ReorgDecision(
+                chunk_index=chunk_index,
+                drift=drift,
+                observed_operations=total,
+                replanned=False,
+                reason="chunk does not expose row ids; cannot rebuild",
+            )
+        sample = monitor.recorded_workload(chunk_index)
+        if not len(sample):
+            return ReorgDecision(
+                chunk_index=chunk_index,
+                drift=drift,
+                observed_operations=total,
+                replanned=False,
+                reason="no recorded operation sample",
+            )
+        current_cost = planned_cost = rebuild_cost = None
+        if self.cost_gate:
+            values = np.sort(np.asarray(chunk.values(), dtype=np.int64))
+            if values.size == 0:
+                return ReorgDecision(
+                    chunk_index=chunk_index,
+                    drift=drift,
+                    observed_operations=total,
+                    replanned=False,
+                    reason="chunk is empty",
+                )
+            replanner = planner.with_sample(sample)
+            plan = replanner.plan_chunk(values)
+            planned_cost = plan.estimated_cost
+            offsets = self._current_offsets(chunk, values.size)
+            current_cost = replanner.evaluate_layout(
+                plan.frequency_model, offsets
+            )
+            constants = planner.constants
+            blocks = blocks_spanned(0, int(values.size), planner.block_values)
+            rebuild_cost = blocks * (constants.seq_read + constants.seq_write)
+            if current_cost - planned_cost < self.rebuild_margin * rebuild_cost:
+                # Back off: the evaluated mix was judged not worth acting
+                # on, so it becomes the chunk's new baseline -- a workload
+                # that *stays* in this mix never re-triggers the solver; it
+                # must drift past the threshold again.  The recorded window
+                # is reset so the next evaluation (if any) prices a fresh
+                # sample.
+                self._baselines[chunk_index] = mix
+                monitor.reset_chunk(chunk_index)
+                return ReorgDecision(
+                    chunk_index=chunk_index,
+                    drift=drift,
+                    observed_operations=total,
+                    replanned=False,
+                    reason="cost gate: modeled savings below rebuild charge",
+                    current_cost_ns=current_cost,
+                    planned_cost_ns=planned_cost,
+                    rebuild_cost_ns=rebuild_cost,
+                )
+            # The gate already paid for the layout solve; apply that plan
+            # instead of letting replan_chunk solve it a second time.  The
+            # chunk has not changed since plan_chunk saw it, so the sorted
+            # values the rebuild extracts are the ones the plan was built
+            # for.
+            table.rebuild_chunk(
+                chunk_index,
+                lambda v, r, c: replanner.build_chunk_from_plan(plan, v, r, c),
+            )
+            monitor.reset_chunk(chunk_index)
+        else:
+            monitor.replan_chunk(table, chunk_index, planner)
+        self._baselines[chunk_index] = mix
+        return ReorgDecision(
+            chunk_index=chunk_index,
+            drift=drift,
+            observed_operations=total,
+            replanned=True,
+            reason="drift above threshold"
+            + (", savings beat rebuild charge" if self.cost_gate else ""),
+            current_cost_ns=current_cost,
+            planned_cost_ns=planned_cost,
+            rebuild_cost_ns=rebuild_cost,
+        )
+
+    @staticmethod
+    def _current_offsets(chunk, size: int) -> np.ndarray:
+        """Exclusive value end offsets of the chunk's current partitions."""
+        if hasattr(chunk, "partition_counts"):
+            offsets = np.cumsum(
+                np.asarray(chunk.partition_counts(), dtype=np.int64)
+            )
+            offsets = offsets[offsets > 0]
+            if offsets.size and int(offsets[-1]) == size:
+                return offsets
+        # Fallback: price the chunk as one partition (e.g. delta-store
+        # chunks, whose main run is a single sorted area).
+        return np.asarray([size], dtype=np.int64)

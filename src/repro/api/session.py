@@ -1,0 +1,240 @@
+"""Context-managed sessions: declarative execution with a reorg lifecycle.
+
+A :class:`Session` is the unit of interaction with a :class:`Database`: it
+owns an :class:`~repro.api.policies.ExecutionPolicy` (how operations are
+dispatched) and optionally a :class:`~repro.api.reorg.ReorgPolicy` (when
+drifted chunks are re-laid-out), and its :meth:`execute` replaces direct
+``StorageEngine.execute`` / ``execute_batch`` calls.  After every execute
+call the reorganization policy gets a chance to act, which makes the
+paper's Fig. 10 A->C online loop automatic: drifted chunks are detected,
+cost-gated and rebuilt between (or inside) rounds without the caller wiring
+monitor, planner and table together by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..storage.cost_accounting import AccessCounter, SimulatedCost
+from ..workload.operations import Operation, Workload
+from .policies import ExecutionPolicy, SerialPolicy
+from .reorg import ReorgDecision, ReorgPolicy
+
+if TYPE_CHECKING:
+    from .database import Database
+
+
+@dataclass
+class SessionResult(SimulatedCost):
+    """Outcome of one :meth:`Session.execute` call.
+
+    ``accesses`` aggregates the whole call, *including* any reorganization
+    work it triggered; ``reorg_ns`` isolates the simulated cost of that
+    reorganization (0.0 when nothing was rebuilt).
+    """
+
+    results: list
+    accesses: AccessCounter
+    wall_ns: float
+    operations: int
+    errors: int
+    batch_sizes: list[int] = field(default_factory=list)
+    reorg_decisions: list[ReorgDecision] = field(default_factory=list)
+    reorg_ns: float = 0.0
+
+
+@dataclass
+class SessionReport(SimulatedCost):
+    """Cumulative account of a session's lifetime."""
+
+    operations: int
+    errors: int
+    accesses: AccessCounter
+    wall_ns: float
+    simulated_ns_total: float
+    replans: int
+    reorg_decisions: list[ReorgDecision] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated time in seconds (including reorganization)."""
+        return self.simulated_ns_total * 1e-9
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock time spent inside ``execute`` calls."""
+        return self.wall_ns * 1e-9
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per second of simulated time."""
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return self.operations / self.simulated_seconds
+
+
+class Session:
+    """A context-managed execution scope over a :class:`Database`.
+
+    Parameters
+    ----------
+    database:
+        The database façade the session executes against.
+    execution:
+        The dispatch policy; defaults to :class:`SerialPolicy`.  Pass a
+        fresh instance per session -- policies carry adaptive state.
+    reorg:
+        Optional :class:`ReorgPolicy` enabling the automatic reorganization
+        lifecycle.  ``None`` disables online replans.
+
+    Use as a context manager::
+
+        with db.session(execution=AdaptivePolicy(), reorg=ReorgPolicy()) as s:
+            outcome = s.execute(workload)
+        report = s.report()
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        *,
+        execution: ExecutionPolicy | None = None,
+        reorg: ReorgPolicy | None = None,
+    ) -> None:
+        self.database = database
+        self.execution: ExecutionPolicy = (
+            execution if execution is not None else SerialPolicy()
+        )
+        self.reorg = reorg
+        self._closed = False
+        self._counter_start = database.engine.counter.snapshot()
+        self._operations = 0
+        self._errors = 0
+        self._wall_ns = 0.0
+        self._batch_sizes: list[int] = []
+        self._reorg_decisions: list[ReorgDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exceptional exit, skip the close-time reorganization check:
+        # it would solve layouts and rebuild chunks against state from a
+        # partially-failed call, and a failure inside it would mask the
+        # original exception.
+        self.close(reorganize=exc_type is None)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session has been closed."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def close(self, *, reorganize: bool = True) -> None:
+        """Close the session (idempotent).
+
+        A final reorganization check runs before closing (bypassing the
+        policy's ``check_interval``), so drift accumulated by the last
+        ``execute`` calls of a short session still gets a chance to trigger
+        a replan for the *next* session.  Pass ``reorganize=False`` to skip
+        it (the context manager does so on exceptional exits).
+        """
+        if self._closed:
+            return
+        if reorganize and self.reorg is not None:
+            self._reorg_decisions.extend(
+                self.reorg.maybe_reorganize(self.database, force=True)
+            )
+        self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self, operations: Workload | Sequence[Operation] | Operation
+    ) -> SessionResult:
+        """Execute operations through the session's policies.
+
+        Accepts a :class:`Workload`, any operation sequence, or a single
+        operation.  Results come back in submission order with ``None``
+        marking not-found operations, exactly as serial dispatch reports
+        them; after execution the reorganization policy (when configured)
+        evaluates drift and may rebuild chunks in place.
+        """
+        self._require_open()
+        if isinstance(operations, Operation):
+            operations = [operations]
+        oplist = list(operations)
+        engine = self.database.engine
+        sizes_seen = len(self.execution.chosen_batch_sizes)
+        start = time.perf_counter_ns()
+        outcome = self.execution.execute(engine, oplist)
+        batch_sizes = list(self.execution.chosen_batch_sizes[sizes_seen:])
+        decisions: list[ReorgDecision] = []
+        reorg_ns = 0.0
+        accesses = outcome.accesses
+        if self.reorg is not None:
+            before = engine.counter.snapshot()
+            decisions = self.reorg.maybe_reorganize(self.database)
+            reorg_diff = engine.counter.diff(before)
+            reorg_ns = reorg_diff.cost(self.database.constants)
+            accesses = accesses + reorg_diff
+        wall_ns = float(time.perf_counter_ns() - start)
+        self._operations += outcome.operations
+        self._errors += outcome.errors
+        self._wall_ns += wall_ns
+        self._batch_sizes.extend(batch_sizes)
+        self._reorg_decisions.extend(decisions)
+        return SessionResult(
+            results=outcome.results,
+            accesses=accesses,
+            wall_ns=wall_ns,
+            operations=outcome.operations,
+            errors=outcome.errors,
+            batch_sizes=batch_sizes,
+            reorg_decisions=decisions,
+            reorg_ns=reorg_ns,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def reorg_decisions(self) -> list[ReorgDecision]:
+        """All reorganization decisions made during this session."""
+        return list(self._reorg_decisions)
+
+    def report(self) -> SessionReport:
+        """Cumulative session account (valid during and after the session).
+
+        ``accesses`` and the simulated total are measured as the engine
+        counter movement since the session opened, so they include
+        reorganization charges and any compatibility-layer calls made on the
+        same engine while the session was active.
+        """
+        accesses = self.database.engine.counter.diff(self._counter_start)
+        replans = sum(
+            1 for decision in self._reorg_decisions if decision.replanned
+        )
+        return SessionReport(
+            operations=self._operations,
+            errors=self._errors,
+            accesses=accesses,
+            wall_ns=self._wall_ns,
+            simulated_ns_total=accesses.cost(self.database.constants),
+            replans=replans,
+            reorg_decisions=list(self._reorg_decisions),
+            batch_sizes=list(self._batch_sizes),
+        )

@@ -3,6 +3,7 @@
 from .harness import (
     LAYOUT_ORDER,
     WorkloadRunResult,
+    build_hap_database,
     build_hap_engine,
     compare_layouts,
     normalized_throughput,
@@ -21,6 +22,7 @@ __all__ = [
     "MicrobenchResult",
     "WorkloadRunResult",
     "banner",
+    "build_hap_database",
     "build_hap_engine",
     "compare_layouts",
     "fit_cost_constants",

@@ -1,15 +1,17 @@
 """Benchmark harness: run workloads against engines and collect metrics.
 
-The harness drives a :class:`~repro.storage.engine.StorageEngine` with a
+The harness drives a :class:`~repro.storage.engine.StorageEngine` (or a
+:class:`~repro.api.database.Database` façade wrapping one) with a
 :class:`~repro.workload.operations.Workload` and aggregates, per operation
 kind, the mean simulated latency (block-access cost under the configured
 constants) and wall-clock latency, plus the workload's overall throughput
 (operations per second of simulated time), which is the paper's headline
 metric (Figures 1, 12, 13, 15).
 
-``build_hap_engine`` constructs the HAP table under any of the six layout
-modes of Section 7, feeding the Casper mode through the planner with a
-training workload sample.
+``build_hap_database`` constructs the HAP table under any of the six layout
+modes of Section 7 behind the :class:`Database` façade, feeding the Casper
+mode through the planner with a training workload sample;
+``build_hap_engine`` remains as the engine-level compatibility wrapper.
 """
 
 from __future__ import annotations
@@ -18,15 +20,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.database import Database
+from ..api.policies import AdaptivePolicy, VectorizedPolicy
 from ..core.constraints import SLAConstraints
+from ..core.monitor import WorkloadMonitor
 from ..core.optimizer import SolverBackend
-from ..core.planner import CasperPlanner
 from ..storage.cost_accounting import CostConstants, constants_for_block_values
 from ..storage.engine import StorageEngine
 from ..storage.errors import ValueNotFoundError
 from ..storage.layouts import LayoutKind, LayoutSpec
-from ..storage.table import layout_chunk_builder
-from ..workload.hap import HAPConfig, build_table, make_workload
+from ..workload.hap import HAPConfig, generate_keys, generate_payload, make_workload
 from ..workload.operations import Workload
 
 
@@ -44,6 +47,8 @@ class WorkloadRunResult:
     counts: dict[str, int] = field(default_factory=dict)
     p999_latency_ns: dict[str, float] = field(default_factory=dict)
     errors: int = 0
+    #: Batch sizes dispatched, in order (empty on the sequential path).
+    batch_sizes: list[int] = field(default_factory=list)
 
     @property
     def throughput_ops(self) -> float:
@@ -61,43 +66,57 @@ class WorkloadRunResult:
 
 
 def run_workload(
-    engine: StorageEngine,
+    engine: StorageEngine | Database,
     workload: Workload,
     *,
     layout_name: str = "",
     constants: CostConstants | None = None,
-    batch_size: int | None = None,
+    batch_size: int | str | None = None,
 ) -> WorkloadRunResult:
     """Execute ``workload`` on ``engine`` and aggregate per-kind latencies.
 
-    With ``batch_size`` set, operations are submitted in slices through
-    :meth:`StorageEngine.execute_batch`, which resolves runs of point/range
-    reads on the table's vectorized fast path.  The engine's access counter
-    advances identically to per-operation execution; latencies are then
-    aggregated per batch under the ``"batch"`` kind (per-operation
-    attribution is not available inside a vectorized probe).  One caveat:
-    failed (not-found) operations' partial charges stay in the per-batch
-    tally, whereas the sequential path drops them from ``simulated_seconds``,
-    so the two modes' reported throughput diverges slightly on workloads
-    that generate misses.
+    ``engine`` may be a bare :class:`StorageEngine` or a :class:`Database`
+    façade (whose engine is used).  With ``batch_size`` set to an integer,
+    operations are submitted in fixed slices through a
+    :class:`~repro.api.policies.VectorizedPolicy`; ``batch_size="auto"``
+    delegates slicing to an :class:`~repro.api.policies.AdaptivePolicy`,
+    which tunes the size online -- the sizes actually dispatched are
+    recorded in :attr:`WorkloadRunResult.batch_sizes`.  Either way runs of
+    compatible operations resolve on the table's vectorized fast paths and
+    the engine's access counter advances per the batch-equivalence contract;
+    latencies are aggregated per batch under the ``"batch"`` kind
+    (per-operation attribution is not available inside a vectorized probe).
+    One caveat: failed (not-found) operations' partial charges stay in the
+    per-batch tally, whereas the sequential path drops them from
+    ``simulated_seconds``, so the two modes' reported throughput diverges
+    slightly on workloads that generate misses.
     """
+    if isinstance(engine, Database):
+        engine = engine.engine
     constants = constants if constants is not None else engine.constants
     simulated: dict[str, list[float]] = {}
     wall: dict[str, list[float]] = {}
     errors = 0
     executed = 0
+    batch_sizes: list[int] = []
     if batch_size is not None:
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        operations = list(workload)
-        for start in range(0, len(operations), batch_size):
-            outcome = engine.execute_batch(operations[start : start + batch_size])
+        if batch_size == "auto":
+            policy = AdaptivePolicy()
+        elif isinstance(batch_size, str):
+            raise ValueError(
+                f"batch_size must be a positive int, 'auto' or None, "
+                f"got {batch_size!r}"
+            )
+        else:
+            policy = VectorizedPolicy(batch_size=int(batch_size))
+        for _, outcome in policy.batches(engine, list(workload)):
             errors += outcome.errors
             executed += outcome.operations - outcome.errors
             simulated.setdefault("batch", []).append(
                 outcome.simulated_ns(constants)
             )
             wall.setdefault("batch", []).append(outcome.wall_ns)
+        batch_sizes = list(policy.chosen_batch_sizes)
     else:
         for operation in workload:
             try:
@@ -119,6 +138,7 @@ def run_workload(
         simulated_seconds=total_simulated_ns * 1e-9,
         wall_seconds=total_wall_ns * 1e-9,
         errors=errors,
+        batch_sizes=batch_sizes,
     )
     for kind, values in simulated.items():
         array = np.asarray(values)
@@ -140,7 +160,7 @@ LAYOUT_ORDER: tuple[LayoutKind, ...] = (
 )
 
 
-def build_hap_engine(
+def build_hap_database(
     layout: LayoutKind,
     config: HAPConfig,
     *,
@@ -152,11 +172,15 @@ def build_hap_engine(
     sla: SLAConstraints | None = None,
     solver: SolverBackend | str = SolverBackend.DP,
     constants: CostConstants | None = None,
-) -> StorageEngine:
-    """Build a HAP-table engine under the requested layout mode.
+    monitor: WorkloadMonitor | bool | None = None,
+) -> Database:
+    """Build a HAP-table :class:`Database` under the requested layout mode.
 
     The Casper mode requires ``training_workload`` (the offline sample the
-    planner learns the Frequency Model from); the other modes ignore it.
+    planner learns the Frequency Model from) and keeps the planner attached
+    so sessions can replan online; the other modes ignore it.  ``monitor``
+    follows :class:`Database` semantics (default: attached exactly when a
+    planner is; pass ``False`` for measurement runs that never replan).
     ``partitions`` controls the equi-width modes, matching the paper's setup
     where Casper is allowed at most as many partitions as the equi-width
     baselines.  ``merge_entries`` bounds the state-of-the-art delta store to a
@@ -170,29 +194,56 @@ def build_hap_engine(
         if constants is not None
         else constants_for_block_values(config.block_values)
     )
+    keys = generate_keys(config)
+    payload = generate_payload(config)
     if layout is LayoutKind.CASPER:
         if training_workload is None:
             raise ValueError("the Casper layout requires a training workload")
-        planner = CasperPlanner(
-            sample_workload=training_workload,
+        return Database.plan_for(
+            training_workload,
+            keys,
+            payload,
+            chunk_size=config.chunk_size,
             block_values=config.block_values,
             ghost_fraction=ghost_fraction,
-            constants=constants,
             sla=sla,
             solver=solver,
+            constants=constants,
+            monitor=monitor,
         )
-        table = build_table(config, planner.build_chunk)
-    else:
-        spec = LayoutSpec(
-            kind=layout,
-            partitions=partitions,
-            ghost_fraction=ghost_fraction,
-            merge_threshold=merge_threshold,
-            merge_entries=merge_entries,
-            block_values=config.block_values,
-        )
-        table = build_table(config, layout_chunk_builder(spec))
-    return StorageEngine(table, constants=constants)
+    spec = LayoutSpec(
+        kind=layout,
+        partitions=partitions,
+        ghost_fraction=ghost_fraction,
+        merge_threshold=merge_threshold,
+        merge_entries=merge_entries,
+        block_values=config.block_values,
+    )
+    return Database.from_rows(
+        keys,
+        payload,
+        layout=spec,
+        chunk_size=config.chunk_size,
+        block_values=config.block_values,
+        constants=constants,
+        monitor=monitor,
+    )
+
+
+def build_hap_engine(
+    layout: LayoutKind,
+    config: HAPConfig,
+    **kwargs,
+) -> StorageEngine:
+    """Compatibility wrapper: the engine of :func:`build_hap_database`.
+
+    Matches the pre-session behaviour: no workload monitor is attached
+    (callers holding only the engine cannot open sessions, so attribution
+    would be pure per-operation overhead).  Pass ``monitor=True`` or an
+    instance to opt in.
+    """
+    kwargs.setdefault("monitor", False)
+    return build_hap_database(layout, config, **kwargs).engine
 
 
 def compare_layouts(
@@ -223,19 +274,25 @@ def compare_layouts(
     )
     results: dict[LayoutKind, WorkloadRunResult] = {}
     for layout in layouts:
-        engine = build_hap_engine(
+        database = build_hap_database(
             layout,
             config,
             training_workload=training,
             partitions=partitions,
             ghost_fraction=ghost_fraction,
             merge_entries=merge_entries,
+            # Layout comparison never replans mid-run; skip the per-op
+            # attribution overhead so wall-clock numbers stay comparable.
+            monitor=False,
         )
         evaluation = make_workload(
             profile, config, num_operations=num_operations, seed=run_seed
         )
         results[layout] = run_workload(
-            engine, evaluation, layout_name=layout.value, constants=engine.constants
+            database,
+            evaluation,
+            layout_name=layout.value,
+            constants=database.constants,
         )
     return results
 

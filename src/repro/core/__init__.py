@@ -42,7 +42,7 @@ from .ghost_allocation import (
     data_movement_per_partition,
 )
 from .greedy_solver import solve_greedy
-from .monitor import ChunkActivity, WorkloadMonitor
+from .monitor import ChunkActivity, WorkloadMonitor, mix_distance
 from .optimizer import LayoutSolution, SolverBackend, optimize_layout
 from .planner import CasperPlanner, ChunkPlan
 from .robustness import (
@@ -83,6 +83,7 @@ __all__ = [
     "learn_from_workload",
     "mass_shift",
     "measure_solve_seconds",
+    "mix_distance",
     "optimize_layout",
     "partition_of_blocks",
     "rotational_shift",

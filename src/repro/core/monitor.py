@@ -18,8 +18,14 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..workload.operations import (
+    Aggregate,
     Delete,
     Insert,
+    MultiDelete,
+    MultiInsert,
+    MultiPointQuery,
+    MultiRangeCount,
+    MultiUpdate,
     Operation,
     PointQuery,
     RangeQuery,
@@ -29,6 +35,18 @@ from ..workload.operations import (
 
 #: Default bound on the per-chunk operation sample retained for replans.
 DEFAULT_SAMPLE_LIMIT = 4_096
+
+
+def mix_distance(a: dict[str, float], b: dict[str, float]) -> float:
+    """Total-variation distance between two operation-mix dictionaries.
+
+    Both arguments map operation kinds to fractions (as returned by
+    :meth:`ChunkActivity.mix`); missing kinds count as zero.  The result lies
+    in ``[0, 1]``: 0 for identical mixes, 1 for disjoint ones.  This is the
+    drift metric the session reorganization policy thresholds.
+    """
+    kinds = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(kind, 0.0) - b.get(kind, 0.0)) for kind in kinds)
 
 
 @dataclass
@@ -112,6 +130,49 @@ class WorkloadMonitor:
             activity.counts[kind] = activity.counts.get(kind, 0) + 1
             if operation is not None:
                 activity.sample.append(operation)
+
+    def observe_workload(self, table, workload) -> None:
+        """Attribute every operation of ``workload`` as the engine would.
+
+        Translates operation objects into the ``(kind, low, high)`` calls the
+        engine's dispatch methods make, including the per-element expansion
+        of the ``Multi*`` batch forms and the source/target split of updates.
+        Useful for seeding baseline chunk mixes from an offline training
+        sample without executing it.
+        """
+        for operation in workload:
+            if isinstance(operation, PointQuery):
+                self.observe(table, "point_query", operation.key)
+            elif isinstance(operation, RangeQuery):
+                kind = (
+                    "range_count"
+                    if operation.aggregate is Aggregate.COUNT
+                    else "range_sum"
+                )
+                self.observe(table, kind, operation.low, operation.high)
+            elif isinstance(operation, Insert):
+                self.observe(table, "insert", operation.key)
+            elif isinstance(operation, Delete):
+                self.observe(table, "delete", operation.key)
+            elif isinstance(operation, Update):
+                self.observe(table, "update", operation.old_key)
+                self.observe(table, "update", operation.new_key, write_target=True)
+            elif isinstance(operation, MultiPointQuery):
+                for key in operation.keys:
+                    self.observe(table, "point_query", int(key))
+            elif isinstance(operation, MultiRangeCount):
+                for low, high in operation.bounds:
+                    self.observe(table, "range_count", int(low), int(high))
+            elif isinstance(operation, MultiInsert):
+                for key in operation.keys:
+                    self.observe(table, "insert", int(key))
+            elif isinstance(operation, MultiDelete):
+                for key in operation.keys:
+                    self.observe(table, "delete", int(key))
+            elif isinstance(operation, MultiUpdate):
+                for old_key, new_key in operation.pairs:
+                    self.observe(table, "update", int(old_key))
+                    self.observe(table, "update", int(new_key), write_target=True)
 
     @staticmethod
     def _synthesize(kind: str, low: int, high: int | None) -> Operation | None:

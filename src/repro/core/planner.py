@@ -13,6 +13,7 @@ the Casper operation mode of the Fig. 12/13 experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from ..storage.cost_accounting import (
 from ..storage.ghost_values import ghost_budget_from_fraction
 from ..workload.operations import Workload
 from .constraints import SLAConstraints
+from .cost_model import CostModel, boundaries_to_vector
 from .frequency_model import FrequencyModel, learn_from_workload
 from .ghost_allocation import GhostAllocation, allocate_ghost_values
 from .optimizer import LayoutSolution, SolverBackend, optimize_layout
@@ -119,6 +121,34 @@ class CasperPlanner:
         self.plans.append(plan)
         return plan
 
+    def evaluate_layout(
+        self,
+        frequency_model: FrequencyModel,
+        boundary_offsets: np.ndarray | Sequence[int],
+    ) -> float:
+        """Modeled workload cost (Eq. 16) of an *existing* layout.
+
+        ``boundary_offsets`` are the exclusive value end offsets of the
+        layout's partitions within the chunk (e.g. the cumulative live
+        partition counts of a :class:`PartitionedColumn`); they are mapped
+        onto block granularity and priced under ``frequency_model`` with this
+        planner's cost constants.  Comparing the result against
+        :attr:`ChunkPlan.estimated_cost` of a fresh plan over the *same*
+        frequency model yields the modeled savings of a replan, which is what
+        the session reorganization policy's cost gate charges against the
+        rebuild cost.
+        """
+        offsets = np.asarray(boundary_offsets, dtype=np.int64).ravel()
+        if offsets.size == 0 or int(offsets[-1]) <= 0:
+            raise ValueError("boundary offsets must end at the chunk size")
+        num_blocks = frequency_model.num_blocks
+        blocks = -(-offsets // self.block_values)  # ceil to block granularity
+        blocks = np.unique(np.clip(blocks, 1, num_blocks))
+        if blocks[-1] != num_blocks:
+            blocks = np.append(blocks, num_blocks)
+        vector = boundaries_to_vector(num_blocks, blocks)
+        return CostModel(frequency_model, self.constants).total_cost(vector)
+
     def _restrict_workload(self, values: np.ndarray) -> Workload:
         """Keep only the sample operations that touch this chunk's key range."""
         low, high = int(values[0]), int(values[-1])
@@ -193,6 +223,22 @@ class CasperPlanner:
     ) -> PartitionedColumn:
         """``ChunkBuilder`` entry point used by :class:`repro.storage.table.Table`."""
         plan = self.plan_chunk(sorted_values)
+        return self.build_chunk_from_plan(plan, sorted_values, rowids, counter)
+
+    def build_chunk_from_plan(
+        self,
+        plan: ChunkPlan,
+        sorted_values: np.ndarray,
+        rowids: np.ndarray,
+        counter: AccessCounter,
+    ) -> PartitionedColumn:
+        """Materialize an already-solved :class:`ChunkPlan` as a column.
+
+        Lets callers that planned a chunk for another reason -- e.g. the
+        session reorganization policy's cost gate -- apply that plan without
+        paying the layout solve a second time.  ``sorted_values`` must be
+        the values the plan was computed for.
+        """
         ghosts = plan.ghost_allocation
         return PartitionedColumn(
             sorted_values,

@@ -24,6 +24,7 @@ from .cost_accounting import (
     AccessCounter,
     CostConstants,
     OperationCost,
+    SimulatedCost,
     blocks_spanned,
     constants_for_block_values,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "LayoutKind",
     "LayoutSpec",
     "OperationCost",
+    "SimulatedCost",
     "OperationResult",
     "PartitionIndex",
     "PartitionMetadata",

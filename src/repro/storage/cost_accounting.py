@@ -207,18 +207,30 @@ class AccessCounter:
         return result
 
 
-@dataclass
-class OperationCost:
-    """Cost of a single logical operation: accesses plus wall-clock time."""
+class SimulatedCost:
+    """Mixin for outcome records that carry an :class:`AccessCounter`.
 
-    accesses: AccessCounter = field(default_factory=AccessCounter)
-    wall_ns: float = 0.0
+    Any class with an ``accesses`` attribute gains ``simulated_ns``: the
+    simulated latency of the tallied block accesses under a set of cost
+    constants.  This is the single definition shared by the engine's
+    per-operation, per-batch and per-session outcome types.
+    """
+
+    accesses: AccessCounter
 
     def simulated_ns(
         self, constants: CostConstants = DEFAULT_COST_CONSTANTS
     ) -> float:
-        """Simulated latency in nanoseconds."""
+        """Simulated latency in nanoseconds under ``constants``."""
         return self.accesses.cost(constants)
+
+
+@dataclass
+class OperationCost(SimulatedCost):
+    """Cost of a single logical operation: accesses plus wall-clock time."""
+
+    accesses: AccessCounter = field(default_factory=AccessCounter)
+    wall_ns: float = 0.0
 
 
 def blocks_spanned(start: int, length: int, block_values: int) -> int:

@@ -26,6 +26,7 @@ from .cost_accounting import (
     DEFAULT_COST_CONSTANTS,
     AccessCounter,
     CostConstants,
+    SimulatedCost,
 )
 from .errors import ValueNotFoundError
 from .mvcc import Transaction, TransactionManager
@@ -33,7 +34,7 @@ from .table import Row, Table
 
 
 @dataclass
-class OperationResult:
+class OperationResult(SimulatedCost):
     """Outcome of a single engine operation."""
 
     kind: str
@@ -41,15 +42,9 @@ class OperationResult:
     wall_ns: float
     result: Any = None
 
-    def simulated_ns(
-        self, constants: CostConstants = DEFAULT_COST_CONSTANTS
-    ) -> float:
-        """Simulated latency in nanoseconds under ``constants``."""
-        return self.accesses.cost(constants)
-
 
 @dataclass
-class BatchResult:
+class BatchResult(SimulatedCost):
     """Outcome of a batched sequence of operations.
 
     ``results`` holds the per-operation result payloads in submission order
@@ -62,12 +57,6 @@ class BatchResult:
     wall_ns: float
     operations: int
     errors: int = 0
-
-    def simulated_ns(
-        self, constants: CostConstants = DEFAULT_COST_CONSTANTS
-    ) -> float:
-        """Aggregate simulated latency in nanoseconds under ``constants``."""
-        return self.accesses.cost(constants)
 
 
 @dataclass
@@ -90,6 +79,52 @@ class EngineStatistics:
         """Mean simulated latency for ``kind`` (0 when never executed)."""
         count = self.operations.get(kind, 0)
         return self.simulated_ns.get(kind, 0.0) / count if count else 0.0
+
+    def mean_wall_ns(self, kind: str) -> float:
+        """Mean wall-clock latency for ``kind`` (0 when never executed)."""
+        count = self.operations.get(kind, 0)
+        return self.wall_ns.get(kind, 0.0) / count if count else 0.0
+
+
+def batch_group_key(operation) -> tuple | None:
+    """Run-grouping key under which :meth:`StorageEngine.execute_batch`
+    batches an operation.
+
+    Consecutive operations with the same non-``None`` key form one run and
+    resolve through the matching ``multi_*`` fast path; ``None`` marks
+    operations that always dispatch individually.  This is the single
+    definition shared by the batch executor and the execution policies'
+    run-length heuristics (:mod:`repro.api.policies`).  Use
+    :func:`batch_group_keys` when classifying a whole operation list.
+    """
+    return batch_group_keys([operation])[0]
+
+
+def batch_group_keys(operations) -> list[tuple | None]:
+    """:func:`batch_group_key` over an operation list, one pass."""
+    # Local import: a module-scope one would cycle through
+    # ``repro.workload`` -> ``hap`` -> ``storage.table`` while this module
+    # initializes (after the first import it is a cached sys.modules hit).
+    from ..workload import operations as ops
+
+    point_query, range_query = ops.PointQuery, ops.RangeQuery
+    insert, delete, update = ops.Insert, ops.Delete, ops.Update
+    count = ops.Aggregate.COUNT
+    keys: list[tuple | None] = []
+    for operation in operations:
+        if isinstance(operation, point_query):
+            keys.append(("point_query", operation.columns))
+        elif isinstance(operation, range_query) and operation.aggregate is count:
+            keys.append(("range_count",))
+        elif isinstance(operation, insert):
+            keys.append(("insert",))
+        elif isinstance(operation, delete):
+            keys.append(("delete",))
+        elif isinstance(operation, update):
+            keys.append(("update",))
+        else:
+            keys.append(None)
+    return keys
 
 
 class StorageEngine:
@@ -224,6 +259,23 @@ class StorageEngine:
         self._observe("update", new_key, write_target=True)
         return self._measure("update", self.table.update_key, old_key, new_key)
 
+    def multi_update(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> OperationResult:
+        """Batched Q6 on the batch-routed path.
+
+        The result is the per-pair updated-count array (0 marks a missing
+        source key; no :class:`ValueNotFoundError` is raised on the bulk
+        path).  Pairs are applied in submission order, so results and
+        simulated accesses match per-pair :meth:`update_key` dispatch
+        exactly.
+        """
+        if self.monitor is not None:
+            for old_key, new_key in pairs:
+                self._observe("update", int(old_key))
+                self._observe("update", int(new_key), write_target=True)
+        return self._measure("multi_update", self.table.bulk_update, pairs)
+
     def full_scan(self) -> OperationResult:
         """Scan the entire key column."""
         return self._measure("scan", self.table.scan)
@@ -304,18 +356,21 @@ class StorageEngine:
             return self.multi_insert(list(operation.keys), payloads)
         if isinstance(operation, ops.MultiDelete):
             return self.multi_delete(list(operation.keys))
+        if isinstance(operation, ops.MultiUpdate):
+            return self.multi_update([tuple(pair) for pair in operation.pairs])
         raise TypeError(f"unsupported operation type: {type(operation)!r}")
 
     def execute_batch(self, operations) -> BatchResult:
         """Execute a sequence of operations on the vectorized batch fast path.
 
         Maximal consecutive runs of point queries (with identical column
-        lists), of counting range queries, of inserts and of deletes are
-        grouped and resolved through :meth:`multi_point_query` /
+        lists), of counting range queries, of inserts, of deletes and of key
+        updates are grouped and resolved through :meth:`multi_point_query` /
         :meth:`multi_range_count` / :meth:`multi_insert` /
-        :meth:`multi_delete`; every other operation is dispatched
-        individually, preserving the submission order of writes relative to
-        the reads around them.  Grouped reads charge simulated accesses
+        :meth:`multi_delete` / :meth:`multi_update`; every other operation is
+        dispatched individually, preserving the submission order of writes
+        relative to the reads around them.  Grouped updates apply their pairs
+        in submission order and match per-operation dispatch exactly.  Grouped reads charge simulated accesses
         identical to per-operation dispatch; grouped writes are applied in
         ascending key order within their run and charge at most that
         ordering's per-operation accesses (coalesced ripple sweeps charge
@@ -339,50 +394,42 @@ class StorageEngine:
         Statistics are recorded per dispatched operation -- grouped runs
         under the ``multi_*`` kinds, the rest under their own kind.
         """
-        from ..workload import operations as ops
-
         oplist = list(operations)
         before = self.counter.snapshot()
         start = time.perf_counter_ns()
+        group_keys = batch_group_keys(oplist)
         results: list[Any] = []
         errors = 0
         i = 0
         n = len(oplist)
         while i < n:
             operation = oplist[i]
-            if isinstance(operation, ops.PointQuery):
-                j = i
-                while (
-                    j < n
-                    and isinstance(oplist[j], ops.PointQuery)
-                    and oplist[j].columns == operation.columns
-                ):
-                    j += 1
-                keys = [op.key for op in oplist[i:j]]
+            group_key = group_keys[i]
+            if group_key is None:
+                try:
+                    results.append(self.execute(operation).result)
+                except ValueNotFoundError:
+                    results.append(None)
+                    errors += 1
+                i += 1
+                continue
+            j = i + 1
+            while j < n and group_keys[j] == group_key:
+                j += 1
+            group = oplist[i:j]
+            kind = group_key[0]
+            if kind == "point_query":
                 results.extend(
-                    self.multi_point_query(keys, operation.columns).result
+                    self.multi_point_query(
+                        [op.key for op in group], operation.columns
+                    ).result
                 )
-                i = j
-            elif (
-                isinstance(operation, ops.RangeQuery)
-                and operation.aggregate is ops.Aggregate.COUNT
-            ):
-                j = i
-                while (
-                    j < n
-                    and isinstance(oplist[j], ops.RangeQuery)
-                    and oplist[j].aggregate is ops.Aggregate.COUNT
-                ):
-                    j += 1
-                bounds = [(op.low, op.high) for op in oplist[i:j]]
-                counts = self.multi_range_count(bounds).result
+            elif kind == "range_count":
+                counts = self.multi_range_count(
+                    [(op.low, op.high) for op in group]
+                ).result
                 results.extend(int(count) for count in counts)
-                i = j
-            elif isinstance(operation, ops.Insert):
-                j = i
-                while j < n and isinstance(oplist[j], ops.Insert):
-                    j += 1
-                group = oplist[i:j]
+            elif kind == "insert":
                 width = len(self.table.payload_names)
                 payloads = [
                     list(op.payload) if op.payload is not None else [0] * width
@@ -392,26 +439,25 @@ class StorageEngine:
                     [op.key for op in group], payloads
                 ).result
                 results.extend(int(rowid) for rowid in rowids)
-                i = j
-            elif isinstance(operation, ops.Delete):
-                j = i
-                while j < n and isinstance(oplist[j], ops.Delete):
-                    j += 1
-                counts = self.multi_delete([op.key for op in oplist[i:j]]).result
+            elif kind == "delete":
+                counts = self.multi_delete([op.key for op in group]).result
                 for count in counts:
                     if int(count) > 0:
                         results.append(int(count))
                     else:
                         results.append(None)
                         errors += 1
-                i = j
-            else:
-                try:
-                    results.append(self.execute(operation).result)
-                except ValueNotFoundError:
+            else:  # "update"
+                pairs = [(op.old_key, op.new_key) for op in group]
+                counts = self.multi_update(pairs).result
+                # Per-op dispatch returns None for a successful update too,
+                # so every pair contributes None; misses additionally count
+                # as errors, matching the ValueNotFoundError path.
+                for count in counts:
                     results.append(None)
-                    errors += 1
-                i += 1
+                    if int(count) == 0:
+                        errors += 1
+            i = j
         wall = float(time.perf_counter_ns() - start)
         accesses = self.counter.diff(before)
         return BatchResult(

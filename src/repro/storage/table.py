@@ -39,6 +39,15 @@ from .partition_index import PartitionIndex
 #: Per-chunk column builder: (sorted chunk keys, global rowids, counter) -> chunk.
 ChunkBuilder = Callable[[np.ndarray, np.ndarray, AccessCounter], ColumnLike]
 
+#: Below this many probes per chunk, batched point/range resolution falls
+#: back to per-value dispatch: the vectorized machinery's fixed per-call
+#: overhead (partition grouping, expansion arrays) only amortizes once a
+#: chunk receives a reasonable number of probes.  Both paths charge
+#: identical simulated accesses, so the cutover is invisible to the cost
+#: model -- it is purely a wall-clock adaptation for batches that scatter
+#: thinly across many chunks.
+SMALL_PROBE_FALLBACK = 16
+
 
 def layout_chunk_builder(spec: LayoutSpec) -> ChunkBuilder:
     """Build chunks with a fixed :class:`LayoutSpec` (non-Casper modes)."""
@@ -326,7 +335,9 @@ class Table:
             positions = expanded_pos[expanded_chunks == chunk_index]
             chunk_keys = keys_arr[positions]
             chunk = self._chunks[int(chunk_index)]
-            if hasattr(chunk, "multi_point_query"):
+            if chunk_keys.size >= SMALL_PROBE_FALLBACK and hasattr(
+                chunk, "multi_point_query"
+            ):
                 hits, counts = chunk.multi_point_query(
                     chunk_keys, return_rowids=True
                 )
@@ -409,7 +420,9 @@ class Table:
         for chunk_index in np.unique(expanded_chunks):
             positions = expanded_pos[expanded_chunks == chunk_index]
             chunk = self._chunks[int(chunk_index)]
-            if hasattr(chunk, "multi_range_count"):
+            if positions.size >= SMALL_PROBE_FALLBACK and hasattr(
+                chunk, "multi_range_count"
+            ):
                 counts = chunk.multi_range_count(lows[positions], highs[positions])
             else:
                 counts = np.asarray(
@@ -568,6 +581,51 @@ class Table:
             unresolved[retriable] = True
             attempt[retriable] = chunk_index + 1
         return deleted
+
+    def bulk_update(
+        self, pairs: np.ndarray | Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Batched Q6: apply ``old_key -> new_key`` corrections in one call.
+
+        Routing is batched -- one ``searchsorted`` pass over the chunk fences
+        for the source spans and one for the insert targets, charging the
+        same two index probes per pair as :meth:`update_key` -- but the pairs
+        themselves are applied *in submission order* with the exact per-pair
+        logic of :meth:`update_key`.  Updates never move chunk fences, so the
+        pre-computed routes stay valid throughout the batch and the resulting
+        table state, results and simulated access counts are identical to
+        dispatching each update individually (unlike the insert/delete bulk
+        paths, nothing is reordered or coalesced).  Returns an array aligned
+        with the input: 1 where a row was updated, 0 where ``old_key`` was
+        absent (no :class:`ValueNotFoundError` is raised on the bulk path).
+        """
+        pairs_arr = np.asarray(pairs, dtype=np.int64)
+        if pairs_arr.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if pairs_arr.ndim != 2 or pairs_arr.shape[1] != 2:
+            raise LayoutError("pairs must be a sequence of (old, new) tuples")
+        m = int(pairs_arr.shape[0])
+        self.counter.index_probe(m)
+        first, last = self._router.locate_batch(pairs_arr[:, 0])
+        self.counter.index_probe(m)
+        targets, _ = self._router.locate_batch(pairs_arr[:, 1])
+        updated = np.zeros(m, dtype=np.int64)
+        for i in range(m):
+            old_key = int(pairs_arr[i, 0])
+            new_key = int(pairs_arr[i, 1])
+            target = int(targets[i])
+            for chunk_index in range(int(first[i]), int(last[i]) + 1):
+                try:
+                    if chunk_index == target:
+                        self._chunks[chunk_index].update(old_key, new_key)
+                    else:
+                        rowid = self._chunks[chunk_index].remove_one(old_key)
+                        self._chunks[target].insert(new_key, rowid=rowid)
+                    updated[i] = 1
+                    break
+                except ValueNotFoundError:
+                    continue
+        return updated
 
     def update_key(self, old_key: int, new_key: int) -> None:
         """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``).

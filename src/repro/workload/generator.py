@@ -148,6 +148,31 @@ class WorkloadGenerator:
             workload.append(self._make_operation(label, mix))
         return workload
 
+    def generate_phases(
+        self,
+        phases: "list[tuple[WorkloadMix, int]]",
+        *,
+        name: str | None = None,
+    ) -> Workload:
+        """Generate a workload whose mix *shifts* across consecutive phases.
+
+        ``phases`` is a list of ``(mix, num_operations)`` pairs; the phases
+        share this generator's live-key bookkeeping, so later phases never
+        delete rows an earlier phase already removed and inserts stay fresh
+        across the whole sequence.  This models the drifting workloads of the
+        paper's online loop (Fig. 10): a session that trains on the first
+        phase sees the later phases as drift.
+        """
+        operations: list[Operation] = []
+        labels = []
+        for mix, num_operations in phases:
+            operations.extend(self.generate(mix, num_operations).operations)
+            labels.append(f"{mix.name}x{num_operations}")
+        return Workload(
+            operations=operations,
+            name=name if name is not None else " -> ".join(labels),
+        )
+
     def _make_operation(self, label: str, mix: WorkloadMix) -> Operation:
         if label == "q1":
             return PointQuery(key=self._existing_key(mix.read_sampler))

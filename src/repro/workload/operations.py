@@ -32,6 +32,7 @@ class OperationKind(Enum):
     MULTI_RANGE_COUNT = "multi_range_count"
     MULTI_INSERT = "multi_insert"
     MULTI_DELETE = "multi_delete"
+    MULTI_UPDATE = "multi_update"
 
 
 class Aggregate(Enum):
@@ -147,6 +148,26 @@ class MultiDelete:
     kind = OperationKind.MULTI_DELETE
 
 
+@dataclass(frozen=True)
+class MultiUpdate:
+    """Batched Q6: apply one ``old_key -> new_key`` correction per pair.
+
+    Pairs are applied in submission order on a batch-routed path
+    (:meth:`repro.storage.table.Table.bulk_update`), so the outcome --
+    results and simulated access counts -- is exactly that of issuing the
+    equivalent :class:`Update` operations one by one.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+
+    kind = OperationKind.MULTI_UPDATE
+
+    def __post_init__(self) -> None:
+        for pair in self.pairs:
+            if len(pair) != 2:
+                raise ValueError("pairs must be (old_key, new_key) tuples")
+
+
 Operation = (
     PointQuery
     | RangeQuery
@@ -157,6 +178,7 @@ Operation = (
     | MultiRangeCount
     | MultiInsert
     | MultiDelete
+    | MultiUpdate
 )
 
 

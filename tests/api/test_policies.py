@@ -1,0 +1,360 @@
+"""Execution-policy equivalence: Serial vs. Vectorized vs. Adaptive.
+
+The policy contract (see :mod:`repro.api.policies`) is property-tested on
+randomized mixed workloads over a multi-chunk table whose key column holds a
+duplicate run straddling a chunk boundary:
+
+* results are identical across all three policies, in submission order;
+* simulated access counts are identical for read/update workloads and never
+  larger than serial dispatch for insert/delete runs (coalesced sweeps);
+* the final table state is identical and structurally valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.policies import (
+    AdaptivePolicy,
+    ExecutionPolicy,
+    SerialPolicy,
+    VectorizedPolicy,
+    longest_groupable_run,
+)
+from repro.storage.engine import StorageEngine
+from repro.storage.layouts import LayoutKind, LayoutSpec
+from repro.storage.table import Table, layout_chunk_builder
+from repro.workload.operations import (
+    Aggregate,
+    Delete,
+    Insert,
+    PointQuery,
+    RangeQuery,
+    Update,
+)
+
+#: The duplicated key whose run straddles the first chunk boundary.
+STRADDLE_KEY = 500
+
+#: Number of copies of :data:`STRADDLE_KEY` loaded into the table.
+STRADDLE_COPIES = 13
+
+CHUNK_SIZE = 256
+
+
+def base_keys() -> np.ndarray:
+    """512 keys: unique evens plus a duplicate run straddling chunk 0/1.
+
+    The first 250 positions hold ``0, 2, ..., 498``; positions 250..262 all
+    hold :data:`STRADDLE_KEY`; the rest continue ``502, 504, ...``.  With
+    ``chunk_size=256`` the duplicate run crosses the chunk boundary, which
+    is exactly the case the batched probes must keep exact.
+    """
+    return np.concatenate(
+        (
+            np.arange(0, STRADDLE_KEY, 2, dtype=np.int64),
+            np.full(STRADDLE_COPIES, STRADDLE_KEY, dtype=np.int64),
+            np.arange(STRADDLE_KEY + 2, 998, 2, dtype=np.int64),
+        )
+    )
+
+
+def build_engine() -> StorageEngine:
+    keys = base_keys()
+    payload = np.arange(keys.shape[0] * 2, dtype=np.int64).reshape(-1, 2)
+    spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=8, block_values=32)
+    table = Table(
+        keys,
+        payload,
+        chunk_size=CHUNK_SIZE,
+        chunk_builder=layout_chunk_builder(spec),
+        block_values=32,
+    )
+    assert table.num_chunks == 2
+    return StorageEngine(table)
+
+
+def read_workload(rng: np.random.Generator, size: int) -> list:
+    """Point/range reads, including straddling duplicates and misses."""
+    operations = []
+    for _ in range(size):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            # Mix hits, the straddling duplicate, and odd-key misses.
+            key = int(
+                rng.choice(
+                    [int(rng.integers(0, 1_000)), STRADDLE_KEY, 501, 999]
+                )
+            )
+            operations.append(PointQuery(key=key))
+        elif kind == 1:
+            key = int(rng.integers(0, 1_000))
+            operations.append(PointQuery(key=key, columns=("a1",)))
+        elif kind == 2:
+            low = int(rng.integers(0, 900))
+            operations.append(
+                RangeQuery(low=low, high=low + int(rng.integers(0, 200)))
+            )
+        else:
+            low = int(rng.integers(0, 900))
+            operations.append(
+                RangeQuery(
+                    low=low,
+                    high=low + int(rng.integers(0, 200)),
+                    aggregate=Aggregate.SUM,
+                )
+            )
+    return operations
+
+
+def mixed_workload(rng: np.random.Generator, size: int) -> list:
+    """Reads plus writes, keeping the write targets unambiguous.
+
+    Deletes and update sources draw (without replacement) from disjoint
+    pools of keys that are *unique* in the table, and inserted/update-target
+    keys are fresh odd values -- the regime in which the bulk write paths
+    are exactly result-equivalent to serial dispatch (see the duplicate-key
+    caveat on ``StorageEngine.execute_batch``).  Reads still cover the
+    straddling duplicate run.
+    """
+    evens = rng.permutation(np.arange(0, STRADDLE_KEY, 2))
+    delete_pool = [int(k) for k in evens[:40]]
+    update_pool = [int(k) for k in evens[40:80]]
+    fresh = iter(
+        (2 * rng.permutation(np.arange(2_000, 4_000)) + 1).tolist()
+    )
+    operations = []
+    for _ in range(size):
+        kind = rng.integers(0, 5)
+        if kind == 0:
+            operations.extend(read_workload(rng, 1))
+        elif kind == 1:
+            operations.append(Insert(key=int(next(fresh))))
+        elif kind == 2 and delete_pool:
+            operations.append(Delete(key=delete_pool.pop()))
+        elif kind == 3 and update_pool:
+            operations.append(
+                Update(old_key=update_pool.pop(), new_key=int(next(fresh)))
+            )
+        else:
+            key = int(rng.choice([STRADDLE_KEY, int(rng.integers(0, 1_000))]))
+            operations.append(PointQuery(key=key))
+    return operations
+
+
+def policies(rng: np.random.Generator) -> list[ExecutionPolicy]:
+    return [
+        SerialPolicy(),
+        VectorizedPolicy(batch_size=int(rng.integers(1, 96))),
+        AdaptivePolicy(
+            initial_batch_size=int(rng.integers(4, 64)),
+            min_batch_size=4,
+            max_batch_size=256,
+        ),
+    ]
+
+
+def run_policy(policy: ExecutionPolicy, operations: list):
+    engine = build_engine()
+    outcome = policy.execute(engine, operations)
+    return engine, outcome
+
+
+def normalized(results: list) -> list:
+    """Sort multi-row point-query hits by (key, rowid).
+
+    Bulk deletes replay in ascending key order, which can leave surviving
+    *duplicate* copies at different physical positions than submission-order
+    deletes would (the documented ``execute_batch`` caveat), so a later
+    point query may return the same hit set in a different order.  Row
+    *sets* must still match exactly.
+    """
+    out = []
+    for result in results:
+        if isinstance(result, list):
+            out.append(
+                sorted(result, key=lambda row: (row.key, row.rowid))
+            )
+        else:
+            out.append(result)
+    return out
+
+
+class TestPolicyEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), size=st.integers(1, 120))
+    def test_read_workloads_fully_identical(self, seed, size):
+        rng = np.random.default_rng(seed)
+        operations = read_workload(rng, size)
+        serial_engine, serial = run_policy(SerialPolicy(), operations)
+        for policy in policies(rng)[1:]:
+            engine, outcome = run_policy(policy, operations)
+            assert outcome.results == serial.results
+            assert outcome.errors == serial.errors
+            assert outcome.operations == serial.operations
+            # Reads are exact on the batched paths: every counter field
+            # matches per-operation dispatch.
+            assert engine.counter.snapshot() == serial_engine.counter.snapshot()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), size=st.integers(1, 120))
+    def test_mixed_workloads_identical_results_bounded_charges(
+        self, seed, size
+    ):
+        rng = np.random.default_rng(seed)
+        operations = mixed_workload(rng, size)
+        serial_engine, serial = run_policy(SerialPolicy(), operations)
+        serial_counts = serial_engine.counter.snapshot()
+        for policy in policies(rng)[1:]:
+            engine, outcome = run_policy(policy, operations)
+            assert normalized(outcome.results) == normalized(serial.results)
+            assert outcome.errors == serial.errors
+            counts = engine.counter.snapshot()
+            assert counts.index_probes == serial_counts.index_probes
+            for field in (
+                "random_reads",
+                "random_writes",
+                "seq_reads",
+                "seq_writes",
+            ):
+                assert getattr(counts, field) <= getattr(serial_counts, field)
+            assert np.array_equal(
+                np.sort(engine.table.keys()),
+                np.sort(serial_engine.table.keys()),
+            )
+            engine.table.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), size=st.integers(1, 60))
+    def test_update_runs_exactly_identical(self, seed, size):
+        # Key updates are applied in submission order on the bulk path, so
+        # even *duplicate* sources and consecutive update runs must match
+        # per-operation dispatch exactly -- results and every counter field.
+        rng = np.random.default_rng(seed)
+        fresh = iter((2 * rng.permutation(np.arange(5_000, 8_000)) + 1).tolist())
+        operations = []
+        for _ in range(size):
+            old = int(
+                rng.choice([STRADDLE_KEY, int(rng.integers(0, 1_000))])
+            )
+            operations.append(Update(old_key=old, new_key=int(next(fresh))))
+        serial_engine, serial = run_policy(SerialPolicy(), operations)
+        for policy in policies(rng)[1:]:
+            engine, outcome = run_policy(policy, operations)
+            assert outcome.results == serial.results
+            assert outcome.errors == serial.errors
+            assert engine.counter.snapshot() == serial_engine.counter.snapshot()
+            assert np.array_equal(
+                np.sort(engine.table.keys()),
+                np.sort(serial_engine.table.keys()),
+            )
+
+
+class TestAdaptivePolicy:
+    def test_explores_upward_then_settles_on_best(self):
+        policy = AdaptivePolicy(
+            initial_batch_size=32, min_batch_size=8, max_batch_size=128
+        )
+        # Unexplored neighbours are probed largest-first.
+        policy.observe(32, 32, 32 * 100.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 64
+        policy.observe(64, 64, 64 * 50.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 128
+        # 128 turns out slower; the neighbourhood {64, 128} is now fully
+        # explored and 64 is clearly better, so the policy walks back.
+        policy.observe(128, 128, 128 * 200.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 64
+        # 64's whole neighbourhood {32, 64, 128} is explored and 64 wins:
+        # the policy settles there and stays.
+        policy.observe(64, 64, 64 * 50.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 64
+        policy.observe(64, 64, 64 * 50.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 64
+
+    def test_moves_down_when_smaller_is_faster(self):
+        policy = AdaptivePolicy(
+            initial_batch_size=32, min_batch_size=8, max_batch_size=64
+        )
+        policy.observe(32, 32, 32 * 100.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 64
+        policy.observe(64, 64, 64 * 300.0, 0.0, longest_run=1)
+        # 64 is worse: walk back to 32, then probe the unexplored 16, which
+        # keeps improving, and descend to the floor.
+        assert policy.current_batch_size == 32
+        policy.observe(32, 32, 32 * 100.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 16
+        policy.observe(16, 16, 16 * 20.0, 0.0, longest_run=1)
+        assert policy.current_batch_size == 8
+        policy.observe(8, 8, 8 * 10.0, 0.0, longest_run=1)
+        # {8, 16} explored, 8 fastest: settle at the floor.
+        assert policy.current_batch_size == 8
+
+    def test_truncated_run_forces_growth(self):
+        policy = AdaptivePolicy(
+            initial_batch_size=16, min_batch_size=8, max_batch_size=64
+        )
+        policy.observe(16, 16, 16 * 10.0, 0.0, longest_run=16)
+        assert policy.current_batch_size == 32
+
+    def test_tail_slice_does_not_adapt(self):
+        policy = AdaptivePolicy(
+            initial_batch_size=32, min_batch_size=8, max_batch_size=128
+        )
+        policy.observe(32, 5, 5 * 1000.0, 0.0, longest_run=5)
+        assert policy.current_batch_size == 32
+        assert policy._estimates == {}
+
+    def test_respects_bounds(self):
+        policy = AdaptivePolicy(
+            initial_batch_size=512, min_batch_size=64, max_batch_size=256
+        )
+        assert policy.current_batch_size == 256
+        with pytest.raises(ValueError):
+            AdaptivePolicy(min_batch_size=0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(min_batch_size=64, max_batch_size=32)
+
+    def test_records_observations_and_sizes(self):
+        engine = build_engine()
+        policy = AdaptivePolicy(
+            initial_batch_size=8, min_batch_size=4, max_batch_size=64
+        )
+        operations = read_workload(np.random.default_rng(1), 50)
+        outcome = policy.execute(engine, operations)
+        assert outcome.operations == 50
+        assert sum(policy.chosen_batch_sizes) == 50
+        assert len(policy.observations) == len(policy.chosen_batch_sizes)
+        sizes, counts, walls, simulated, runs = zip(*policy.observations)
+        assert all(w > 0 for w in walls)
+        assert all(s >= 0 for s in simulated)
+
+
+class TestRunGrouping:
+    def test_longest_groupable_run(self):
+        assert longest_groupable_run([]) == 0
+        ops = [
+            PointQuery(key=1),
+            PointQuery(key=2),
+            PointQuery(key=3, columns=("a1",)),
+            RangeQuery(low=0, high=5),
+            RangeQuery(low=1, high=2),
+            RangeQuery(low=1, high=2, aggregate=Aggregate.SUM),
+            Insert(key=7),
+            Delete(key=7),
+            Update(old_key=1, new_key=3),
+            Update(old_key=5, new_key=9),
+            Update(old_key=11, new_key=13),
+        ]
+        # Longest run: the three trailing updates.
+        assert longest_groupable_run(ops) == 3
+        # Column changes break point-query runs; SUM aggregates are
+        # singletons.
+        assert longest_groupable_run(ops[:3]) == 2
+        assert longest_groupable_run(ops[5:6]) == 0
+
+    def test_vectorized_policy_validates_batch_size(self):
+        with pytest.raises(ValueError):
+            VectorizedPolicy(batch_size=0)

@@ -1,0 +1,223 @@
+"""The automatic reorganization lifecycle: drift detection + cost gate.
+
+These tests drive the Fig. 10 A->C loop end-to-end through the session API:
+a database planned for one workload phase sees a drifted phase, the
+session's :class:`ReorgPolicy` detects the per-chunk mix shift, solves a
+candidate layout for the observed sample, charges the modeled savings
+against the rebuild cost, and replans in place -- measurably cutting the
+simulated cost of serving the drifted phase versus a no-reorg session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ReorgPolicy, VectorizedPolicy
+from repro.core.monitor import mix_distance
+from repro.workload.distributions import EarlySkewSampler
+from repro.workload.generator import WorkloadGenerator, WorkloadMix
+
+NUM_ROWS = 8_192
+CHUNK_SIZE = 2_048
+BLOCK_VALUES = 128
+
+INSERT_HEAVY = WorkloadMix(name="insert-heavy", q4_insert=0.9, q1_point=0.1)
+POINT_HEAVY = WorkloadMix(
+    name="point-heavy",
+    q1_point=0.97,
+    q2_range_count=0.03,
+    read_sampler=EarlySkewSampler(),
+)
+
+
+def keys() -> np.ndarray:
+    return np.arange(NUM_ROWS, dtype=np.int64) * 2
+
+
+def generator(seed: int) -> WorkloadGenerator:
+    return WorkloadGenerator(
+        keys(), domain_low=0, domain_high=2 * NUM_ROWS - 2, seed=seed
+    )
+
+
+def planned_db() -> Database:
+    training = generator(seed=3).generate(INSERT_HEAVY, 1_200)
+    return Database.plan_for(
+        training, keys(), chunk_size=CHUNK_SIZE, block_values=BLOCK_VALUES
+    )
+
+
+def run_drifted_phase(reorg: ReorgPolicy | None, *, rounds: int = 6):
+    """Serve the drifted (point-heavy) phase in rounds; return the session."""
+    db = planned_db()
+    drifted = generator(seed=9).generate(POINT_HEAVY, 3_000)
+    operations = list(drifted)
+    per_round = -(-len(operations) // rounds)
+    with db.session(
+        execution=VectorizedPolicy(batch_size=256), reorg=reorg
+    ) as session:
+        for start in range(0, len(operations), per_round):
+            session.execute(operations[start : start + per_round])
+    return db, session
+
+
+class TestMixDistance:
+    def test_bounds_and_symmetry(self):
+        a = {"point_query": 0.9, "insert": 0.1}
+        b = {"insert": 0.1, "point_query": 0.9}
+        c = {"range_count": 1.0}
+        assert mix_distance(a, b) == 0.0
+        assert mix_distance(a, c) == 1.0
+        # Against an empty (all-zero) mix only half the mass differs.
+        assert mix_distance(a, {}) == pytest.approx(0.5)
+        d = {"point_query": 0.5, "insert": 0.5}
+        assert mix_distance(a, d) == pytest.approx(0.4)
+        assert mix_distance(d, a) == pytest.approx(0.4)
+
+
+class TestReorgLifecycle:
+    def test_auto_replan_cuts_simulated_cost_after_drift(self):
+        _, control = run_drifted_phase(None)
+        reorg = ReorgPolicy(drift_threshold=0.25, min_chunk_operations=200)
+        db, session = run_drifted_phase(reorg)
+        control_report = control.report()
+        reorg_report = session.report()
+        assert reorg_report.replans >= 1
+        # The replans pay for themselves within the drifted phase: total
+        # simulated cost (including the rebuild charges) drops.
+        assert (
+            reorg_report.simulated_seconds < control_report.simulated_seconds
+        )
+        # Decisions carry the gate's arithmetic.
+        replanned = [d for d in session.reorg_decisions if d.replanned]
+        for decision in replanned:
+            assert decision.drift >= 0.25
+            assert decision.modeled_savings_ns is not None
+            assert decision.modeled_savings_ns >= decision.rebuild_cost_ns
+        db.check_invariants()
+
+    def test_replanned_results_stay_correct(self):
+        # A replan must be invisible to query semantics: the same drifted
+        # phase returns identical results with and without reorganization.
+        _, control = run_drifted_phase(None)
+        db, session = run_drifted_phase(
+            ReorgPolicy(drift_threshold=0.25, min_chunk_operations=200)
+        )
+        assert session.report().replans >= 1
+        verification = generator(seed=21).generate(POINT_HEAVY, 400)
+        control_db = planned_db()
+        expected = control_db.session().execute(list(verification))
+        got = db.session().execute(list(verification))
+        # The drifted phases mutated both databases identically (insert-free
+        # point-heavy mix leaves only q2/q1 reads), so results must agree.
+        assert [r if not isinstance(r, list) else len(r) for r in got.results] \
+            == [r if not isinstance(r, list) else len(r) for r in expected.results]
+
+    def test_cost_gate_blocks_unprofitable_replans(self):
+        reorg = ReorgPolicy(
+            drift_threshold=0.25,
+            min_chunk_operations=200,
+            rebuild_margin=1e12,  # no modeled savings can clear this bar
+        )
+        _, session = run_drifted_phase(reorg)
+        report = session.report()
+        assert report.replans == 0
+        gated = [d for d in report.reorg_decisions if not d.replanned]
+        assert gated, "drift should still have been detected"
+        for decision in gated:
+            assert "cost gate" in decision.reason
+            assert decision.current_cost_ns is not None
+            assert decision.planned_cost_ns is not None
+
+    def test_disabled_cost_gate_replans_on_drift_alone(self):
+        reorg = ReorgPolicy(
+            drift_threshold=0.25, min_chunk_operations=200, cost_gate=False
+        )
+        _, session = run_drifted_phase(reorg)
+        report = session.report()
+        assert report.replans >= 1
+        for decision in report.reorg_decisions:
+            if decision.replanned:
+                assert decision.current_cost_ns is None
+
+    def test_min_chunk_operations_defers_evaluation(self):
+        reorg = ReorgPolicy(drift_threshold=0.0, min_chunk_operations=10**9)
+        _, session = run_drifted_phase(reorg)
+        assert session.report().reorg_decisions == []
+
+    def test_check_interval_skips_calls_but_close_forces_one(self):
+        db = planned_db()
+        drifted = generator(seed=9).generate(POINT_HEAVY, 1_200)
+        reorg = ReorgPolicy(
+            drift_threshold=0.25, min_chunk_operations=100, check_interval=10**6
+        )
+        with db.session(
+            execution=VectorizedPolicy(batch_size=256), reorg=reorg
+        ) as session:
+            session.execute(list(drifted))
+            # Off-interval: no evaluation during the execute call ...
+            assert session.reorg_decisions == []
+        # ... but the close-time check bypasses the interval, so the drift
+        # accumulated by the session's last calls is still evaluated once.
+        assert session.report().reorg_decisions != []
+
+    def test_exceptional_exit_skips_final_reorg_check(self):
+        db = planned_db()
+        drifted = generator(seed=9).generate(POINT_HEAVY, 1_200)
+        reorg = ReorgPolicy(
+            drift_threshold=0.25, min_chunk_operations=100, check_interval=10**6
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.session(
+                execution=VectorizedPolicy(batch_size=256), reorg=reorg
+            ) as session:
+                session.execute(list(drifted))
+                raise RuntimeError("boom")
+        # The close-time check was skipped, not run against the failed call.
+        assert session.closed
+        assert session.report().reorg_decisions == []
+
+    def test_reorg_policy_bound_to_one_database(self):
+        reorg = ReorgPolicy(min_chunk_operations=1)
+        first, second = planned_db(), planned_db()
+        reorg.maybe_reorganize(first)
+        with pytest.raises(ValueError, match="fresh policy"):
+            reorg.maybe_reorganize(second)
+        # Re-use with the same database (e.g. a later session) is fine.
+        reorg.maybe_reorganize(first)
+
+    def test_no_planner_means_no_reorg(self):
+        db = Database.from_rows(
+            keys(), chunk_size=CHUNK_SIZE, block_values=BLOCK_VALUES
+        )
+        drifted = generator(seed=9).generate(POINT_HEAVY, 600)
+        with db.session(reorg=ReorgPolicy(min_chunk_operations=1)) as session:
+            session.execute(list(drifted))
+        assert session.report().reorg_decisions == []
+
+    def test_untrained_chunk_adopts_baseline_before_replanning(self):
+        # Train on operations confined to chunk 0 only; chunk 3 has no
+        # baseline, so its first evaluated mix is adopted instead of
+        # replanned against nothing.
+        from repro.workload.operations import Insert, PointQuery, Workload
+
+        chunk0_keys = keys()[: CHUNK_SIZE // 2]
+        training = Workload(
+            operations=[Insert(key=int(k) + 1) for k in chunk0_keys[:450]]
+            + [PointQuery(key=int(k)) for k in chunk0_keys[:50]],
+            name="chunk-0 only",
+        )
+        db = Database.plan_for(
+            training, keys(), chunk_size=CHUNK_SIZE, block_values=BLOCK_VALUES
+        )
+        reorg = ReorgPolicy(drift_threshold=0.05, min_chunk_operations=50)
+        top_keys = keys()[keys() >= 3 * CHUNK_SIZE * 2]
+        probes = [int(k) for k in top_keys[:400]]
+        with db.session(reorg=reorg) as session:
+            session.execute([PointQuery(key=k) for k in probes])
+            first_round = list(session.reorg_decisions)
+            # Same mix again: no drift against the adopted baseline.
+            session.execute([PointQuery(key=k) for k in probes])
+        assert first_round == []
+        assert all(not d.replanned for d in session.reorg_decisions)

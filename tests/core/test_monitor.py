@@ -157,3 +157,38 @@ class TestReplanChunk:
         assert derived.block_values == planner.block_values
         assert derived.sample_workload.name == "drift"
         assert derived.plans == []
+
+
+class TestObserveWorkload:
+    def test_matches_engine_attribution(self):
+        # Feeding a workload through observe_workload must attribute the
+        # same per-chunk counts the engine's dispatch would.
+        from repro.workload.operations import (
+            Delete,
+            Insert,
+            MultiPointQuery,
+            MultiUpdate,
+            Update,
+        )
+
+        operations = [
+            PointQuery(key=20),
+            RangeQuery(low=0, high=1_500),
+            Insert(key=21),
+            Delete(key=40),
+            Update(old_key=60, new_key=2_001),
+            MultiPointQuery(keys=(1_030, 50)),
+            MultiUpdate(pairs=((80, 81),)),
+        ]
+        table = make_table()
+        executed = WorkloadMonitor()
+        engine = StorageEngine(table, monitor=executed)
+        for operation in operations:
+            engine.execute(operation)
+        observed = WorkloadMonitor()
+        observed.observe_workload(make_table(), Workload(operations=operations))
+        assert observed.observed_chunks() == executed.observed_chunks()
+        for chunk in observed.observed_chunks():
+            assert observed.operation_counts(chunk) == executed.operation_counts(
+                chunk
+            )

@@ -20,8 +20,10 @@ from repro.workload.operations import (
     Aggregate,
     MultiPointQuery,
     MultiRangeCount,
+    MultiUpdate,
     PointQuery,
     RangeQuery,
+    Update,
 )
 
 
@@ -250,3 +252,61 @@ class TestExecuteBatch:
         engine, _, _ = self.make_engines()
         batch = engine.execute_batch([])
         assert batch.results == [] and batch.operations == 0
+
+
+class TestMultiUpdate:
+    """Grouped key updates are *exactly* per-op equivalent (no coalescing)."""
+
+    def test_update_run_matches_per_op_dispatch_exactly(self):
+        # Straddling duplicates, a cross-chunk move, an in-place rewrite and
+        # a miss, all in one run.
+        def build():
+            keys = np.asarray([1, 2, 3, 100, 100, 100, 100, 200, 300])
+            return StorageEngine(Table(keys, chunk_size=4, block_values=4))
+
+        sequential, batched = build(), build()
+        updates = [
+            Update(old_key=100, new_key=5),
+            Update(old_key=2, new_key=250),
+            Update(old_key=999, new_key=1),  # miss
+            Update(old_key=100, new_key=100),
+            Update(old_key=300, new_key=301),
+        ]
+        sequential_results = []
+        sequential_errors = 0
+        for operation in updates:
+            try:
+                sequential_results.append(
+                    sequential.execute(operation).result
+                )
+            except ValueNotFoundError:
+                sequential_results.append(None)
+                sequential_errors += 1
+        batch = batched.execute_batch(updates)
+        assert batch.results == sequential_results
+        assert batch.errors == sequential_errors
+        assert batched.counter.snapshot() == sequential.counter.snapshot()
+        assert np.array_equal(
+            np.sort(batched.table.keys()), np.sort(sequential.table.keys())
+        )
+        batched.table.check_invariants()
+
+    def test_multi_update_dispatch_and_statistics(self):
+        keys = np.arange(64, dtype=np.int64) * 2
+        engine = StorageEngine(Table(keys, chunk_size=32, block_values=8))
+        outcome = engine.execute(MultiUpdate(pairs=((10, 11), (9_999, 1))))
+        assert outcome.kind == "multi_update"
+        assert list(outcome.result) == [1, 0]
+        assert engine.statistics.operations["multi_update"] == 1
+        assert engine.statistics.mean_wall_ns("multi_update") > 0.0
+
+    def test_bulk_update_validates_shape(self):
+        keys = np.arange(16, dtype=np.int64) * 2
+        table = Table(keys, chunk_size=16, block_values=8)
+        with pytest.raises(Exception):
+            table.bulk_update([(1, 2, 3)])
+        assert table.bulk_update([]).size == 0
+
+    def test_multi_update_pairs_validated(self):
+        with pytest.raises(ValueError):
+            MultiUpdate(pairs=((1, 2, 3),))

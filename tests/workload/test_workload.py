@@ -188,3 +188,30 @@ class TestWorkloadGenerator:
     def test_empty_keys_rejected(self):
         with pytest.raises(ValueError):
             WorkloadGenerator(np.empty(0))
+
+
+class TestGeneratePhases:
+    def test_phases_concatenate_and_share_state(self):
+        keys = np.arange(512, dtype=np.int64) * 2
+        generator = WorkloadGenerator(keys, seed=11)
+        phases = generator.generate_phases(
+            [
+                (WorkloadMix(name="reads", q1_point=1.0), 50),
+                (WorkloadMix(name="deletes", q5_delete=1.0), 30),
+                (WorkloadMix(name="inserts", q4_insert=1.0), 20),
+            ]
+        )
+        assert len(phases) == 100
+        assert "reads" in phases.name and "inserts" in phases.name
+        deletes = [op.key for op in phases.operations[50:80]]
+        assert len(set(deletes)) == len(deletes)
+        inserts = [op.key for op in phases.operations[80:]]
+        assert all(key % 2 == 1 for key in inserts)
+
+    def test_phase_name_override(self):
+        keys = np.arange(64, dtype=np.int64) * 2
+        generator = WorkloadGenerator(keys, seed=1)
+        workload = generator.generate_phases(
+            [(WorkloadMix(name="reads", q1_point=1.0), 5)], name="drifting"
+        )
+        assert workload.name == "drifting"
