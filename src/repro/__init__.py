@@ -25,8 +25,10 @@ from .api import (
     AdaptivePolicy,
     Database,
     ExecutionPolicy,
+    ReorgAction,
     ReorgDecision,
     ReorgPolicy,
+    Reorganizer,
     SerialPolicy,
     Session,
     SessionReport,
@@ -94,8 +96,10 @@ __all__ = [
     "LayoutSpec",
     "PartitionedColumn",
     "PartitioningResult",
+    "ReorgAction",
     "ReorgDecision",
     "ReorgPolicy",
+    "Reorganizer",
     "SLAConstraints",
     "SerialPolicy",
     "Session",

@@ -26,15 +26,18 @@ from .policies import (
     VectorizedPolicy,
     longest_groupable_run,
 )
-from .reorg import ReorgDecision, ReorgPolicy
+from .reorg import ReorgAction, ReorgDecision, ReorgPolicy
+from .reorganizer import Reorganizer
 from .session import Session, SessionReport, SessionResult
 
 __all__ = [
     "AdaptivePolicy",
     "Database",
     "ExecutionPolicy",
+    "ReorgAction",
     "ReorgDecision",
     "ReorgPolicy",
+    "Reorganizer",
     "SerialPolicy",
     "Session",
     "SessionReport",

@@ -40,6 +40,7 @@ from ..storage.table import Table, layout_chunk_builder
 from ..workload.operations import Workload
 from .policies import ExecutionPolicy
 from .reorg import ReorgPolicy
+from .reorganizer import Reorganizer
 from .session import Session
 
 
@@ -217,15 +218,18 @@ class Database:
         self,
         *,
         execution: ExecutionPolicy | None = None,
-        reorg: ReorgPolicy | None = None,
+        reorg: ReorgPolicy | Reorganizer | None = None,
     ) -> Session:
         """Open a :class:`Session` with the given policies.
 
         ``execution`` defaults to serial dispatch; pass
         :class:`~repro.api.policies.VectorizedPolicy` or
         :class:`~repro.api.policies.AdaptivePolicy` for the batched fast
-        paths, and a :class:`~repro.api.reorg.ReorgPolicy` to enable the
-        automatic reorganization lifecycle.
+        paths.  ``reorg`` enables the automatic reorganization lifecycle:
+        a bare :class:`~repro.api.reorg.ReorgPolicy` replans inline, a
+        :class:`~repro.api.reorganizer.Reorganizer` drains the same
+        replans incrementally (budgeted slices between execute calls, or a
+        background worker thread).
         """
         return Session(self, execution=execution, reorg=reorg)
 

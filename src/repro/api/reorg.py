@@ -6,20 +6,27 @@ per-chunk operation mixes the engine's
 :class:`~repro.core.monitor.WorkloadMonitor` records, detects drift against
 a baseline mix (seeded from the planner's offline training sample), and
 re-lays-out a drifted chunk *only when the modeled savings beat the rebuild
-charge*:
+charge*.
 
-* **drift detection** -- total-variation distance between the chunk's
-  observed mix and its baseline (:func:`repro.core.monitor.mix_distance`),
-  thresholded once enough operations have accumulated;
-* **cost gate** -- a candidate plan for the chunk's recorded sample is
-  solved (:meth:`CasperPlanner.plan_chunk`) and its modeled cost compared to
-  the *current* layout priced under the same frequency model
-  (:meth:`CasperPlanner.evaluate_layout`); the replan proceeds only if the
-  modeled savings exceed ``rebuild_margin`` times the sequential
-  read+rewrite charge of the rebuild itself;
-* **replan** -- :meth:`WorkloadMonitor.replan_chunk` rebuilds the chunk in
-  place against the recorded sample and resets its activity; the chunk's
-  baseline mix becomes the mix that triggered the replan.
+The lifecycle is split into two phases so reorganization can run off the
+execute path (see :class:`~repro.api.reorganizer.Reorganizer`):
+
+* **decision phase** -- :meth:`ReorgPolicy.scan` finds chunks whose
+  total-variation drift against their baseline crossed the threshold
+  (cheap: no layouts are solved); :meth:`ReorgPolicy.decide_chunk` then
+  prices one candidate -- solving a layout for the chunk's recorded sample
+  and comparing its modeled cost to the current layout and the rebuild
+  charge -- and returns either an approved :class:`ReorgAction` (carrying
+  the already-solved plan and the chunk's data generation) or a recorded
+  rejection :class:`ReorgDecision`;
+* **apply phase** -- :meth:`ReorgPolicy.apply_action` rebuilds the chunk
+  from the action's plan, *iff* the chunk's generation still matches the
+  one the decision saw; a mismatch means a write raced the decision, and
+  the action is reported stale (``None``) so the caller requeues it
+  instead of applying a layout solved for data that no longer exists.
+
+:meth:`maybe_reorganize` chains the two phases inline (decide + apply in
+the same call) and remains the synchronous compatibility entry point.
 
 Every evaluation that crosses the drift threshold is recorded as a
 :class:`ReorgDecision`, whether or not it replanned, so sessions can report
@@ -59,6 +66,30 @@ class ReorgDecision:
         if self.current_cost_ns is None or self.planned_cost_ns is None:
             return None
         return self.current_cost_ns - self.planned_cost_ns
+
+
+@dataclass
+class ReorgAction:
+    """An approved replan awaiting application (decision-phase output).
+
+    Carries everything the apply phase needs: the layout plan the cost gate
+    already solved (``None`` when the gate is disabled and the rebuild will
+    re-solve against the live sample), the planner bound to the recorded
+    sample, the mix that triggered the decision (adopted as the chunk's new
+    baseline on apply) and the chunk's data ``generation`` at decision
+    time -- the staleness token :meth:`ReorgPolicy.apply_action` re-checks.
+    """
+
+    chunk_index: int
+    drift: float
+    observed_operations: int
+    mix: dict[str, float]
+    generation: int
+    plan: object | None = None
+    replanner: object | None = None
+    current_cost_ns: float | None = None
+    planned_cost_ns: float | None = None
+    rebuild_cost_ns: float | None = None
 
 
 @dataclass
@@ -117,6 +148,16 @@ class ReorgPolicy:
         """Number of replans performed so far."""
         return sum(1 for decision in self.decisions if decision.replanned)
 
+    def bind(self, database: "Database") -> None:
+        """Bind the policy to ``database`` (first caller wins)."""
+        if self._database is None:
+            self._database = database
+        elif self._database is not database:
+            raise ValueError(
+                "ReorgPolicy instances carry per-database state (baseline "
+                "mixes, call counts); create a fresh policy per database"
+            )
+
     def _seed_baselines(self, database: "Database") -> None:
         """Seed baseline chunk mixes from the planner's training sample."""
         if self._baselines_seeded:
@@ -130,46 +171,44 @@ class ReorgPolicy:
         for chunk_index in probe.observed_chunks():
             self._baselines[chunk_index] = probe.chunk_mix(chunk_index)
 
-    def maybe_reorganize(
-        self, database: "Database", *, force: bool = False
-    ) -> list[ReorgDecision]:
-        """Evaluate every active chunk; replan where drift and gate agree.
+    # ------------------------------------------------------------------ #
+    # Decision phase
+    # ------------------------------------------------------------------ #
 
-        Returns the decisions made during this check (also appended to
-        :attr:`decisions`).  A no-op unless the database carries both a
-        monitor and a planner.  ``force`` bypasses ``check_interval`` (the
-        session's close-time check uses it, so drift accumulated by the
-        last execute calls is always evaluated once).
+    def scan(self, database: "Database", *, force: bool = False) -> list[int]:
+        """Find chunks whose drift crossed the threshold (no solver work).
+
+        Counts one lifecycle call against ``check_interval`` (``force``
+        bypasses the interval, as the session's close-time check does) and
+        returns the candidate chunk indices, ascending.  Chunks without a
+        baseline adopt their observed mix instead of becoming candidates.
+        A no-op unless the database carries both a monitor and a planner.
         """
-        if self._database is None:
-            self._database = database
-        elif self._database is not database:
-            raise ValueError(
-                "ReorgPolicy instances carry per-database state (baseline "
-                "mixes, call counts); create a fresh policy per database"
-            )
+        self.bind(database)
         self._calls += 1
         if not force and self._calls % self.check_interval:
             return []
         monitor = database.monitor
-        planner = database.planner
-        if monitor is None or planner is None:
+        if monitor is None or database.planner is None:
             return []
         self._seed_baselines(database)
-        made: list[ReorgDecision] = []
-        for chunk_index in monitor.observed_chunks():
-            decision = self._evaluate_chunk(database, chunk_index)
-            if decision is not None:
-                self.decisions.append(decision)
-                made.append(decision)
-        return made
+        return [
+            chunk_index
+            for chunk_index in monitor.observed_chunks()
+            if self._drift_state(monitor, chunk_index) is not None
+        ]
 
-    def _evaluate_chunk(
-        self, database: "Database", chunk_index: int
-    ) -> ReorgDecision | None:
-        monitor = database.monitor
-        planner = database.planner
-        table = database.table
+    def _drift_state(
+        self, monitor, chunk_index: int
+    ) -> tuple[dict[str, float], float, int] | None:
+        """The drift gate shared by :meth:`scan` and :meth:`decide_chunk`.
+
+        Returns ``(mix, drift, total)`` when the chunk has accumulated
+        ``min_chunk_operations`` and drifted past the threshold, ``None``
+        otherwise.  A chunk without a baseline adopts its observed mix as
+        the baseline (first sighting of an un-trained chunk should never
+        replan against nothing) and is not a candidate.
+        """
         counts = monitor.operation_counts(chunk_index)
         total = sum(counts.values())
         if total < self.min_chunk_operations:
@@ -177,62 +216,94 @@ class ReorgPolicy:
         mix = monitor.chunk_mix(chunk_index)
         baseline = self._baselines.get(chunk_index)
         if baseline is None:
-            # First sighting of an un-trained chunk: adopt the observed mix
-            # as its baseline rather than replanning against nothing.
             self._baselines[chunk_index] = mix
             return None
         drift = mix_distance(mix, baseline)
         if drift < self.drift_threshold:
             return None
+        return mix, drift, total
+
+    def decide_chunk(
+        self, database: "Database", chunk_index: int
+    ) -> ReorgAction | ReorgDecision | None:
+        """Price one candidate chunk: the full decision phase.
+
+        Re-checks drift against the chunk's *current* window (the mix may
+        have moved since :meth:`scan` queued it), then runs the cost gate.
+        Returns ``None`` when the chunk is no longer a candidate, a
+        :class:`ReorgDecision` (already recorded in :attr:`decisions`) when
+        it was evaluated but rejected, or an approved :class:`ReorgAction`
+        ready for :meth:`apply_action`.
+        """
+        monitor = database.monitor
+        planner = database.planner
+        table = database.table
+        if monitor is None or planner is None:
+            return None
+        state = self._drift_state(monitor, chunk_index)
+        if state is None:
+            return None
+        mix, drift, total = state
         chunk = table.chunks[chunk_index]
         if not hasattr(chunk, "rowids"):
-            return ReorgDecision(
-                chunk_index=chunk_index,
-                drift=drift,
-                observed_operations=total,
-                replanned=False,
-                reason="chunk does not expose row ids; cannot rebuild",
+            return self._record(
+                ReorgDecision(
+                    chunk_index=chunk_index,
+                    drift=drift,
+                    observed_operations=total,
+                    replanned=False,
+                    reason="chunk does not expose row ids; cannot rebuild",
+                )
             )
         sample = monitor.recorded_workload(chunk_index)
         if not len(sample):
-            return ReorgDecision(
+            return self._record(
+                ReorgDecision(
+                    chunk_index=chunk_index,
+                    drift=drift,
+                    observed_operations=total,
+                    replanned=False,
+                    reason="no recorded operation sample",
+                )
+            )
+        generation = table.chunk_generation(chunk_index)
+        if not self.cost_gate:
+            return ReorgAction(
                 chunk_index=chunk_index,
                 drift=drift,
                 observed_operations=total,
-                replanned=False,
-                reason="no recorded operation sample",
+                mix=mix,
+                generation=generation,
             )
-        current_cost = planned_cost = rebuild_cost = None
-        if self.cost_gate:
-            values = np.sort(np.asarray(chunk.values(), dtype=np.int64))
-            if values.size == 0:
-                return ReorgDecision(
+        values = np.sort(np.asarray(chunk.values(), dtype=np.int64))
+        if values.size == 0:
+            return self._record(
+                ReorgDecision(
                     chunk_index=chunk_index,
                     drift=drift,
                     observed_operations=total,
                     replanned=False,
                     reason="chunk is empty",
                 )
-            replanner = planner.with_sample(sample)
-            plan = replanner.plan_chunk(values)
-            planned_cost = plan.estimated_cost
-            offsets = self._current_offsets(chunk, values.size)
-            current_cost = replanner.evaluate_layout(
-                plan.frequency_model, offsets
             )
-            constants = planner.constants
-            blocks = blocks_spanned(0, int(values.size), planner.block_values)
-            rebuild_cost = blocks * (constants.seq_read + constants.seq_write)
-            if current_cost - planned_cost < self.rebuild_margin * rebuild_cost:
-                # Back off: the evaluated mix was judged not worth acting
-                # on, so it becomes the chunk's new baseline -- a workload
-                # that *stays* in this mix never re-triggers the solver; it
-                # must drift past the threshold again.  The recorded window
-                # is reset so the next evaluation (if any) prices a fresh
-                # sample.
-                self._baselines[chunk_index] = mix
-                monitor.reset_chunk(chunk_index)
-                return ReorgDecision(
+        replanner = planner.with_sample(sample)
+        plan = replanner.plan_chunk(values)
+        planned_cost = plan.estimated_cost
+        offsets = self._current_offsets(chunk, values.size)
+        current_cost = replanner.evaluate_layout(plan.frequency_model, offsets)
+        constants = planner.constants
+        blocks = blocks_spanned(0, int(values.size), planner.block_values)
+        rebuild_cost = blocks * (constants.seq_read + constants.seq_write)
+        if current_cost - planned_cost < self.rebuild_margin * rebuild_cost:
+            # Back off: the evaluated mix was judged not worth acting on, so
+            # it becomes the chunk's new baseline -- a workload that *stays*
+            # in this mix never re-triggers the solver; it must drift past
+            # the threshold again.  The recorded window is reset so the next
+            # evaluation (if any) prices a fresh sample.
+            self._baselines[chunk_index] = mix
+            monitor.reset_chunk(chunk_index)
+            return self._record(
+                ReorgDecision(
                     chunk_index=chunk_index,
                     drift=drift,
                     observed_operations=total,
@@ -242,30 +313,105 @@ class ReorgPolicy:
                     planned_cost_ns=planned_cost,
                     rebuild_cost_ns=rebuild_cost,
                 )
+            )
+        return ReorgAction(
+            chunk_index=chunk_index,
+            drift=drift,
+            observed_operations=total,
+            mix=mix,
+            generation=generation,
+            plan=plan,
+            replanner=replanner,
+            current_cost_ns=current_cost,
+            planned_cost_ns=planned_cost,
+            rebuild_cost_ns=rebuild_cost,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Apply phase
+    # ------------------------------------------------------------------ #
+
+    def apply_action(
+        self, database: "Database", action: ReorgAction
+    ) -> ReorgDecision | None:
+        """Rebuild the chunk an approved action targets.
+
+        Re-checks the chunk's data generation first: when a write landed
+        after the decision solved its plan, the plan prices data that no
+        longer exists, so the action is *not* applied and ``None`` is
+        returned -- the caller requeues the chunk and decides again on
+        fresh state.  On success the replan decision is recorded and the
+        action's mix becomes the chunk's new baseline.
+        """
+        table = database.table
+        chunk_index = action.chunk_index
+        if table.chunk_generation(chunk_index) != action.generation:
+            return None
+        monitor = database.monitor
+        if action.plan is not None:
             # The gate already paid for the layout solve; apply that plan
-            # instead of letting replan_chunk solve it a second time.  The
-            # chunk has not changed since plan_chunk saw it, so the sorted
-            # values the rebuild extracts are the ones the plan was built
-            # for.
+            # instead of solving it a second time.  The generation check
+            # above guarantees the chunk still holds the values the plan
+            # was built for.
+            replanner = action.replanner
+            plan = action.plan
             table.rebuild_chunk(
                 chunk_index,
                 lambda v, r, c: replanner.build_chunk_from_plan(plan, v, r, c),
             )
             monitor.reset_chunk(chunk_index)
         else:
-            monitor.replan_chunk(table, chunk_index, planner)
-        self._baselines[chunk_index] = mix
-        return ReorgDecision(
-            chunk_index=chunk_index,
-            drift=drift,
-            observed_operations=total,
-            replanned=True,
-            reason="drift above threshold"
-            + (", savings beat rebuild charge" if self.cost_gate else ""),
-            current_cost_ns=current_cost,
-            planned_cost_ns=planned_cost,
-            rebuild_cost_ns=rebuild_cost,
+            monitor.replan_chunk(table, chunk_index, database.planner)
+        self._baselines[chunk_index] = action.mix
+        return self._record(
+            ReorgDecision(
+                chunk_index=chunk_index,
+                drift=action.drift,
+                observed_operations=action.observed_operations,
+                replanned=True,
+                reason="drift above threshold"
+                + (", savings beat rebuild charge" if self.cost_gate else ""),
+                current_cost_ns=action.current_cost_ns,
+                planned_cost_ns=action.planned_cost_ns,
+                rebuild_cost_ns=action.rebuild_cost_ns,
+            )
         )
+
+    def _record(self, decision: ReorgDecision) -> ReorgDecision:
+        self.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Inline (synchronous) lifecycle
+    # ------------------------------------------------------------------ #
+
+    def maybe_reorganize(
+        self, database: "Database", *, force: bool = False
+    ) -> list[ReorgDecision]:
+        """Evaluate every active chunk; replan where drift and gate agree.
+
+        Chains :meth:`scan` -> :meth:`decide_chunk` -> :meth:`apply_action`
+        inline, so the stall of solving and rebuilding lands inside the
+        calling ``Session.execute``.  Returns the decisions made during
+        this check (also appended to :attr:`decisions`).  A no-op unless
+        the database carries both a monitor and a planner.  ``force``
+        bypasses ``check_interval`` (the session's close-time check uses
+        it, so drift accumulated by the last execute calls is always
+        evaluated once).
+        """
+        made: list[ReorgDecision] = []
+        for chunk_index in self.scan(database, force=force):
+            outcome = self.decide_chunk(database, chunk_index)
+            if isinstance(outcome, ReorgAction):
+                # Decision and apply run back-to-back on the calling thread,
+                # so the generation cannot have moved and apply never
+                # reports the action stale.
+                decision = self.apply_action(database, outcome)
+                if decision is not None:
+                    made.append(decision)
+            elif outcome is not None:
+                made.append(outcome)
+        return made
 
     @staticmethod
     def _current_offsets(chunk, size: int) -> np.ndarray:

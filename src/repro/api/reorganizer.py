@@ -1,0 +1,343 @@
+"""Incremental reorganization: drain replans off the execute hot path.
+
+Inline reorganization (:meth:`ReorgPolicy.maybe_reorganize`) solves and
+rebuilds every drifted chunk inside the ``Session.execute`` call that trips
+the drift check -- one batch absorbs the whole stall.  A
+:class:`Reorganizer` decouples the phases: after every execute the policy
+*scans* for drifted candidates (cheap -- no solver), the candidates join a
+work queue, and the queue is drained in *budgeted slices* -- at most
+``chunk_budget`` chunks or ``ns_budget`` modeled nanoseconds of rebuild
+work per slice -- between execute calls, or continuously on a background
+worker thread (``background=True``).
+
+Staleness is handled with the table's per-chunk data generation counter:
+the decision phase snapshots the generation when it solves a layout, and
+the apply phase re-checks it under the reorganizer's lock.  A replan that
+raced a concurrent write is detected and the chunk *requeued* (a fresh
+decision will price the new data) rather than applied stale.  Sessions
+acquire the same lock around operation execution, so a background apply
+can never interleave with a running batch.
+
+Concurrency model: the background worker's *decision* phase deliberately
+runs without the lock -- solving a layout is the expensive part, and the
+generation re-check makes a raced plan harmless -- so its snapshot reads
+(chunk values, monitor windows) and the cost gate's baseline bookkeeping
+rely on the GIL's per-operation atomicity rather than mutual exclusion.
+A read that catches a chunk mid-mutation can produce a garbage plan
+(discarded by the generation check) or raise; the worker shields each
+chunk's processing so an exception is counted (:attr:`Reorganizer.errors`),
+retried a bounded number of times, and never kills the thread.  Only the
+apply phase -- the part that mutates the table -- requires the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING
+
+from .reorg import ReorgAction, ReorgDecision, ReorgPolicy
+
+if TYPE_CHECKING:
+    from .database import Database
+
+#: Retries granted to a chunk whose background decision raised before the
+#: worker stops re-trying it (transient races resolve; persistent faults
+#: must not spin).
+_MAX_CHUNK_FAILURES = 3
+
+
+class Reorganizer:
+    """Budgeted, optionally background, application of reorg decisions.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`ReorgPolicy` that scans, prices and applies replans; a
+        default-configured one is created when omitted.  The policy's
+        ``decisions`` list remains the single record of everything the
+        lifecycle did.
+    chunk_budget:
+        Maximum chunks *priced* per drain slice (approved ones are also
+        applied).  ``None`` removes the per-chunk bound.
+    ns_budget:
+        Maximum modeled (simulated) nanoseconds of reorganization work per
+        drain slice; the slice stops once the replans it applied charged
+        this much.  ``None`` removes the bound.  At least one chunk is
+        always processed per slice, so the queue cannot stall.
+    background:
+        When true, a daemon worker thread drains the queue continuously
+        between execute calls instead of the session draining one slice
+        after each execute.  Budgets then bound each wake-up of the worker.
+
+    One reorganizer serves one database (like the policy it wraps); reuse
+    across that database's sessions is fine.
+    """
+
+    def __init__(
+        self,
+        policy: ReorgPolicy | None = None,
+        *,
+        chunk_budget: int | None = 1,
+        ns_budget: float | None = None,
+        background: bool = False,
+    ) -> None:
+        if chunk_budget is not None and chunk_budget <= 0:
+            raise ValueError("chunk_budget must be positive (or None)")
+        if ns_budget is not None and ns_budget <= 0:
+            raise ValueError("ns_budget must be positive (or None)")
+        self.policy = policy if policy is not None else ReorgPolicy()
+        self.chunk_budget = chunk_budget
+        self.ns_budget = ns_budget
+        self.background = bool(background)
+        #: Chunks requeued because a write raced their solved plan.
+        self.requeues = 0
+        #: Exceptions swallowed by the background worker (the shielded
+        #: chunk is retried up to ``_MAX_CHUNK_FAILURES`` times).
+        self.errors = 0
+        self._pending: deque[int] = deque()
+        self._pending_set: set[int] = set()
+        self._failures: dict[int, int] = {}
+        # ``_lock`` serializes database mutation (session execution and the
+        # apply phase); ``_wake`` guards the queue and wakes the worker.
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(threading.Lock())
+        self._thread: threading.Thread | None = None
+        self._stop = False
+        self._busy = False
+        self._database: "Database | None" = None
+        self._reported = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def decisions(self) -> list[ReorgDecision]:
+        """All decisions recorded by the wrapped policy."""
+        return list(self.policy.decisions)
+
+    @property
+    def replans(self) -> int:
+        """Number of replans performed so far."""
+        return self.policy.replans
+
+    def pending_chunks(self) -> list[int]:
+        """Chunks currently queued for pricing, in queue order."""
+        with self._wake:
+            return list(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle plumbing
+    # ------------------------------------------------------------------ #
+
+    def attach(self, database: "Database") -> None:
+        """Bind to ``database`` and start the worker in background mode."""
+        self.policy.bind(database)
+        self._database = database
+        if self.background and self._thread is None:
+            self._stop = False
+            self._thread = threading.Thread(
+                target=self._worker, name="repro-reorganizer", daemon=True
+            )
+            self._thread.start()
+
+    def guard(self):
+        """The lock sessions hold while executing operations.
+
+        Background applies take the same lock, so a replan can only land
+        *between* batches, never in the middle of one.
+        """
+        return self._lock
+
+    def _enqueue(self, chunks) -> None:
+        with self._wake:
+            added = False
+            for chunk_index in chunks:
+                if chunk_index not in self._pending_set:
+                    self._pending.append(chunk_index)
+                    self._pending_set.add(chunk_index)
+                    added = True
+            if added:
+                self._wake.notify_all()
+
+    def _pop(self) -> int | None:
+        with self._wake:
+            if not self._pending:
+                return None
+            chunk_index = self._pending.popleft()
+            self._pending_set.discard(chunk_index)
+            return chunk_index
+
+    def _new_decisions(self) -> list[ReorgDecision]:
+        """Decisions recorded since the last report (any thread's)."""
+        # Advance the watermark by what was actually sliced: taking
+        # len(decisions) instead would silently swallow a decision the
+        # worker appends between the slice and the length read.
+        new = list(self.policy.decisions[self._reported :])
+        self._reported += len(new)
+        return new
+
+    # ------------------------------------------------------------------ #
+    # Session entry points
+    # ------------------------------------------------------------------ #
+
+    def after_execute(self, database: "Database") -> list[ReorgDecision]:
+        """Scan for drifted chunks and make incremental progress.
+
+        Called by the session after every ``execute``.  Foreground mode
+        drains one budgeted slice right here (the bounded between-batch
+        stall); background mode only wakes the worker.  Returns the
+        decisions recorded since the previous report, so replans the
+        worker performed while the caller was idle still reach the
+        session's decision log -- note their simulated charges landed
+        outside any execute call, so they appear in
+        ``Session.report()``'s counter totals but not in any single
+        ``SessionResult``'s ``accesses``/``reorg_ns`` window.
+        """
+        self.attach(database)
+        self._enqueue(self.policy.scan(database))
+        if not self.background:
+            self._drain_slice(database)
+        return self._new_decisions()
+
+    def finish(
+        self, database: "Database", *, reorganize: bool = True
+    ) -> list[ReorgDecision]:
+        """Close-time drain: stop the worker and flush the queue.
+
+        With ``reorganize`` (the default) a final forced scan runs and the
+        queue is drained to empty -- budget-free, mirroring the inline
+        policy's close-time check -- so drift accumulated by a session's
+        last execute calls still gets decided.  ``reorganize=False`` (the
+        session's exceptional-exit path) only stops the worker and clears
+        the queue.
+        """
+        self.attach(database)
+        self._stop_worker()
+        if reorganize:
+            self._enqueue(self.policy.scan(database, force=True))
+            self._drain_slice(database, unbounded=True)
+        else:
+            with self._wake:
+                self._pending.clear()
+                self._pending_set.clear()
+        return self._new_decisions()
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the queue is empty and the worker rests (tests)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._wake:
+                if not self._pending and not self._busy:
+                    return True
+            time.sleep(0.005)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+
+    def _drain_slice(
+        self,
+        database: "Database",
+        *,
+        unbounded: bool = False,
+        shielded: bool = False,
+    ) -> None:
+        """Price (and apply) queued chunks up to the slice budgets.
+
+        ``shielded`` (the background worker's mode) keeps an exception in
+        one chunk's decision from killing the drain: the error is counted,
+        the chunk retried on a later slice (up to a small cap), and the
+        remaining queue still progresses.  Foreground drains propagate, so
+        a session sees failures exactly as the inline lifecycle would
+        surface them.
+        """
+        chunks_done = 0
+        modeled_ns = 0.0
+        while True:
+            if not unbounded:
+                if (
+                    self.chunk_budget is not None
+                    and chunks_done >= self.chunk_budget
+                ):
+                    break
+                if self.ns_budget is not None and modeled_ns >= self.ns_budget:
+                    break
+            chunk_index = self._pop()
+            if chunk_index is None:
+                break
+            if shielded:
+                try:
+                    modeled_ns += self._process(database, chunk_index)
+                except Exception:
+                    self.errors += 1
+                    failures = self._failures.get(chunk_index, 0) + 1
+                    self._failures[chunk_index] = failures
+                    if failures < _MAX_CHUNK_FAILURES:
+                        self._enqueue((chunk_index,))
+                else:
+                    # A success clears the strike count: the cap exists to
+                    # stop *persistent* faults from spinning, not to ban a
+                    # chunk for transient races spread over a long session.
+                    self._failures.pop(chunk_index, None)
+            else:
+                modeled_ns += self._process(database, chunk_index)
+            chunks_done += 1
+
+    def _process(self, database: "Database", chunk_index: int) -> float:
+        """Decide one chunk and apply the outcome; returns the modeled ns.
+
+        The decision (solver) runs without the lock -- it reads a value
+        snapshot -- and the apply phase takes the lock plus the generation
+        re-check; a stale action requeues the chunk for a fresh decision.
+        """
+        outcome = self.policy.decide_chunk(database, chunk_index)
+        if not isinstance(outcome, ReorgAction):
+            return 0.0
+        counter = database.engine.counter
+        with self._lock:
+            before = counter.snapshot()
+            decision = self.policy.apply_action(database, outcome)
+            spent = counter.diff(before).cost(database.constants)
+        if decision is None:
+            self.requeues += 1
+            self._enqueue((chunk_index,))
+            return 0.0
+        return spent
+
+    # ------------------------------------------------------------------ #
+    # Background worker
+    # ------------------------------------------------------------------ #
+
+    def _worker(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._stop:
+                    self._wake.wait()
+                if self._stop:
+                    return
+                self._busy = True
+            try:
+                database = self._database
+                if database is not None:
+                    # One budgeted slice per wake-up, shielded so a failing
+                    # chunk cannot kill the worker thread and silently stop
+                    # background reorganization for the rest of the session.
+                    self._drain_slice(database, shielded=True)
+            finally:
+                with self._wake:
+                    self._busy = False
+                    self._wake.notify_all()
+
+    def _stop_worker(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        with self._wake:
+            self._stop = True
+            self._wake.notify_all()
+        thread.join(timeout=30.0)
+        self._thread = None

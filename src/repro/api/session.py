@@ -2,17 +2,26 @@
 
 A :class:`Session` is the unit of interaction with a :class:`Database`: it
 owns an :class:`~repro.api.policies.ExecutionPolicy` (how operations are
-dispatched) and optionally a :class:`~repro.api.reorg.ReorgPolicy` (when
-drifted chunks are re-laid-out), and its :meth:`execute` replaces direct
-``StorageEngine.execute`` / ``execute_batch`` calls.  After every execute
-call the reorganization policy gets a chance to act, which makes the
-paper's Fig. 10 A->C online loop automatic: drifted chunks are detected,
-cost-gated and rebuilt between (or inside) rounds without the caller wiring
-monitor, planner and table together by hand.
+dispatched) and optionally a reorganization lifecycle, and its
+:meth:`execute` replaces direct ``StorageEngine.execute`` /
+``execute_batch`` calls.  After every execute call the reorganization
+lifecycle gets a chance to act, which makes the paper's Fig. 10 A->C
+online loop automatic: drifted chunks are detected, cost-gated and rebuilt
+between (or inside) rounds without the caller wiring monitor, planner and
+table together by hand.
+
+The lifecycle comes in two shapes: a bare
+:class:`~repro.api.reorg.ReorgPolicy` replans *inline* (every drifted
+chunk is solved and rebuilt inside the execute call that trips the check),
+while a :class:`~repro.api.reorganizer.Reorganizer` wrapping the policy
+drains the same replans *incrementally* -- budgeted slices between execute
+calls, or a background worker thread -- so no single batch absorbs the
+whole reorganization stall.
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -21,6 +30,7 @@ from ..storage.cost_accounting import AccessCounter, SimulatedCost
 from ..workload.operations import Operation, Workload
 from .policies import ExecutionPolicy, SerialPolicy
 from .reorg import ReorgDecision, ReorgPolicy
+from .reorganizer import Reorganizer
 
 if TYPE_CHECKING:
     from .database import Database
@@ -87,8 +97,11 @@ class Session:
         The dispatch policy; defaults to :class:`SerialPolicy`.  Pass a
         fresh instance per session -- policies carry adaptive state.
     reorg:
-        Optional :class:`ReorgPolicy` enabling the automatic reorganization
-        lifecycle.  ``None`` disables online replans.
+        Optional reorganization lifecycle: a :class:`ReorgPolicy` replans
+        drifted chunks inline (inside the execute call that trips the
+        check), a :class:`Reorganizer` drains the same replans in budgeted
+        increments between execute calls or on a background worker.
+        ``None`` disables online replans.
 
     Use as a context manager::
 
@@ -102,13 +115,16 @@ class Session:
         database: "Database",
         *,
         execution: ExecutionPolicy | None = None,
-        reorg: ReorgPolicy | None = None,
+        reorg: ReorgPolicy | Reorganizer | None = None,
     ) -> None:
         self.database = database
         self.execution: ExecutionPolicy = (
             execution if execution is not None else SerialPolicy()
         )
         self.reorg = reorg
+        self._reorganizer = reorg if isinstance(reorg, Reorganizer) else None
+        if self._reorganizer is not None:
+            self._reorganizer.attach(database)
         self._closed = False
         self._counter_start = database.engine.counter.snapshot()
         self._operations = 0
@@ -146,12 +162,19 @@ class Session:
         A final reorganization check runs before closing (bypassing the
         policy's ``check_interval``), so drift accumulated by the last
         ``execute`` calls of a short session still gets a chance to trigger
-        a replan for the *next* session.  Pass ``reorganize=False`` to skip
-        it (the context manager does so on exceptional exits).
+        a replan for the *next* session.  With a :class:`Reorganizer` the
+        close-time check also drains the pending work queue to empty and
+        stops the background worker.  Pass ``reorganize=False`` to skip the
+        final check (the context manager does so on exceptional exits); a
+        reorganizer's worker is stopped and its queue cleared either way.
         """
         if self._closed:
             return
-        if reorganize and self.reorg is not None:
+        if self._reorganizer is not None:
+            self._reorg_decisions.extend(
+                self._reorganizer.finish(self.database, reorganize=reorganize)
+            )
+        elif reorganize and self.reorg is not None:
             self._reorg_decisions.extend(
                 self.reorg.maybe_reorganize(self.database, force=True)
             )
@@ -179,14 +202,27 @@ class Session:
         engine = self.database.engine
         sizes_seen = len(self.execution.chosen_batch_sizes)
         start = time.perf_counter_ns()
-        outcome = self.execution.execute(engine, oplist)
+        # With a Reorganizer, operation execution holds its lock for the
+        # whole call, so a background apply can only land between execute
+        # calls -- never inside one, and not between the batch slices a
+        # policy carves out of a single oplist.
+        guard = (
+            self._reorganizer.guard()
+            if self._reorganizer is not None
+            else contextlib.nullcontext()
+        )
+        with guard:
+            outcome = self.execution.execute(engine, oplist)
         batch_sizes = list(self.execution.chosen_batch_sizes[sizes_seen:])
         decisions: list[ReorgDecision] = []
         reorg_ns = 0.0
         accesses = outcome.accesses
         if self.reorg is not None:
             before = engine.counter.snapshot()
-            decisions = self.reorg.maybe_reorganize(self.database)
+            if self._reorganizer is not None:
+                decisions = self._reorganizer.after_execute(self.database)
+            else:
+                decisions = self.reorg.maybe_reorganize(self.database)
             reorg_diff = engine.counter.diff(before)
             reorg_ns = reorg_diff.cost(self.database.constants)
             accesses = accesses + reorg_diff

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ...core.cost_model import CostModel
 from ...core.dp_solver import solve_dp
 from ...core.frequency_model import FrequencyModel

@@ -42,7 +42,13 @@ from .ghost_allocation import (
     data_movement_per_partition,
 )
 from .greedy_solver import solve_greedy
-from .monitor import ChunkActivity, WorkloadMonitor, mix_distance
+from .monitor import (
+    ChunkActivity,
+    RecentSample,
+    WorkloadMonitor,
+    mix_distance,
+    synthesize_operation,
+)
 from .optimizer import LayoutSolution, SolverBackend, optimize_layout
 from .planner import CasperPlanner, ChunkPlan
 from .robustness import (
@@ -64,6 +70,7 @@ __all__ = [
     "InfeasibleSLAError",
     "LayoutSolution",
     "PartitioningResult",
+    "RecentSample",
     "RobustnessPoint",
     "SLAConstraints",
     "ScalabilityModel",
@@ -84,6 +91,7 @@ __all__ = [
     "mass_shift",
     "measure_solve_seconds",
     "mix_distance",
+    "synthesize_operation",
     "optimize_layout",
     "partition_of_blocks",
     "rotational_shift",

@@ -5,18 +5,46 @@ sample, optimizes per-chunk layouts and applies them.  Production systems see
 workloads drift, so the reproduction adds the online counterpart: a
 :class:`WorkloadMonitor` attached to a
 :class:`~repro.storage.engine.StorageEngine` records the per-chunk operation
-mix as operations execute (attributing each operation to the chunk span the
-table's router resolves, without charging simulated accesses) and can
-re-lay-out a drifted chunk in place via :meth:`replan_chunk`, feeding the
-recorded operations back through a :class:`~repro.core.planner.CasperPlanner`
-as the fresh workload sample.
+mix as operations execute and can re-lay-out a drifted chunk in place via
+:meth:`replan_chunk`, feeding the recorded operations back through a
+:class:`~repro.core.planner.CasperPlanner` as the fresh workload sample.
+
+Observation is *batch-native*: the engine appends one compact
+:class:`~repro.storage.access_log.AccessRecord` per dispatched run (kind,
+key/bound arrays, write-target flag) and :meth:`observe_batch` attributes
+each record's whole key array with a single ``searchsorted`` pass against
+the table's chunk fences, bulk-updating per-chunk counts (``np.add.at`` on
+a kind-by-chunk count matrix) and bounded ring-buffer samples -- no
+per-operation Python on the hot path, and no simulated accesses charged
+(monitoring is bookkeeping, not storage work).  The per-operation
+:meth:`observe` and the offline :meth:`observe_workload` seeding are thin
+wrappers over the same attribution routine, so engine dispatch and baseline
+seeding cannot drift apart.
+
+Updates are attributed as two distinct kinds: ``update_source`` (the old
+key's full candidate-chunk span) and ``update_target`` (the new key's
+insert route).  A single update therefore contributes one count to each
+side's kind instead of inflating a shared ``"update"`` fraction in both
+chunks' mixes.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterator
 
+import numpy as np
+
+from ..storage.access_log import (
+    ATTRIBUTION_KINDS,
+    FIRST_CANDIDATE_KINDS,
+    KIND_CODES,
+    PAIRED_UPDATE_KIND,
+    RANGE_KINDS,
+    AccessLog,
+    AccessRecord,
+)
+from ..storage.column import expand_ranges
 from ..workload.operations import (
     Aggregate,
     Delete,
@@ -36,6 +64,9 @@ from ..workload.operations import (
 #: Default bound on the per-chunk operation sample retained for replans.
 DEFAULT_SAMPLE_LIMIT = 4_096
 
+_SOURCE_CODE = KIND_CODES["update_source"]
+_TARGET_CODE = KIND_CODES["update_target"]
+
 
 def mix_distance(a: dict[str, float], b: dict[str, float]) -> float:
     """Total-variation distance between two operation-mix dictionaries.
@@ -49,18 +80,154 @@ def mix_distance(a: dict[str, float], b: dict[str, float]) -> float:
     return 0.5 * sum(abs(a.get(kind, 0.0) - b.get(kind, 0.0)) for kind in kinds)
 
 
+def synthesize_operation(kind: str, low: int, high: int) -> Operation | None:
+    """Reconstruct a workload operation object for the replan sample.
+
+    Both update sides are modelled as in-place corrections so the Frequency
+    Model sees update pressure at the routed location.
+    """
+    if kind == "point_query":
+        return PointQuery(key=low)
+    if kind == "range_count":
+        return RangeQuery(low=low, high=high)
+    if kind == "range_sum":
+        return RangeQuery(low=low, high=high, aggregate=Aggregate.SUM)
+    if kind == "insert":
+        return Insert(key=low)
+    if kind == "delete":
+        return Delete(key=low)
+    if kind in ("update_source", "update_target"):
+        return Update(old_key=low, new_key=low)
+    return None
+
+
+class RecentSample:
+    """Bounded sliding window over the most recent attributed operations.
+
+    Semantically a ``deque(maxlen=limit)`` of operations, stored columnar --
+    ring buffers of kind codes and key bounds -- so the batched observation
+    path appends whole arrays without materializing operation objects.
+    Operation objects are synthesized lazily by :meth:`operations` (replans
+    are rare; observations are not).
+    """
+
+    __slots__ = ("limit", "_codes", "_lows", "_highs", "_size", "_cursor")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 0:
+            raise ValueError("sample limit must be non-negative")
+        self.limit = int(limit)
+        self._codes = np.empty(self.limit, dtype=np.int8)
+        self._lows = np.empty(self.limit, dtype=np.int64)
+        self._highs = np.empty(self.limit, dtype=np.int64)
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, code: int, low: int, high: int) -> None:
+        """Append one operation (the scalar fast path's entry point)."""
+        limit = self.limit
+        if limit == 0:
+            return
+        cursor = self._cursor
+        self._codes[cursor] = code
+        self._lows[cursor] = low
+        self._highs[cursor] = high
+        self._cursor = (cursor + 1) % limit
+        if self._size < limit:
+            self._size += 1
+
+    def extend(
+        self,
+        code: int | np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray | None = None,
+    ) -> None:
+        """Append ``lows.size`` operations, oldest evicted first.
+
+        ``code`` is a single kind code, or an aligned code array for runs
+        that mix kinds (paired update records interleave source and target
+        entries).
+        """
+        limit = self.limit
+        count = int(lows.shape[0])
+        if limit == 0 or count == 0:
+            return
+        if highs is None:
+            highs = lows
+        scalar_code = not isinstance(code, np.ndarray)
+        if count >= limit:
+            # The whole window is replaced by the run's most recent entries.
+            self._codes[:] = code if scalar_code else code[count - limit :]
+            self._lows[:] = lows[count - limit :]
+            self._highs[:] = highs[count - limit :]
+            self._size = limit
+            self._cursor = 0
+            return
+        cursor = self._cursor
+        end = cursor + count
+        if end <= limit:
+            # Contiguous write: plain slice assignment, no index arrays.
+            self._codes[cursor:end] = code
+            self._lows[cursor:end] = lows
+            self._highs[cursor:end] = highs
+        else:
+            head = limit - cursor
+            self._codes[cursor:] = code if scalar_code else code[:head]
+            self._lows[cursor:] = lows[:head]
+            self._highs[cursor:] = highs[:head]
+            tail = count - head
+            self._codes[:tail] = code if scalar_code else code[head:]
+            self._lows[:tail] = lows[head:]
+            self._highs[:tail] = highs[head:]
+        self._cursor = end % limit
+        self._size = min(self._size + count, limit)
+
+    def _ordered_indices(self) -> np.ndarray:
+        if self._size < self.limit:
+            return np.arange(self._size)
+        return (self._cursor + np.arange(self.limit)) % self.limit
+
+    def operations(self) -> list[Operation]:
+        """The retained window as operation objects, oldest first."""
+        indices = self._ordered_indices()
+        out: list[Operation] = []
+        for code, low, high in zip(
+            self._codes[indices].tolist(),
+            self._lows[indices].tolist(),
+            self._highs[indices].tolist(),
+        ):
+            operation = synthesize_operation(ATTRIBUTION_KINDS[code], low, high)
+            if operation is not None:
+                out.append(operation)
+        return out
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations())
+
+
 @dataclass
 class ChunkActivity:
     """Recorded activity of one chunk: kind counts plus a bounded op sample.
 
-    ``sample`` is a bounded deque holding the most recent operations, so
-    appends stay O(1) on the engine's hot path.
+    ``sample_limit`` bounds the retained operation window; the default
+    matches :data:`DEFAULT_SAMPLE_LIMIT`, and a monitor constructs
+    activities with its *configured* limit (directly-constructed activities
+    honour whatever limit they are given, rather than silently falling back
+    to the module default as the old hardcoded deque factory did).
     """
 
     counts: dict[str, int] = field(default_factory=dict)
-    sample: deque[Operation] = field(
-        default_factory=lambda: deque(maxlen=DEFAULT_SAMPLE_LIMIT)
-    )
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT
+    sample: RecentSample | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample is None:
+            self.sample = RecentSample(self.sample_limit)
+        else:
+            self.sample_limit = self.sample.limit
 
     @property
     def total(self) -> int:
@@ -81,10 +248,12 @@ class WorkloadMonitor:
     Parameters
     ----------
     sample_limit:
-        Maximum number of operation objects retained per chunk as the replan
-        workload sample.  The sample is a sliding window of the *most recent*
-        operations, so a replan reflects the drifted mix rather than startup
-        traffic; counts keep accumulating beyond the limit.
+        Maximum number of operations retained per chunk as the replan
+        workload sample.  The sample is a sliding window of the *most
+        recent* operations, so a replan reflects the drifted mix rather
+        than startup traffic; counts keep accumulating beyond the limit.
+        Pass 0 to disable sampling entirely (drift counts only), which
+        also skips the per-chunk grouping work on the batched ingest path.
     """
 
     def __init__(self, sample_limit: int = DEFAULT_SAMPLE_LIMIT) -> None:
@@ -97,6 +266,186 @@ class WorkloadMonitor:
     # Recording
     # ------------------------------------------------------------------ #
 
+    def _activity_for(self, chunk_index: int) -> ChunkActivity:
+        activity = self._activity.get(chunk_index)
+        if activity is None:
+            activity = ChunkActivity(sample_limit=self.sample_limit)
+            self._activity[chunk_index] = activity
+        return activity
+
+    def observe_batch(self, table, log: AccessLog) -> None:
+        """Attribute every record of ``log`` in one vectorized pass each.
+
+        Point-kind keys route through one ``searchsorted`` against the
+        chunk fences (:meth:`Table.chunk_span_batch`, which charges no
+        accesses); reads, deletes and update sources are attributed to the
+        full candidate-chunk span, while write-target records (inserts,
+        update targets) land in the first candidate chunk only.  Per-chunk
+        counts accumulate on a kind-by-chunk matrix merged once per log;
+        bounded samples take each record's per-chunk suffix in submission
+        order, exactly as per-operation appends would retain it.
+        """
+        records = log.records if isinstance(log, AccessLog) else list(log)
+        if not records:
+            return
+        counts = None
+        for record in records:
+            if record.lows.shape[0] <= 1:
+                # Scalar fast path: serial dispatch flushes one single-op
+                # record per operation; the vectorized machinery's fixed
+                # per-call overhead (count matrix, argsort, unique) would
+                # dominate it.
+                self._ingest_scalar(table, record)
+                continue
+            if counts is None:
+                counts = np.zeros(
+                    (len(ATTRIBUTION_KINDS), table.num_chunks), dtype=np.int64
+                )
+            if record.kind == PAIRED_UPDATE_KIND:
+                self._ingest_update(table, record, counts)
+            else:
+                self._ingest(table, record, counts)
+        if counts is None:
+            return
+        kind_ids, chunk_ids = np.nonzero(counts)
+        for kind_id, chunk_id in zip(kind_ids.tolist(), chunk_ids.tolist()):
+            activity = self._activity_for(chunk_id)
+            kind = ATTRIBUTION_KINDS[kind_id]
+            activity.counts[kind] = activity.counts.get(kind, 0) + int(
+                counts[kind_id, chunk_id]
+            )
+
+    def _attribute_scalar(
+        self,
+        table,
+        kind: str,
+        low: int,
+        high: int,
+        *,
+        range_kind: bool = False,
+        first_only: bool = False,
+    ) -> None:
+        if range_kind:
+            first, last = table.chunk_span(low, high)
+        else:
+            first, last = table.chunk_span(low)
+            if first_only:
+                last = first
+        code = KIND_CODES[kind]
+        for chunk_index in range(first, last + 1):
+            activity = self._activity_for(chunk_index)
+            activity.counts[kind] = activity.counts.get(kind, 0) + 1
+            if self.sample_limit:
+                activity.sample.append(code, low, high)
+
+    def _ingest_scalar(self, table, record: AccessRecord) -> None:
+        """Single-operation attribution without the vectorized machinery."""
+        if record.lows.shape[0] == 0:
+            return
+        low = int(record.lows[0])
+        if record.kind == PAIRED_UPDATE_KIND:
+            target = int(record.highs[0])
+            self._attribute_scalar(table, "update_source", low, low)
+            self._attribute_scalar(
+                table, "update_target", target, target, first_only=True
+            )
+        elif record.kind in RANGE_KINDS:
+            high = int(record.highs[0]) if record.highs is not None else low
+            self._attribute_scalar(table, record.kind, low, high, range_kind=True)
+        else:
+            self._attribute_scalar(
+                table, record.kind, low, low, first_only=record.write_target
+            )
+
+    def _ingest_update(
+        self, table, record: AccessRecord, counts: np.ndarray
+    ) -> None:
+        """Attribute one paired update record (sources + aligned targets).
+
+        Counts split into ``update_source`` (full candidate span of each
+        old key) and ``update_target`` (insert route of each new key);
+        samples interleave source_i before target_i in submission order,
+        exactly as per-pair serial dispatch appends them, so the bounded
+        window is identical on both paths even under truncation.
+        """
+        sources = record.lows
+        targets = record.highs
+        m = int(sources.shape[0])
+        source_first, source_last = table.chunk_span_batch(sources)
+        target_first, _ = table.chunk_span_batch(targets)
+        spans = source_last - source_first + 1
+        source_positions = np.repeat(np.arange(m, dtype=np.int64), spans)
+        source_chunks = expand_ranges(source_first, spans)
+        np.add.at(counts[_SOURCE_CODE], source_chunks, 1)
+        np.add.at(counts[_TARGET_CODE], target_first, 1)
+        if self.sample_limit == 0:
+            return
+        chunks = np.concatenate((source_chunks, target_first))
+        # Submission-order key: source_i at 2i, target_i at 2i + 1.
+        order = np.concatenate(
+            (2 * source_positions, 2 * np.arange(m, dtype=np.int64) + 1)
+        )
+        codes = np.concatenate(
+            (
+                np.full(source_chunks.shape[0], _SOURCE_CODE, dtype=np.int8),
+                np.full(m, _TARGET_CODE, dtype=np.int8),
+            )
+        )
+        values = np.concatenate((sources[source_positions], targets))
+        sel = np.lexsort((order, chunks))
+        sorted_chunks = chunks[sel]
+        unique_chunks, group_starts, group_counts = np.unique(
+            sorted_chunks, return_index=True, return_counts=True
+        )
+        for chunk_id, start, count in zip(
+            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
+        ):
+            idx = sel[start : start + count]
+            activity = self._activity_for(int(chunk_id))
+            activity.sample.extend(codes[idx], values[idx], values[idx])
+
+    def _ingest(self, table, record: AccessRecord, counts: np.ndarray) -> None:
+        """Attribute one record: count-matrix update plus sample appends."""
+        lows = record.lows
+        code = KIND_CODES[record.kind]
+        if record.kind in RANGE_KINDS:
+            highs = record.highs if record.highs is not None else lows
+            first, last = table.chunk_span_batch(lows, highs)
+        else:
+            highs = None
+            first, last = table.chunk_span_batch(lows)
+            if record.write_target:
+                last = first
+        spans = last - first + 1
+        if int(spans.max()) == 1:
+            expanded_chunks = first
+            expanded_positions = None  # positions are 0..m-1 in order
+        else:
+            expanded_positions = np.repeat(
+                np.arange(lows.shape[0], dtype=np.int64), spans
+            )
+            expanded_chunks = expand_ranges(first, spans)
+        np.add.at(counts[code], expanded_chunks, 1)
+        if self.sample_limit == 0:
+            return
+        highs_arr = highs if highs is not None else lows
+        # Group attributed positions by chunk; the stable sort keeps each
+        # chunk's positions ascending, i.e. in submission order.
+        order = np.argsort(expanded_chunks, kind="stable")
+        sorted_chunks = expanded_chunks[order]
+        sorted_positions = (
+            order if expanded_positions is None else expanded_positions[order]
+        )
+        unique_chunks, group_starts, group_counts = np.unique(
+            sorted_chunks, return_index=True, return_counts=True
+        )
+        for chunk_id, start, count in zip(
+            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
+        ):
+            positions = sorted_positions[start : start + count]
+            activity = self._activity_for(int(chunk_id))
+            activity.sample.extend(code, lows[positions], highs_arr[positions])
+
     def observe(
         self,
         table,
@@ -108,89 +457,81 @@ class WorkloadMonitor:
     ) -> None:
         """Attribute one operation to the chunk span it touches.
 
-        ``low``/``high`` carry the operation's key (point kinds) or inclusive
-        range; routing uses :meth:`Table.chunk_span`, which does not charge
-        the access counter (monitoring is bookkeeping, not storage work).
-        Inserts and update *targets* land in the first candidate chunk only
-        (the table's insert routing rule), so they are attributed to that
-        single chunk; reads, deletes and update sources probe the full
-        candidate span and are attributed to every chunk in it.
+        The scalar entry point of the same attribution routine
+        :meth:`observe_batch` vectorizes (single-op records take this path
+        too), so the per-operation and batched paths cannot drift apart.
+        The legacy ``"update"`` kind is accepted and resolved to
+        ``update_source`` / ``update_target`` via ``write_target``.
         """
-        first, last = table.chunk_span(low, high)
-        if kind == "insert" or write_target:
-            last = first
-        operation = self._synthesize(kind, int(low), high)
-        for chunk_index in range(first, last + 1):
-            activity = self._activity.get(chunk_index)
-            if activity is None:
-                activity = ChunkActivity(
-                    sample=deque(maxlen=self.sample_limit)
-                )
-                self._activity[chunk_index] = activity
-            activity.counts[kind] = activity.counts.get(kind, 0) + 1
-            if operation is not None:
-                activity.sample.append(operation)
+        if kind == "update":
+            kind = "update_target" if write_target else "update_source"
+        if kind not in KIND_CODES:
+            raise ValueError(f"unknown attribution kind: {kind!r}")
+        low = int(low)
+        if kind in RANGE_KINDS:
+            self._attribute_scalar(
+                table,
+                kind,
+                low,
+                int(high) if high is not None else low,
+                range_kind=True,
+            )
+        else:
+            self._attribute_scalar(
+                table,
+                kind,
+                low,
+                low,
+                first_only=write_target or kind in FIRST_CANDIDATE_KINDS,
+            )
 
     def observe_workload(self, table, workload) -> None:
         """Attribute every operation of ``workload`` as the engine would.
 
-        Translates operation objects into the ``(kind, low, high)`` calls the
-        engine's dispatch methods make, including the per-element expansion
-        of the ``Multi*`` batch forms and the source/target split of updates.
-        Useful for seeding baseline chunk mixes from an offline training
-        sample without executing it.
+        Translates operation objects into the access records the engine's
+        dispatch methods append -- including the vectorized ``Multi*``
+        batch forms and the source/target split of updates -- and ingests
+        them through :meth:`observe_batch`.  Useful for seeding baseline
+        chunk mixes from an offline training sample without executing it.
         """
+        log = AccessLog()
         for operation in workload:
             if isinstance(operation, PointQuery):
-                self.observe(table, "point_query", operation.key)
+                log.record("point_query", (operation.key,))
             elif isinstance(operation, RangeQuery):
                 kind = (
                     "range_count"
                     if operation.aggregate is Aggregate.COUNT
                     else "range_sum"
                 )
-                self.observe(table, kind, operation.low, operation.high)
+                log.record(kind, (operation.low,), (operation.high,))
             elif isinstance(operation, Insert):
-                self.observe(table, "insert", operation.key)
+                log.record("insert", (operation.key,))
             elif isinstance(operation, Delete):
-                self.observe(table, "delete", operation.key)
+                log.record("delete", (operation.key,))
             elif isinstance(operation, Update):
-                self.observe(table, "update", operation.old_key)
-                self.observe(table, "update", operation.new_key, write_target=True)
+                log.record(
+                    PAIRED_UPDATE_KIND,
+                    (operation.old_key,),
+                    (operation.new_key,),
+                )
             elif isinstance(operation, MultiPointQuery):
-                for key in operation.keys:
-                    self.observe(table, "point_query", int(key))
+                log.record("point_query", operation.keys)
             elif isinstance(operation, MultiRangeCount):
-                for low, high in operation.bounds:
-                    self.observe(table, "range_count", int(low), int(high))
+                bounds = np.asarray(operation.bounds, dtype=np.int64).reshape(
+                    -1, 2
+                )
+                log.record("range_count", bounds[:, 0], bounds[:, 1])
             elif isinstance(operation, MultiInsert):
-                for key in operation.keys:
-                    self.observe(table, "insert", int(key))
+                log.record("insert", operation.keys)
             elif isinstance(operation, MultiDelete):
-                for key in operation.keys:
-                    self.observe(table, "delete", int(key))
+                log.record("delete", operation.keys)
             elif isinstance(operation, MultiUpdate):
-                for old_key, new_key in operation.pairs:
-                    self.observe(table, "update", int(old_key))
-                    self.observe(table, "update", int(new_key), write_target=True)
-
-    @staticmethod
-    def _synthesize(kind: str, low: int, high: int | None) -> Operation | None:
-        """Reconstruct a workload operation object for the replan sample."""
-        if kind == "point_query":
-            return PointQuery(key=low)
-        if kind in ("range_count", "range_sum"):
-            return RangeQuery(low=low, high=int(high if high is not None else low))
-        if kind == "insert":
-            return Insert(key=low)
-        if kind == "delete":
-            return Delete(key=low)
-        if kind == "update":
-            # The engine reports the source and target keys separately; model
-            # each side as an in-place correction so the Frequency Model sees
-            # update pressure at the right location.
-            return Update(old_key=low, new_key=low)
-        return None
+                pairs = np.asarray(operation.pairs, dtype=np.int64).reshape(
+                    -1, 2
+                )
+                log.record(PAIRED_UPDATE_KIND, pairs[:, 0], pairs[:, 1])
+        self.observe_batch(table, log)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -220,7 +561,7 @@ class WorkloadMonitor:
     def recorded_workload(self, chunk_index: int) -> Workload:
         """The retained operation sample for one chunk as a ``Workload``."""
         activity = self._activity.get(chunk_index)
-        operations = list(activity.sample) if activity is not None else []
+        operations = activity.sample.operations() if activity is not None else []
         return Workload(operations=operations, name=f"monitor[chunk={chunk_index}]")
 
     def reset_chunk(self, chunk_index: int) -> None:

@@ -7,6 +7,11 @@ multi-column tables, snapshot-isolation transactions, compression codecs and
 the block-access cost accounting used as the simulated-latency metric.
 """
 
+from .access_log import (
+    ATTRIBUTION_KINDS,
+    AccessLog,
+    AccessRecord,
+)
 from .column import (
     PartitionedColumn,
     RangeResult,
@@ -66,7 +71,10 @@ from .partition_index import PartitionIndex, PartitionMetadata
 from .table import Row, Table, layout_chunk_builder, require_key
 
 __all__ = [
+    "ATTRIBUTION_KINDS",
     "AccessCounter",
+    "AccessLog",
+    "AccessRecord",
     "BatchResult",
     "CACHE_LINE_BYTES",
     "RANDOM_ACCESS_NS",
@@ -120,5 +128,4 @@ __all__ = [
     "snap_boundaries_to_duplicates",
     "spread_evenly",
     "spread_proportionally",
-    "Table",
 ]

@@ -1,0 +1,133 @@
+"""Compact per-batch access records: the engine -> monitor observation pipe.
+
+Attaching a :class:`~repro.core.monitor.WorkloadMonitor` used to tax exactly
+the hot path the batch executor vectorizes: every element of a ``Multi*``
+dispatch made one per-key Python ``observe`` call (a binary search against
+the chunk fences plus a loop over the chunk span).  The engine now appends
+one :class:`AccessRecord` per dispatch -- the operation kind, the key (or
+range-bound) arrays and the write-target flag -- to an :class:`AccessLog`,
+and the monitor ingests the whole log with a single vectorized attribution
+pass per record (:meth:`WorkloadMonitor.observe_batch`).
+
+Records carry *attribution kinds*, which split updates into their two
+routed sides (``update_source`` probes the full candidate-chunk span of the
+old key; ``update_target`` lands in the insert route of the new key) so one
+update no longer inflates a single ``"update"`` count in two chunks' mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Attribution kinds in stable order; sample ring buffers store the index
+#: into this tuple as a compact per-operation kind code.
+ATTRIBUTION_KINDS = (
+    "point_query",
+    "range_count",
+    "range_sum",
+    "insert",
+    "delete",
+    "update_source",
+    "update_target",
+)
+
+KIND_CODES = {kind: code for code, kind in enumerate(ATTRIBUTION_KINDS)}
+
+#: Pseudo-kind for a *paired* update record: ``lows`` carries the source
+#: keys and ``highs`` the aligned target keys of a whole update run.  The
+#: monitor attributes it as interleaved ``update_source``/``update_target``
+#: entries in submission order (source_i before target_i), exactly as
+#: serial per-pair dispatch records them -- so bounded samples retain the
+#: same window on both paths even when a run overflows the sample limit.
+PAIRED_UPDATE_KIND = "update"
+
+#: Kinds routed by the insert rule: they land in the *first* candidate chunk
+#: only, so attribution must not spread over the full candidate span.
+FIRST_CANDIDATE_KINDS = frozenset({"insert", "update_target"})
+
+#: Kinds whose records carry a ``highs`` bound array (inclusive ranges).
+RANGE_KINDS = frozenset({"range_count", "range_sum"})
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One dispatched operation run, in attribution-ready form.
+
+    ``lows`` holds the keys (point kinds) or the low bounds (range kinds) of
+    every operation in the run, in submission order; ``highs`` is the
+    aligned high-bound array for range kinds and ``None`` otherwise.
+    ``write_target`` marks records attributed to the first candidate chunk
+    only (the table's insert routing rule) -- it is implied by the kinds in
+    :data:`FIRST_CANDIDATE_KINDS` and recorded explicitly so a log is
+    self-describing.
+    """
+
+    kind: str
+    lows: np.ndarray
+    highs: np.ndarray | None = None
+    write_target: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_CODES and self.kind != PAIRED_UPDATE_KIND:
+            raise ValueError(f"unknown attribution kind: {self.kind!r}")
+
+    @property
+    def operations(self) -> int:
+        """Number of operations the record covers."""
+        return int(self.lows.shape[0])
+
+
+class AccessLog:
+    """An append-only buffer of :class:`AccessRecord` entries.
+
+    The storage engine keeps one log per ``execute_batch`` call (and a
+    throwaway single-record log per serial dispatch), appending one record
+    per dispatched run instead of one monitor call per operation; the
+    monitor drains the log in one vectorized pass.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Iterable[AccessRecord] | None = None) -> None:
+        self.records: list[AccessRecord] = list(records) if records else []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[AccessRecord]:
+        return iter(self.records)
+
+    @property
+    def operations(self) -> int:
+        """Total operations covered by the buffered records."""
+        return sum(record.operations for record in self.records)
+
+    def record(
+        self,
+        kind: str,
+        lows: np.ndarray | Sequence[int],
+        highs: np.ndarray | Sequence[int] | None = None,
+        *,
+        write_target: bool = False,
+    ) -> None:
+        """Append one record, coercing the bound arrays to ``int64``."""
+        lows = np.asarray(lows, dtype=np.int64)
+        if highs is not None:
+            highs = np.asarray(highs, dtype=np.int64)
+            if highs.shape != lows.shape:
+                raise ValueError("highs must be aligned with lows")
+        self.records.append(
+            AccessRecord(
+                kind=kind,
+                lows=lows,
+                highs=highs,
+                write_target=write_target or kind in FIRST_CANDIDATE_KINDS,
+            )
+        )
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self.records.clear()

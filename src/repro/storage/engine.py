@@ -22,6 +22,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from .access_log import PAIRED_UPDATE_KIND, AccessLog
 from .cost_accounting import (
     DEFAULT_COST_CONSTANTS,
     AccessCounter,
@@ -30,7 +31,7 @@ from .cost_accounting import (
 )
 from .errors import ValueNotFoundError
 from .mvcc import Transaction, TransactionManager
-from .table import Row, Table
+from .table import Table
 
 
 @dataclass
@@ -145,19 +146,48 @@ class StorageEngine:
         #: Optional :class:`repro.core.monitor.WorkloadMonitor` observing the
         #: per-chunk operation mix for online reorganization (Fig. 10 A->C).
         self.monitor = monitor
+        # Batch-scoped access log: while ``execute_batch`` runs, dispatch
+        # methods append their records here and the whole log is flushed to
+        # the monitor once per batch; outside a batch each dispatch flushes
+        # its single record immediately.
+        self._batch_log: AccessLog | None = None
 
-    def _observe(
+    def _record(
         self,
         kind: str,
-        low: int,
-        high: int | None = None,
+        lows,
+        highs=None,
         *,
         write_target: bool = False,
     ) -> None:
-        if self.monitor is not None:
-            self.monitor.observe(
-                self.table, kind, low, high, write_target=write_target
-            )
+        """Append one access record for the monitor (no-op when detached)."""
+        if self.monitor is None:
+            return
+        log = self._batch_log
+        if log is not None:
+            log.record(kind, lows, highs, write_target=write_target)
+            return
+        if isinstance(lows, tuple) and len(lows) == 1:
+            # Serial dispatch outside a batch: attribute the single
+            # operation through the monitor's scalar entry point instead
+            # of paying the record/array ceremony per op.
+            if kind == PAIRED_UPDATE_KIND:
+                self.monitor.observe(self.table, "update_source", lows[0])
+                self.monitor.observe(
+                    self.table, "update_target", highs[0], write_target=True
+                )
+            else:
+                self.monitor.observe(
+                    self.table,
+                    kind,
+                    lows[0],
+                    highs[0] if highs is not None else None,
+                    write_target=write_target,
+                )
+            return
+        log = AccessLog()
+        log.record(kind, lows, highs, write_target=write_target)
+        self.monitor.observe_batch(self.table, log)
 
     @property
     def counter(self) -> AccessCounter:
@@ -182,23 +212,21 @@ class StorageEngine:
         self, key: int, columns: Sequence[str] | None = None
     ) -> OperationResult:
         """Q1: fetch the row(s) with the given key."""
-        self._observe("point_query", key)
+        self._record("point_query", (key,))
         return self._measure("point_query", self.table.point_query, key, columns)
 
     def multi_point_query(
         self, keys: Sequence[int], columns: Sequence[str] | None = None
     ) -> OperationResult:
         """Batched Q1 on the vectorized fast path."""
-        if self.monitor is not None:
-            for key in keys:
-                self._observe("point_query", int(key))
+        self._record("point_query", keys)
         return self._measure(
             "multi_point_query", self.table.multi_point_query, keys, columns
         )
 
     def range_count(self, low: int, high: int) -> OperationResult:
         """Q2: count rows with key in ``[low, high]``."""
-        self._observe("range_count", low, high)
+        self._record("range_count", (low,), (high,))
         return self._measure("range_count", self.table.range_count, low, high)
 
     def multi_range_count(
@@ -206,8 +234,8 @@ class StorageEngine:
     ) -> OperationResult:
         """Batched Q2 on the vectorized fast path."""
         if self.monitor is not None:
-            for low, high in bounds:
-                self._observe("range_count", int(low), int(high))
+            bounds_arr = np.asarray(bounds, dtype=np.int64).reshape(-1, 2)
+            self._record("range_count", bounds_arr[:, 0], bounds_arr[:, 1])
         return self._measure(
             "multi_range_count", self.table.multi_range_count, bounds
         )
@@ -216,17 +244,17 @@ class StorageEngine:
         self, low: int, high: int, columns: Sequence[str] | None = None
     ) -> OperationResult:
         """Q3: sum payload attributes over rows with key in ``[low, high]``."""
-        self._observe("range_sum", low, high)
+        self._record("range_sum", (low,), (high,))
         return self._measure("range_sum", self.table.range_sum, low, high, columns)
 
     def insert(self, key: int, payload: Sequence[int] | None = None) -> OperationResult:
         """Q4: insert a new row."""
-        self._observe("insert", key)
+        self._record("insert", (key,))
         return self._measure("insert", self.table.insert, key, payload)
 
     def delete(self, key: int) -> OperationResult:
         """Q5: delete a row by key."""
-        self._observe("delete", key)
+        self._record("delete", (key,))
         return self._measure("delete", self.table.delete, key)
 
     def multi_insert(
@@ -235,9 +263,7 @@ class StorageEngine:
         payloads: Sequence[Sequence[int]] | None = None,
     ) -> OperationResult:
         """Batched Q4 on the bulk-write fast path; result is the row ids."""
-        if self.monitor is not None:
-            for key in keys:
-                self._observe("insert", int(key))
+        self._record("insert", keys)
         return self._measure(
             "multi_insert", self.table.bulk_insert, keys, payloads
         )
@@ -248,15 +274,12 @@ class StorageEngine:
         The result is the per-key deleted-count array (0 marks a missing
         key; no :class:`ValueNotFoundError` is raised on the bulk path).
         """
-        if self.monitor is not None:
-            for key in keys:
-                self._observe("delete", int(key))
+        self._record("delete", keys)
         return self._measure("multi_delete", self.table.bulk_delete, keys)
 
     def update_key(self, old_key: int, new_key: int) -> OperationResult:
         """Q6: change a row's key value."""
-        self._observe("update", old_key)
-        self._observe("update", new_key, write_target=True)
+        self._record(PAIRED_UPDATE_KIND, (old_key,), (new_key,))
         return self._measure("update", self.table.update_key, old_key, new_key)
 
     def multi_update(
@@ -271,9 +294,8 @@ class StorageEngine:
         exactly.
         """
         if self.monitor is not None:
-            for old_key, new_key in pairs:
-                self._observe("update", int(old_key))
-                self._observe("update", int(new_key), write_target=True)
+            pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            self._record(PAIRED_UPDATE_KIND, pairs_arr[:, 0], pairs_arr[:, 1])
         return self._measure("multi_update", self.table.bulk_update, pairs)
 
     def full_scan(self) -> OperationResult:
@@ -393,10 +415,37 @@ class StorageEngine:
         that raised ``ValueNotFoundError`` and for deletes of missing keys).
         Statistics are recorded per dispatched operation -- grouped runs
         under the ``multi_*`` kinds, the rest under their own kind.
+
+        With a monitor attached, each dispatched run appends one compact
+        record to a batch-scoped :class:`AccessLog` and the whole log is
+        ingested once per batch (:meth:`WorkloadMonitor.observe_batch`)
+        instead of one monitor call per operation.  Attribution routes by
+        the chunk fences, which no batched write moves, so the deferred
+        flush attributes exactly what per-operation observation would.
         """
         oplist = list(operations)
         before = self.counter.snapshot()
         start = time.perf_counter_ns()
+        batch_log = AccessLog() if self.monitor is not None else None
+        self._batch_log = batch_log
+        try:
+            results, errors = self._dispatch_batch(oplist)
+        finally:
+            self._batch_log = None
+            if batch_log is not None and batch_log.records:
+                self.monitor.observe_batch(self.table, batch_log)
+        wall = float(time.perf_counter_ns() - start)
+        accesses = self.counter.diff(before)
+        return BatchResult(
+            results=results,
+            accesses=accesses,
+            wall_ns=wall,
+            operations=len(oplist),
+            errors=errors,
+        )
+
+    def _dispatch_batch(self, oplist) -> tuple[list[Any], int]:
+        """Run-grouped dispatch loop of :meth:`execute_batch`."""
         group_keys = batch_group_keys(oplist)
         results: list[Any] = []
         errors = 0
@@ -458,15 +507,7 @@ class StorageEngine:
                     if int(count) == 0:
                         errors += 1
             i = j
-        wall = float(time.perf_counter_ns() - start)
-        accesses = self.counter.diff(before)
-        return BatchResult(
-            results=results,
-            accesses=accesses,
-            wall_ns=wall,
-            operations=n,
-            errors=errors,
-        )
+        return results, errors
 
     def values(self) -> np.ndarray:
         """All live key values (for validation)."""

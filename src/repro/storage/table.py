@@ -153,6 +153,12 @@ class Table:
         self._chunk_bounds[-1] = np.iinfo(np.int64).max
         self._router = PartitionIndex(fanout=router_fanout)
         self._rebuild_router()
+        # Per-chunk data generation: bumped on every mutation that touches a
+        # chunk (inserts, deletes, key updates, bulk writes, rebuilds).  An
+        # incremental reorganizer snapshots the generation when it solves a
+        # layout and re-checks it before applying, so a replan that raced a
+        # concurrent write is detected and requeued instead of applied stale.
+        self._generations = [0] * len(self._chunks)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -189,6 +195,22 @@ class Table:
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
+    # Data generations
+    # ------------------------------------------------------------------ #
+
+    def chunk_generation(self, chunk_index: int) -> int:
+        """Mutation counter of one chunk (monotonic, starts at 0)."""
+        return self._generations[chunk_index]
+
+    @property
+    def generation(self) -> int:
+        """Table-wide mutation counter: the sum of all chunk generations."""
+        return sum(self._generations)
+
+    def _bump_generation(self, chunk_index: int) -> None:
+        self._generations[chunk_index] += 1
+
+    # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
 
@@ -219,6 +241,24 @@ class Table:
         if high is None:
             return self._router.locate_all(int(low))
         return self._router.locate_range(int(low), int(high))
+
+    def chunk_span_batch(
+        self,
+        lows: np.ndarray | Sequence[int],
+        highs: np.ndarray | Sequence[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`chunk_span` (no access charged).
+
+        One ``searchsorted`` pass over the chunk fences resolves the whole
+        key (or bound-pair) array; returns aligned ``(first, last)``
+        candidate-span arrays.  This is the monitor's attribution fast path.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        if highs is None:
+            return self._router.locate_batch(lows)
+        return self._router.locate_range_batch(
+            lows, np.asarray(highs, dtype=np.int64)
+        )
 
     # ------------------------------------------------------------------ #
     # Payload access
@@ -462,6 +502,7 @@ class Table:
         rowid = self._append_payload(payload)
         chunk_index = self._route_insert(int(key))
         self._chunks[chunk_index].insert(int(key), rowid=rowid)
+        self._bump_generation(chunk_index)
         return rowid
 
     def delete(self, key: int) -> int:
@@ -474,9 +515,11 @@ class Table:
         first, last = self._route_key(key)
         for chunk_index in range(first, last + 1):
             try:
-                return self._chunks[chunk_index].delete(key, limit=1)
+                deleted = self._chunks[chunk_index].delete(key, limit=1)
             except ValueNotFoundError:
                 continue
+            self._bump_generation(chunk_index)
+            return deleted
         raise ValueNotFoundError(f"key {key} not found")
 
     def bulk_insert(
@@ -530,6 +573,7 @@ class Table:
             else:
                 for i in sel.tolist():
                     chunk.insert(int(keys[i]), rowid=int(rowids[i]))
+            self._bump_generation(chunk_index)
         return rowids
 
     def bulk_delete(self, keys: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -573,6 +617,8 @@ class Table:
                     except ValueNotFoundError:
                         counts[j] = 0
             hit = counts > 0
+            if np.any(hit):
+                self._bump_generation(chunk_index)
             deleted[sel[hit]] = counts[hit]
             unresolved[group[hit]] = False
             missed = group[~hit]
@@ -621,6 +667,8 @@ class Table:
                     else:
                         rowid = self._chunks[chunk_index].remove_one(old_key)
                         self._chunks[target].insert(new_key, rowid=rowid)
+                        self._bump_generation(target)
+                    self._bump_generation(chunk_index)
                     updated[i] = 1
                     break
                 except ValueNotFoundError:
@@ -651,6 +699,8 @@ class Table:
                     # their buffer), keeping global row ids consistent.
                     rowid = self._chunks[chunk_index].remove_one(old_key)
                     self._chunks[target].insert(new_key, rowid=rowid)
+                    self._bump_generation(target)
+                self._bump_generation(chunk_index)
                 return
             except ValueNotFoundError:
                 continue
@@ -704,6 +754,7 @@ class Table:
         builder = chunk_builder if chunk_builder is not None else self._chunk_builder
         rebuilt = builder(sorted_values, sorted_rowids, self.counter)
         self._chunks[chunk_index] = rebuilt
+        self._bump_generation(chunk_index)
         if chunk_index < len(self._chunks) - 1:
             self._chunk_bounds[chunk_index] = int(sorted_values[-1])
         self._rebuild_router()

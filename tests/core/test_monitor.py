@@ -45,8 +45,12 @@ class TestRecording:
         engine.update_key(bound, bound)
         assert monitor.operation_counts(1).get("insert") is None
         assert monitor.operation_counts(0)["insert"] == 1
-        assert monitor.operation_counts(0)["update"] == 2
-        assert monitor.operation_counts(1).get("update") == 1  # source probe
+        # The update's two sides are attributed as distinct kinds: the
+        # source probes the full candidate span (chunks 0 and 1), the
+        # target lands in the insert route (chunk 0) only.
+        assert monitor.operation_counts(0)["update_source"] == 1
+        assert monitor.operation_counts(0)["update_target"] == 1
+        assert monitor.operation_counts(1) == {"update_source": 1}
 
     def test_range_operations_attributed_to_span(self):
         monitor = WorkloadMonitor()
@@ -92,6 +96,29 @@ class TestRecording:
             engine.point_query(20)
         assert len(monitor.recorded_workload(0)) == 2
         assert monitor.operation_counts(0) == {"point_query": 5}
+
+    def test_chunk_activity_honours_configured_sample_limit(self):
+        # Directly-constructed activities (and the monitor's own) must bound
+        # their sample by the configured limit, not the module default.
+        from repro.core.monitor import ChunkActivity
+
+        activity = ChunkActivity(sample_limit=3)
+        assert activity.sample.limit == 3
+        monitor = WorkloadMonitor(sample_limit=3)
+        engine = StorageEngine(make_table(), monitor=monitor)
+        for key in range(0, 20, 2):
+            engine.point_query(key)
+        assert monitor._activity[0].sample_limit == 3
+        assert len(monitor.recorded_workload(0)) == 3
+        # The retained window is the *most recent* three operations.
+        assert [op.key for op in monitor.recorded_workload(0)] == [14, 16, 18]
+
+    def test_sample_limit_zero_disables_sampling(self):
+        monitor = WorkloadMonitor(sample_limit=0)
+        engine = StorageEngine(make_table(), monitor=monitor)
+        engine.point_query(20)
+        assert monitor.operation_counts(0) == {"point_query": 1}
+        assert len(monitor.recorded_workload(0)) == 0
 
     def test_reset(self):
         monitor = WorkloadMonitor()

@@ -1,0 +1,258 @@
+"""Property tests: batched observation is equivalent to per-op observation.
+
+The monitor's ``observe_batch`` is the hot-path ingest (one vectorized
+attribution pass per access record); ``observe`` and ``observe_workload``
+are thin wrappers over it.  These tests pin the contract the engine relies
+on:
+
+* per-chunk **counts** are byte-identical between per-operation dispatch
+  (``engine.execute`` one op at a time) and batched dispatch
+  (``engine.execute_batch``), including the per-element expansion of the
+  ``Multi*`` forms and duplicate runs straddling chunk boundaries;
+* the bounded **samples** retain identical sliding windows -- runs keep
+  submission order within a record, and paired update records interleave
+  source_i/target_i exactly as per-pair dispatch does, so the windows
+  agree element-for-element even when a run overflows the sample limit;
+* single-record logs ingested via ``observe_batch`` match element-wise
+  ``observe`` calls exactly, truncation included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import WorkloadMonitor
+from repro.storage.access_log import AccessLog
+from repro.storage.engine import StorageEngine
+from repro.storage.errors import ValueNotFoundError
+from repro.storage.layouts import LayoutKind, LayoutSpec
+from repro.storage.table import Table, layout_chunk_builder
+from repro.workload.operations import (
+    Delete,
+    Insert,
+    MultiDelete,
+    MultiInsert,
+    MultiPointQuery,
+    MultiRangeCount,
+    MultiUpdate,
+    PointQuery,
+    RangeQuery,
+    Update,
+)
+
+KEY_DOMAIN = 64
+
+
+def keys_strategy():
+    """Key multisets with duplicate runs likely to straddle chunk bounds."""
+    return st.lists(
+        st.integers(min_value=0, max_value=KEY_DOMAIN),
+        min_size=8,
+        max_size=48,
+    )
+
+
+def operations_strategy():
+    key = st.integers(min_value=0, max_value=KEY_DOMAIN)
+    bounds = st.tuples(key, key).map(lambda p: (min(p), max(p)))
+    point = st.builds(PointQuery, key=key)
+    range_query = bounds.map(lambda p: RangeQuery(low=p[0], high=p[1]))
+    insert = st.builds(Insert, key=key)
+    delete = st.builds(Delete, key=key)
+    update = st.builds(Update, old_key=key, new_key=key)
+    multi_point = st.lists(key, min_size=0, max_size=6).map(
+        lambda ks: MultiPointQuery(keys=tuple(ks))
+    )
+    multi_range = st.lists(bounds, min_size=0, max_size=4).map(
+        lambda bs: MultiRangeCount(bounds=tuple(bs))
+    )
+    multi_insert = st.lists(key, min_size=0, max_size=6).map(
+        lambda ks: MultiInsert(keys=tuple(ks))
+    )
+    multi_delete = st.lists(key, min_size=0, max_size=6).map(
+        lambda ks: MultiDelete(keys=tuple(ks))
+    )
+    multi_update = st.lists(
+        st.tuples(key, key), min_size=0, max_size=4
+    ).map(lambda ps: MultiUpdate(pairs=tuple(ps)))
+    return st.lists(
+        st.one_of(
+            point,
+            range_query,
+            insert,
+            delete,
+            update,
+            multi_point,
+            multi_range,
+            multi_insert,
+            multi_delete,
+            multi_update,
+        ),
+        min_size=1,
+        max_size=24,
+    )
+
+
+def make_table(table_keys) -> Table:
+    spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=4, block_values=8)
+    # A small chunk size forces several chunks and lets duplicate runs in
+    # the drawn key multiset straddle the chunk boundaries.
+    return Table(
+        np.asarray(table_keys, dtype=np.int64),
+        chunk_size=8,
+        chunk_builder=layout_chunk_builder(spec),
+        block_values=8,
+    )
+
+
+def run_per_op(table_keys, operations, sample_limit):
+    monitor = WorkloadMonitor(sample_limit=sample_limit)
+    engine = StorageEngine(make_table(table_keys), monitor=monitor)
+    for operation in operations:
+        try:
+            engine.execute(operation)
+        except ValueNotFoundError:
+            pass
+    return monitor
+
+
+def run_batched(table_keys, operations, sample_limit):
+    monitor = WorkloadMonitor(sample_limit=sample_limit)
+    engine = StorageEngine(make_table(table_keys), monitor=monitor)
+    engine.execute_batch(operations)
+    return monitor
+
+
+def counts_by_chunk(monitor):
+    return {
+        chunk: monitor.operation_counts(chunk)
+        for chunk in monitor.observed_chunks()
+    }
+
+
+def sample_sequences(monitor):
+    return {
+        chunk: monitor.recorded_workload(chunk).operations
+        for chunk in monitor.observed_chunks()
+    }
+
+
+class TestEngineDispatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(table_keys=keys_strategy(), operations=operations_strategy())
+    def test_counts_identical_per_op_vs_batched(self, table_keys, operations):
+        per_op = run_per_op(table_keys, operations, sample_limit=4_096)
+        batched = run_batched(table_keys, operations, sample_limit=4_096)
+        assert counts_by_chunk(per_op) == counts_by_chunk(batched)
+
+    @settings(max_examples=60, deadline=None)
+    @given(table_keys=keys_strategy(), operations=operations_strategy())
+    def test_samples_identical_per_op_vs_batched(self, table_keys, operations):
+        # Records preserve submission order and paired update records
+        # interleave source/target per pair, so the retained windows agree
+        # element-for-element between the two dispatch paths.
+        per_op = run_per_op(table_keys, operations, sample_limit=4_096)
+        batched = run_batched(table_keys, operations, sample_limit=4_096)
+        assert sample_sequences(per_op) == sample_sequences(batched)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        table_keys=keys_strategy(),
+        operations=operations_strategy(),
+        limit=st.integers(min_value=0, max_value=7),
+    )
+    def test_truncated_samples_match(self, table_keys, operations, limit):
+        # Sliding-window truncation keeps the same most-recent entries on
+        # both paths, so even tiny limits yield identical windows.
+        per_op = run_per_op(table_keys, operations, sample_limit=limit)
+        batched = run_batched(table_keys, operations, sample_limit=limit)
+        assert counts_by_chunk(per_op) == counts_by_chunk(batched)
+        assert sample_sequences(per_op) == sample_sequences(batched)
+        for chunk in per_op.observed_chunks():
+            assert len(per_op.recorded_workload(chunk)) <= limit
+
+    @settings(max_examples=60, deadline=None)
+    @given(table_keys=keys_strategy(), operations=operations_strategy())
+    def test_observe_workload_matches_batched_dispatch(
+        self, table_keys, operations
+    ):
+        # Offline seeding must attribute exactly what executing the same
+        # workload through the batch executor would (write ops mutate the
+        # table but never its routing fences, so attribution agrees).
+        batched = run_batched(table_keys, operations, sample_limit=512)
+        seeded = WorkloadMonitor(sample_limit=512)
+        seeded.observe_workload(make_table(table_keys), operations)
+        assert counts_by_chunk(seeded) == counts_by_chunk(batched)
+
+
+class TestSingleRecordEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        table_keys=keys_strategy(),
+        record_keys=st.lists(
+            st.integers(min_value=0, max_value=KEY_DOMAIN),
+            min_size=1,
+            max_size=20,
+        ),
+        kind=st.sampled_from(
+            ["point_query", "insert", "delete", "update_source", "update_target"]
+        ),
+        limit=st.integers(min_value=0, max_value=8),
+    )
+    def test_point_record_matches_elementwise_observe(
+        self, table_keys, record_keys, kind, limit
+    ):
+        table = make_table(table_keys)
+        per_op = WorkloadMonitor(sample_limit=limit)
+        for key in record_keys:
+            per_op.observe(table, kind, key)
+        batched = WorkloadMonitor(sample_limit=limit)
+        log = AccessLog()
+        log.record(kind, record_keys)
+        batched.observe_batch(table, log)
+        assert counts_by_chunk(per_op) == counts_by_chunk(batched)
+        for chunk in per_op.observed_chunks():
+            # Single-kind records preserve submission order, so the
+            # retained windows are identical sequences, truncation and all.
+            assert (
+                per_op.recorded_workload(chunk).operations
+                == batched.recorded_workload(chunk).operations
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        table_keys=keys_strategy(),
+        record_bounds=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=KEY_DOMAIN),
+                st.integers(min_value=0, max_value=KEY_DOMAIN),
+            ).map(lambda p: (min(p), max(p))),
+            min_size=1,
+            max_size=12,
+        ),
+        kind=st.sampled_from(["range_count", "range_sum"]),
+        limit=st.integers(min_value=0, max_value=8),
+    )
+    def test_range_record_matches_elementwise_observe(
+        self, table_keys, record_bounds, kind, limit
+    ):
+        table = make_table(table_keys)
+        per_op = WorkloadMonitor(sample_limit=limit)
+        for low, high in record_bounds:
+            per_op.observe(table, kind, low, high)
+        batched = WorkloadMonitor(sample_limit=limit)
+        log = AccessLog()
+        log.record(
+            kind,
+            [low for low, _ in record_bounds],
+            [high for _, high in record_bounds],
+        )
+        batched.observe_batch(table, log)
+        assert counts_by_chunk(per_op) == counts_by_chunk(batched)
+        for chunk in per_op.observed_chunks():
+            assert (
+                per_op.recorded_workload(chunk).operations
+                == batched.recorded_workload(chunk).operations
+            )
