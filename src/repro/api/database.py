@@ -230,6 +230,15 @@ class Database:
         :class:`~repro.api.reorganizer.Reorganizer` drains the same
         replans incrementally (budgeted slices between execute calls, or a
         background worker thread).
+
+        Multiple live sessions may be open at once -- one per thread --
+        over this one database; their executions interleave under the
+        table's chunk-granular latches (see :mod:`repro.storage.table`).
+        Give each session its *own* execution-policy instance (policies
+        carry adaptive state); a single :class:`Reorganizer` (and the
+        :class:`ReorgPolicy` inside it) is safe to share across the
+        database's sessions, and its background worker keeps running until
+        the last sharing session closes.
         """
         return Session(self, execution=execution, reorg=reorg)
 

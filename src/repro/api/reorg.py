@@ -19,11 +19,20 @@ execute path (see :class:`~repro.api.reorganizer.Reorganizer`):
   charge -- and returns either an approved :class:`ReorgAction` (carrying
   the already-solved plan and the chunk's data generation) or a recorded
   rejection :class:`ReorgDecision`;
-* **apply phase** -- :meth:`ReorgPolicy.apply_action` rebuilds the chunk
-  from the action's plan, *iff* the chunk's generation still matches the
-  one the decision saw; a mismatch means a write raced the decision, and
-  the action is reported stale (``None``) so the caller requeues it
-  instead of applying a layout solved for data that no longer exists.
+* **apply phase** -- :meth:`ReorgPolicy.apply_action` builds the
+  replacement chunk *off to the side* (copy-on-write: readers keep serving
+  from the current chunk throughout) and swaps it in with the table's
+  single generation-checked :meth:`~repro.storage.table.Table.
+  publish_chunk`; a generation mismatch -- at the pre-build snapshot or at
+  the publish itself -- means a write raced the decision, and the action
+  is reported stale (``None``) so the caller requeues it instead of
+  applying a layout solved for data that no longer exists.
+
+A policy may be driven from several sessions (threads) at once: the
+baseline/bookkeeping state is mutex-guarded, decisions are solved without
+any lock (the generation-checked publish makes a raced plan harmless), and
+two racing applies of the same chunk resolve safely -- the first publish
+bumps the generation, the second fails its check and requeues.
 
 :meth:`maybe_reorganize` chains the two phases inline (decide + apply in
 the same call) and remains the synchronous compatibility entry point.
@@ -35,10 +44,9 @@ exactly why the lifecycle did (or did not) act.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
-
-import numpy as np
 
 from ..core.monitor import WorkloadMonitor, mix_distance
 from ..storage.cost_accounting import blocks_spanned
@@ -142,6 +150,12 @@ class ReorgPolicy:
         self._baselines_seeded = False
         self._calls = 0
         self._database: "Database | None" = None
+        # Guards the cheap bookkeeping (call count, seeding, baseline
+        # adoption, decision log) against concurrent sessions.  The solver
+        # deliberately runs outside this lock: pricing a candidate can take
+        # milliseconds, and the generation-checked publish already makes a
+        # stale plan harmless.
+        self._state_lock = threading.RLock()
 
     @property
     def replans(self) -> int:
@@ -150,26 +164,28 @@ class ReorgPolicy:
 
     def bind(self, database: "Database") -> None:
         """Bind the policy to ``database`` (first caller wins)."""
-        if self._database is None:
-            self._database = database
-        elif self._database is not database:
-            raise ValueError(
-                "ReorgPolicy instances carry per-database state (baseline "
-                "mixes, call counts); create a fresh policy per database"
-            )
+        with self._state_lock:
+            if self._database is None:
+                self._database = database
+            elif self._database is not database:
+                raise ValueError(
+                    "ReorgPolicy instances carry per-database state (baseline "
+                    "mixes, call counts); create a fresh policy per database"
+                )
 
     def _seed_baselines(self, database: "Database") -> None:
         """Seed baseline chunk mixes from the planner's training sample."""
-        if self._baselines_seeded:
-            return
-        self._baselines_seeded = True
-        planner = database.planner
-        if planner is None or not len(planner.sample_workload):
-            return
-        probe = WorkloadMonitor(sample_limit=0)
-        probe.observe_workload(database.table, planner.sample_workload)
-        for chunk_index in probe.observed_chunks():
-            self._baselines[chunk_index] = probe.chunk_mix(chunk_index)
+        with self._state_lock:
+            if self._baselines_seeded:
+                return
+            self._baselines_seeded = True
+            planner = database.planner
+            if planner is None or not len(planner.sample_workload):
+                return
+            probe = WorkloadMonitor(sample_limit=0)
+            probe.observe_workload(database.table, planner.sample_workload)
+            for chunk_index in probe.observed_chunks():
+                self._baselines[chunk_index] = probe.chunk_mix(chunk_index)
 
     # ------------------------------------------------------------------ #
     # Decision phase
@@ -185,8 +201,10 @@ class ReorgPolicy:
         A no-op unless the database carries both a monitor and a planner.
         """
         self.bind(database)
-        self._calls += 1
-        if not force and self._calls % self.check_interval:
+        with self._state_lock:
+            self._calls += 1
+            due = force or not self._calls % self.check_interval
+        if not due:
             return []
         monitor = database.monitor
         if monitor is None or database.planner is None:
@@ -214,10 +232,11 @@ class ReorgPolicy:
         if total < self.min_chunk_operations:
             return None
         mix = monitor.chunk_mix(chunk_index)
-        baseline = self._baselines.get(chunk_index)
-        if baseline is None:
-            self._baselines[chunk_index] = mix
-            return None
+        with self._state_lock:
+            baseline = self._baselines.get(chunk_index)
+            if baseline is None:
+                self._baselines[chunk_index] = mix
+                return None
         drift = mix_distance(mix, baseline)
         if drift < self.drift_threshold:
             return None
@@ -275,7 +294,12 @@ class ReorgPolicy:
                 mix=mix,
                 generation=generation,
             )
-        values = np.sort(np.asarray(chunk.values(), dtype=np.int64))
+        # Snapshot values and generation atomically (under the chunk's
+        # shared latch): the solved plan and the staleness token the apply
+        # phase re-checks belong to the same point in the chunk's history.
+        snapshot = table.snapshot_chunk(chunk_index)
+        values = snapshot.values
+        generation = snapshot.generation
         if values.size == 0:
             return self._record(
                 ReorgDecision(
@@ -289,8 +313,14 @@ class ReorgPolicy:
         replanner = planner.with_sample(sample)
         plan = replanner.plan_chunk(values)
         planned_cost = plan.estimated_cost
-        offsets = self._current_offsets(chunk, values.size)
-        current_cost = replanner.evaluate_layout(plan.frequency_model, offsets)
+        # The snapshot captured the live partition layout under the same
+        # latch as the values and generation, so the gate prices the
+        # current layout against exactly the data the plan was solved for
+        # (a chunk object fetched separately could have been swapped by a
+        # racing publish in between).
+        current_cost = replanner.evaluate_layout(
+            plan.frequency_model, snapshot.partition_offsets
+        )
         constants = planner.constants
         blocks = blocks_spanned(0, int(values.size), planner.block_values)
         rebuild_cost = blocks * (constants.seq_read + constants.seq_write)
@@ -300,7 +330,8 @@ class ReorgPolicy:
             # in this mix never re-triggers the solver; it must drift past
             # the threshold again.  The recorded window is reset so the next
             # evaluation (if any) prices a fresh sample.
-            self._baselines[chunk_index] = mix
+            with self._state_lock:
+                self._baselines[chunk_index] = mix
             monitor.reset_chunk(chunk_index)
             return self._record(
                 ReorgDecision(
@@ -334,35 +365,49 @@ class ReorgPolicy:
     def apply_action(
         self, database: "Database", action: ReorgAction
     ) -> ReorgDecision | None:
-        """Rebuild the chunk an approved action targets.
+        """Rebuild the chunk an approved action targets, copy-on-write.
 
-        Re-checks the chunk's data generation first: when a write landed
-        after the decision solved its plan, the plan prices data that no
-        longer exists, so the action is *not* applied and ``None`` is
-        returned -- the caller requeues the chunk and decides again on
+        The replacement chunk is built entirely off to the side from a
+        latched :meth:`~repro.storage.table.Table.snapshot_chunk` -- readers
+        keep serving from the current chunk throughout -- and swapped in by
+        the table's generation-checked
+        :meth:`~repro.storage.table.Table.publish_chunk`.  A generation
+        mismatch (a write landed after the decision solved its plan, or
+        slipped in between the build and the publish) means the plan prices
+        data that no longer exists: the action is *not* applied and ``None``
+        is returned, so the caller requeues the chunk and decides again on
         fresh state.  On success the replan decision is recorded and the
         action's mix becomes the chunk's new baseline.
         """
         table = database.table
         chunk_index = action.chunk_index
-        if table.chunk_generation(chunk_index) != action.generation:
+        snapshot = table.snapshot_chunk(chunk_index)
+        if snapshot.generation != action.generation:
             return None
         monitor = database.monitor
         if action.plan is not None:
             # The gate already paid for the layout solve; apply that plan
-            # instead of solving it a second time.  The generation check
+            # instead of solving it a second time.  The snapshot check
             # above guarantees the chunk still holds the values the plan
-            # was built for.
+            # was built for, and the publish re-checks under the latch.
             replanner = action.replanner
             plan = action.plan
-            table.rebuild_chunk(
-                chunk_index,
-                lambda v, r, c: replanner.build_chunk_from_plan(plan, v, r, c),
-            )
-            monitor.reset_chunk(chunk_index)
+
+            def builder(v, r, c):
+                return replanner.build_chunk_from_plan(plan, v, r, c)
         else:
-            monitor.replan_chunk(table, chunk_index, database.planner)
-        self._baselines[chunk_index] = action.mix
+            planner = database.planner
+            sample = monitor.recorded_workload(chunk_index)
+            if len(sample) and hasattr(planner, "with_sample"):
+                planner = planner.with_sample(sample)
+            builder = planner.build_chunk
+        if snapshot.values.size:
+            rebuilt = table.build_chunk_replacement(snapshot, builder)
+            if not table.publish_chunk(snapshot, rebuilt):
+                return None
+        monitor.reset_chunk(chunk_index)
+        with self._state_lock:
+            self._baselines[chunk_index] = action.mix
         return self._record(
             ReorgDecision(
                 chunk_index=chunk_index,
@@ -378,7 +423,8 @@ class ReorgPolicy:
         )
 
     def _record(self, decision: ReorgDecision) -> ReorgDecision:
-        self.decisions.append(decision)
+        with self._state_lock:
+            self.decisions.append(decision)
         return decision
 
     # ------------------------------------------------------------------ #
@@ -403,9 +449,12 @@ class ReorgPolicy:
         for chunk_index in self.scan(database, force=force):
             outcome = self.decide_chunk(database, chunk_index)
             if isinstance(outcome, ReorgAction):
-                # Decision and apply run back-to-back on the calling thread,
-                # so the generation cannot have moved and apply never
-                # reports the action stale.
+                # Decision and apply run back-to-back on the calling thread;
+                # single-session callers never see a stale apply.  With
+                # concurrent sessions a racing write can still move the
+                # generation in between -- the publish then refuses the
+                # plan and the inline chain simply skips it (the next scan
+                # re-finds the chunk on fresh state).
                 decision = self.apply_action(database, outcome)
                 if decision is not None:
                     made.append(decision)
@@ -413,16 +462,3 @@ class ReorgPolicy:
                 made.append(outcome)
         return made
 
-    @staticmethod
-    def _current_offsets(chunk, size: int) -> np.ndarray:
-        """Exclusive value end offsets of the chunk's current partitions."""
-        if hasattr(chunk, "partition_counts"):
-            offsets = np.cumsum(
-                np.asarray(chunk.partition_counts(), dtype=np.int64)
-            )
-            offsets = offsets[offsets > 0]
-            if offsets.size and int(offsets[-1]) == size:
-                return offsets
-        # Fallback: price the chunk as one partition (e.g. delta-store
-        # chunks, whose main run is a single sorted area).
-        return np.asarray([size], dtype=np.int64)

@@ -12,22 +12,30 @@ worker thread (``background=True``).
 
 Staleness is handled with the table's per-chunk data generation counter:
 the decision phase snapshots the generation when it solves a layout, and
-the apply phase re-checks it under the reorganizer's lock.  A replan that
-raced a concurrent write is detected and the chunk *requeued* (a fresh
-decision will price the new data) rather than applied stale.  Sessions
-acquire the same lock around operation execution, so a background apply
-can never interleave with a running batch.
+the apply phase builds the replacement chunk copy-on-write and swaps it in
+through the table's generation-checked
+:meth:`~repro.storage.table.Table.publish_chunk`.  A replan that raced a
+concurrent write fails the publish and the chunk is *requeued* (a fresh
+decision will price the new data) rather than applied stale.
 
-Concurrency model: the background worker's *decision* phase deliberately
-runs without the lock -- solving a layout is the expensive part, and the
-generation re-check makes a raced plan harmless -- so its snapshot reads
-(chunk values, monitor windows) and the cost gate's baseline bookkeeping
-rely on the GIL's per-operation atomicity rather than mutual exclusion.
-A read that catches a chunk mid-mutation can produce a garbage plan
-(discarded by the generation check) or raise; the worker shields each
-chunk's processing so an exception is counted (:attr:`Reorganizer.errors`),
-retried a bounded number of times, and never kills the thread.  Only the
-apply phase -- the part that mutates the table -- requires the lock.
+Concurrency model: there is deliberately **no** global lock between
+session execution and background reorganization.  Reads and writes are
+isolated by the table's chunk-granular latches; the replan's expensive
+phases (solving the layout, building the replacement chunk) run entirely
+off those latches against a pinned snapshot, so concurrent readers only
+ever pause for the O(1) publish swap of one chunk -- and only writers
+targeting the chunk being swapped serialize with it.  The decision phase's
+monitor reads go through the monitor's own ingest lock; the cost gate's
+baseline bookkeeping is guarded inside :class:`ReorgPolicy`.  A decision
+that still catches transient state (e.g. a chunk emptied between scan and
+decide) can raise; the worker shields each chunk's processing so an
+exception is counted (:attr:`Reorganizer.errors`), retried a bounded
+number of times, and never kills the thread.
+
+One reorganizer may serve many concurrent sessions of its database: the
+work queue, failure counters and decision watermark are mutex-guarded,
+and the background worker keeps running until the *last* registered
+session closes (sessions register on open and deregister on close).
 """
 
 from __future__ import annotations
@@ -99,15 +107,19 @@ class Reorganizer:
         self._pending: deque[int] = deque()
         self._pending_set: set[int] = set()
         self._failures: dict[int, int] = {}
-        # ``_lock`` serializes database mutation (session execution and the
-        # apply phase); ``_wake`` guards the queue and wakes the worker.
-        self._lock = threading.RLock()
+        # ``_wake`` guards the queue and wakes the worker; ``_state`` guards
+        # the small shared scalars (session count, requeue/error tallies,
+        # decision watermark, worker lifecycle).  Database mutation needs no
+        # reorganizer-level lock: the table's chunk latches isolate the
+        # copy-on-write publish from session execution.
         self._wake = threading.Condition(threading.Lock())
+        self._state = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = False
         self._busy = False
         self._database: "Database | None" = None
         self._reported = 0
+        self._sessions = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -136,20 +148,28 @@ class Reorganizer:
         """Bind to ``database`` and start the worker in background mode."""
         self.policy.bind(database)
         self._database = database
-        if self.background and self._thread is None:
-            self._stop = False
-            self._thread = threading.Thread(
-                target=self._worker, name="repro-reorganizer", daemon=True
-            )
-            self._thread.start()
+        if self.background:
+            with self._state:
+                if self._thread is None:
+                    self._stop = False
+                    self._thread = threading.Thread(
+                        target=self._worker,
+                        name="repro-reorganizer",
+                        daemon=True,
+                    )
+                    self._thread.start()
 
-    def guard(self):
-        """The lock sessions hold while executing operations.
+    def register_session(self, database: "Database") -> None:
+        """Count a session against the worker's lifetime.
 
-        Background applies take the same lock, so a replan can only land
-        *between* batches, never in the middle of one.
+        The background worker (and the pending queue) survive until the
+        last registered session closes, so several concurrent sessions of
+        one database can share a single reorganizer without the first
+        closer tearing reorganization down under the others.
         """
-        return self._lock
+        self.attach(database)
+        with self._state:
+            self._sessions += 1
 
     def _enqueue(self, chunks) -> None:
         with self._wake:
@@ -174,9 +194,12 @@ class Reorganizer:
         """Decisions recorded since the last report (any thread's)."""
         # Advance the watermark by what was actually sliced: taking
         # len(decisions) instead would silently swallow a decision the
-        # worker appends between the slice and the length read.
-        new = list(self.policy.decisions[self._reported :])
-        self._reported += len(new)
+        # worker appends between the slice and the length read.  The
+        # watermark itself is guarded so two sessions reporting at once
+        # never double-report (or skip) a decision.
+        with self._state:
+            new = list(self.policy.decisions[self._reported :])
+            self._reported += len(new)
         return new
 
     # ------------------------------------------------------------------ #
@@ -207,14 +230,25 @@ class Reorganizer:
     ) -> list[ReorgDecision]:
         """Close-time drain: stop the worker and flush the queue.
 
-        With ``reorganize`` (the default) a final forced scan runs and the
-        queue is drained to empty -- budget-free, mirroring the inline
+        Called by each closing session.  While *other* sessions remain
+        registered, the worker and queue are left running (a forced scan
+        still enqueues any drift the closing session accumulated); the
+        *last* session's close performs the full teardown.  With
+        ``reorganize`` (the default) that teardown runs a final forced scan
+        and drains the queue to empty -- budget-free, mirroring the inline
         policy's close-time check -- so drift accumulated by a session's
         last execute calls still gets decided.  ``reorganize=False`` (the
         session's exceptional-exit path) only stops the worker and clears
         the queue.
         """
         self.attach(database)
+        with self._state:
+            self._sessions = max(0, self._sessions - 1)
+            last = self._sessions == 0
+        if not last:
+            if reorganize:
+                self._enqueue(self.policy.scan(database, force=True))
+            return self._new_decisions()
         self._stop_worker()
         if reorganize:
             self._enqueue(self.policy.scan(database, force=True))
@@ -273,16 +307,18 @@ class Reorganizer:
                 try:
                     modeled_ns += self._process(database, chunk_index)
                 except Exception:
-                    self.errors += 1
-                    failures = self._failures.get(chunk_index, 0) + 1
-                    self._failures[chunk_index] = failures
+                    with self._state:
+                        self.errors += 1
+                        failures = self._failures.get(chunk_index, 0) + 1
+                        self._failures[chunk_index] = failures
                     if failures < _MAX_CHUNK_FAILURES:
                         self._enqueue((chunk_index,))
                 else:
                     # A success clears the strike count: the cap exists to
                     # stop *persistent* faults from spinning, not to ban a
                     # chunk for transient races spread over a long session.
-                    self._failures.pop(chunk_index, None)
+                    with self._state:
+                        self._failures.pop(chunk_index, None)
             else:
                 modeled_ns += self._process(database, chunk_index)
             chunks_done += 1
@@ -290,20 +326,25 @@ class Reorganizer:
     def _process(self, database: "Database", chunk_index: int) -> float:
         """Decide one chunk and apply the outcome; returns the modeled ns.
 
-        The decision (solver) runs without the lock -- it reads a value
-        snapshot -- and the apply phase takes the lock plus the generation
-        re-check; a stale action requeues the chunk for a fresh decision.
+        Both phases run without any reorganizer-level lock: the decision
+        solves against a latched snapshot, and the apply builds the
+        replacement copy-on-write and lands it through the table's
+        generation-checked publish.  A stale action (the publish refused
+        it) requeues the chunk for a fresh decision.  The modeled-ns charge
+        is measured as engine-counter movement around the apply, so with
+        concurrent sessions executing it can over-count -- budgets treat it
+        as an upper bound on the slice's reorganization work.
         """
         outcome = self.policy.decide_chunk(database, chunk_index)
         if not isinstance(outcome, ReorgAction):
             return 0.0
         counter = database.engine.counter
-        with self._lock:
-            before = counter.snapshot()
-            decision = self.policy.apply_action(database, outcome)
-            spent = counter.diff(before).cost(database.constants)
+        before = counter.snapshot()
+        decision = self.policy.apply_action(database, outcome)
+        spent = counter.diff(before).cost(database.constants)
         if decision is None:
-            self.requeues += 1
+            with self._state:
+                self.requeues += 1
             self._enqueue((chunk_index,))
             return 0.0
         return spent
@@ -333,11 +374,15 @@ class Reorganizer:
                     self._wake.notify_all()
 
     def _stop_worker(self) -> None:
-        thread = self._thread
+        with self._state:
+            thread = self._thread
+            self._thread = None
         if thread is None:
             return
         with self._wake:
             self._stop = True
             self._wake.notify_all()
+        # The join runs outside ``_state``: the worker's shielded drain
+        # takes that lock for its failure bookkeeping, so holding it here
+        # could deadlock the shutdown.
         thread.join(timeout=30.0)
-        self._thread = None

@@ -17,11 +17,24 @@ while a :class:`~repro.api.reorganizer.Reorganizer` wrapping the policy
 drains the same replans *incrementally* -- budgeted slices between execute
 calls, or a background worker thread -- so no single batch absorbs the
 whole reorganization stall.
+
+A database may hand out several live sessions at once (one per thread);
+their executions interleave freely.  Isolation is chunk-granular -- the
+table's latches share chunks between readers, serialize writers per chunk
+and let background replans land copy-on-write with an O(1) publish -- so
+concurrent reads proceed *during* background reorganization rather than
+stalling behind a session-wide lock.  Note that the engine's access
+counter is shared *and* lock-free: a session's ``accesses``/simulated
+totals attribute everything charged on the engine while its calls ran --
+including work concurrent sessions interleaved -- and racing increments
+can drop a small fraction of charges, so per-session simulated costs are
+exact only when the session has the database to itself (wall-clock
+numbers and result correctness are always exact; see
+:class:`~repro.storage.cost_accounting.AccessCounter`).
 """
 
 from __future__ import annotations
 
-import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -124,7 +137,10 @@ class Session:
         self.reorg = reorg
         self._reorganizer = reorg if isinstance(reorg, Reorganizer) else None
         if self._reorganizer is not None:
-            self._reorganizer.attach(database)
+            # Register against the reorganizer's lifetime: its background
+            # worker and work queue survive until the last session of the
+            # shared database closes.
+            self._reorganizer.register_session(database)
         self._closed = False
         self._counter_start = database.engine.counter.snapshot()
         self._operations = 0
@@ -163,10 +179,12 @@ class Session:
         policy's ``check_interval``), so drift accumulated by the last
         ``execute`` calls of a short session still gets a chance to trigger
         a replan for the *next* session.  With a :class:`Reorganizer` the
-        close-time check also drains the pending work queue to empty and
-        stops the background worker.  Pass ``reorganize=False`` to skip the
-        final check (the context manager does so on exceptional exits); a
-        reorganizer's worker is stopped and its queue cleared either way.
+        close of the *last* registered session also drains the pending
+        work queue to empty and stops the background worker (earlier
+        closers leave both running for the sessions that remain).  Pass
+        ``reorganize=False`` to skip the final check (the context manager
+        does so on exceptional exits); the last session's close stops a
+        reorganizer's worker and clears its queue either way.
         """
         if self._closed:
             return
@@ -202,17 +220,13 @@ class Session:
         engine = self.database.engine
         sizes_seen = len(self.execution.chosen_batch_sizes)
         start = time.perf_counter_ns()
-        # With a Reorganizer, operation execution holds its lock for the
-        # whole call, so a background apply can only land between execute
-        # calls -- never inside one, and not between the batch slices a
-        # policy carves out of a single oplist.
-        guard = (
-            self._reorganizer.guard()
-            if self._reorganizer is not None
-            else contextlib.nullcontext()
-        )
-        with guard:
-            outcome = self.execution.execute(engine, oplist)
+        # No session-wide lock: the table's chunk latches isolate this
+        # call's reads and writes from concurrent sessions and from
+        # background replans, whose copy-on-write publishes may land
+        # between (or during) the batch slices a policy carves out of the
+        # oplist -- pausing only readers of the one chunk being swapped,
+        # and only for the O(1) publish.
+        outcome = self.execution.execute(engine, oplist)
         batch_sizes = list(self.execution.chosen_batch_sizes[sizes_seen:])
         decisions: list[ReorgDecision] = []
         reorg_ns = 0.0

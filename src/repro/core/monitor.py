@@ -30,6 +30,7 @@ chunks' mixes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -261,6 +262,16 @@ class WorkloadMonitor:
             raise ValueError("sample_limit must be non-negative")
         self.sample_limit = int(sample_limit)
         self._activity: dict[int, ChunkActivity] = {}
+        # Concurrent sessions flush their per-batch access logs against one
+        # monitor; the re-entrant ingest lock serializes whole-record
+        # ingestion, so count updates never lose a racing increment and a
+        # ring-buffer window is only ever extended by one record at a time
+        # -- which is what preserves the paired-update source_i/target_i
+        # interleave (and every record's submission order) even when two
+        # flushes truncate the same window concurrently.  Introspection
+        # snapshots (counts, mixes, recorded windows) take the same lock so
+        # a reorganization decision never reads a half-ingested record.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -288,32 +299,34 @@ class WorkloadMonitor:
         records = log.records if isinstance(log, AccessLog) else list(log)
         if not records:
             return
-        counts = None
-        for record in records:
-            if record.lows.shape[0] <= 1:
-                # Scalar fast path: serial dispatch flushes one single-op
-                # record per operation; the vectorized machinery's fixed
-                # per-call overhead (count matrix, argsort, unique) would
-                # dominate it.
-                self._ingest_scalar(table, record)
-                continue
+        with self._lock:
+            counts = None
+            for record in records:
+                if record.lows.shape[0] <= 1:
+                    # Scalar fast path: serial dispatch flushes one
+                    # single-op record per operation; the vectorized
+                    # machinery's fixed per-call overhead (count matrix,
+                    # argsort, unique) would dominate it.
+                    self._ingest_scalar(table, record)
+                    continue
+                if counts is None:
+                    counts = np.zeros(
+                        (len(ATTRIBUTION_KINDS), table.num_chunks),
+                        dtype=np.int64,
+                    )
+                if record.kind == PAIRED_UPDATE_KIND:
+                    self._ingest_update(table, record, counts)
+                else:
+                    self._ingest(table, record, counts)
             if counts is None:
-                counts = np.zeros(
-                    (len(ATTRIBUTION_KINDS), table.num_chunks), dtype=np.int64
+                return
+            kind_ids, chunk_ids = np.nonzero(counts)
+            for kind_id, chunk_id in zip(kind_ids.tolist(), chunk_ids.tolist()):
+                activity = self._activity_for(chunk_id)
+                kind = ATTRIBUTION_KINDS[kind_id]
+                activity.counts[kind] = activity.counts.get(kind, 0) + int(
+                    counts[kind_id, chunk_id]
                 )
-            if record.kind == PAIRED_UPDATE_KIND:
-                self._ingest_update(table, record, counts)
-            else:
-                self._ingest(table, record, counts)
-        if counts is None:
-            return
-        kind_ids, chunk_ids = np.nonzero(counts)
-        for kind_id, chunk_id in zip(kind_ids.tolist(), chunk_ids.tolist()):
-            activity = self._activity_for(chunk_id)
-            kind = ATTRIBUTION_KINDS[kind_id]
-            activity.counts[kind] = activity.counts.get(kind, 0) + int(
-                counts[kind_id, chunk_id]
-            )
 
     def _attribute_scalar(
         self,
@@ -468,22 +481,23 @@ class WorkloadMonitor:
         if kind not in KIND_CODES:
             raise ValueError(f"unknown attribution kind: {kind!r}")
         low = int(low)
-        if kind in RANGE_KINDS:
-            self._attribute_scalar(
-                table,
-                kind,
-                low,
-                int(high) if high is not None else low,
-                range_kind=True,
-            )
-        else:
-            self._attribute_scalar(
-                table,
-                kind,
-                low,
-                low,
-                first_only=write_target or kind in FIRST_CANDIDATE_KINDS,
-            )
+        with self._lock:
+            if kind in RANGE_KINDS:
+                self._attribute_scalar(
+                    table,
+                    kind,
+                    low,
+                    int(high) if high is not None else low,
+                    range_kind=True,
+                )
+            else:
+                self._attribute_scalar(
+                    table,
+                    kind,
+                    low,
+                    low,
+                    first_only=write_target or kind in FIRST_CANDIDATE_KINDS,
+                )
 
     def observe_workload(self, table, workload) -> None:
         """Attribute every operation of ``workload`` as the engine would.
@@ -539,38 +553,49 @@ class WorkloadMonitor:
 
     def observed_chunks(self) -> list[int]:
         """Chunk indices with any recorded activity, ascending."""
-        return sorted(self._activity)
+        with self._lock:
+            return sorted(self._activity)
 
     def operation_counts(self, chunk_index: int) -> dict[str, int]:
         """Raw per-kind operation counts for one chunk."""
-        activity = self._activity.get(chunk_index)
-        return dict(activity.counts) if activity is not None else {}
+        with self._lock:
+            activity = self._activity.get(chunk_index)
+            return dict(activity.counts) if activity is not None else {}
 
     def chunk_mix(self, chunk_index: int) -> dict[str, float]:
         """Operation-mix fractions for one chunk (empty when unobserved)."""
-        activity = self._activity.get(chunk_index)
-        return activity.mix() if activity is not None else {}
+        with self._lock:
+            activity = self._activity.get(chunk_index)
+            return activity.mix() if activity is not None else {}
 
     def hot_chunks(self, top: int | None = None) -> list[int]:
         """Chunk indices ordered by recorded operation volume, hottest first."""
-        ranked = sorted(
-            self._activity, key=lambda chunk: self._activity[chunk].total, reverse=True
-        )
+        with self._lock:
+            ranked = sorted(
+                self._activity,
+                key=lambda chunk: self._activity[chunk].total,
+                reverse=True,
+            )
         return ranked[:top] if top is not None else ranked
 
     def recorded_workload(self, chunk_index: int) -> Workload:
         """The retained operation sample for one chunk as a ``Workload``."""
-        activity = self._activity.get(chunk_index)
-        operations = activity.sample.operations() if activity is not None else []
+        with self._lock:
+            activity = self._activity.get(chunk_index)
+            operations = (
+                activity.sample.operations() if activity is not None else []
+            )
         return Workload(operations=operations, name=f"monitor[chunk={chunk_index}]")
 
     def reset_chunk(self, chunk_index: int) -> None:
         """Forget one chunk's recorded activity (after a replan)."""
-        self._activity.pop(chunk_index, None)
+        with self._lock:
+            self._activity.pop(chunk_index, None)
 
     def reset(self) -> None:
         """Forget all recorded activity."""
-        self._activity.clear()
+        with self._lock:
+            self._activity.clear()
 
     # ------------------------------------------------------------------ #
     # Online reorganization

@@ -120,6 +120,16 @@ class AccessCounter:
     The counter is deliberately tiny: four integers plus the number of index
     probes.  Engines hold one counter and expose it so that the benchmark
     harness can snapshot/diff it around each operation.
+
+    Concurrency note: increments are deliberately lock-free.  Charges land
+    on the storage hot path (per partition touched, per ripple step), so a
+    mutex here would tax exactly the work the cost model simulates; under
+    concurrent sessions a racing read-modify-write can therefore drop an
+    increment.  Simulated totals are a *model metric*, exact when one
+    thread drives the engine and statistically faithful (sub-percent
+    undercount at worst) under contention -- results and wall-clock
+    measurements are never affected.  Callers needing exact concurrent
+    attribution should diff the counter around a quiesced phase.
     """
 
     random_reads: int = 0

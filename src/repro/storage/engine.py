@@ -13,6 +13,7 @@ search (count / sum), insert, delete, update -- together with:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
@@ -62,19 +63,29 @@ class BatchResult(SimulatedCost):
 
 @dataclass
 class EngineStatistics:
-    """Running per-operation-kind statistics maintained by the engine."""
+    """Running per-operation-kind statistics maintained by the engine.
+
+    Safe to update from concurrent sessions: each accumulation runs under a
+    small internal mutex, so per-kind tallies never lose a racing update.
+    """
 
     operations: dict[str, int] = field(default_factory=dict)
     simulated_ns: dict[str, float] = field(default_factory=dict)
     wall_ns: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(
         self, kind: str, simulated: float, wall: float
     ) -> None:
-        """Accumulate one operation's latencies."""
-        self.operations[kind] = self.operations.get(kind, 0) + 1
-        self.simulated_ns[kind] = self.simulated_ns.get(kind, 0.0) + simulated
-        self.wall_ns[kind] = self.wall_ns.get(kind, 0.0) + wall
+        """Accumulate one operation's latencies (thread-safe)."""
+        with self._lock:
+            self.operations[kind] = self.operations.get(kind, 0) + 1
+            self.simulated_ns[kind] = (
+                self.simulated_ns.get(kind, 0.0) + simulated
+            )
+            self.wall_ns[kind] = self.wall_ns.get(kind, 0.0) + wall
 
     def mean_simulated_ns(self, kind: str) -> float:
         """Mean simulated latency for ``kind`` (0 when never executed)."""
@@ -146,11 +157,23 @@ class StorageEngine:
         #: Optional :class:`repro.core.monitor.WorkloadMonitor` observing the
         #: per-chunk operation mix for online reorganization (Fig. 10 A->C).
         self.monitor = monitor
-        # Batch-scoped access log: while ``execute_batch`` runs, dispatch
-        # methods append their records here and the whole log is flushed to
-        # the monitor once per batch; outside a batch each dispatch flushes
-        # its single record immediately.
-        self._batch_log: AccessLog | None = None
+        # Batch-scoped access log, *per thread*: while ``execute_batch``
+        # runs, dispatch methods append their records to the calling
+        # thread's log and the whole log is flushed to the monitor once per
+        # batch; outside a batch each dispatch flushes its single record
+        # immediately.  Thread-local storage keeps concurrent sessions'
+        # batches from interleaving records in one shared log -- each
+        # session accumulates its own log and the monitor merges them at
+        # flush time (``observe_batch`` serializes ingestion internally).
+        self._batch_local = threading.local()
+
+    @property
+    def _batch_log(self) -> AccessLog | None:
+        return getattr(self._batch_local, "log", None)
+
+    @_batch_log.setter
+    def _batch_log(self, log: AccessLog | None) -> None:
+        self._batch_local.log = log
 
     def _record(
         self,

@@ -1,0 +1,146 @@
+"""Chunk-granular latches: shared reads, exclusive writes and publishes.
+
+One :class:`RWLatch` guards one column chunk.  Readers share the latch (any
+number of concurrent read operations may probe a chunk), writers and
+copy-on-write publishes take it exclusively -- so two sessions writing the
+*same* chunk serialize, while writes to different chunks, and reads
+anywhere, proceed in parallel.
+
+The latch is writer-preferring: once a writer is waiting, new readers queue
+behind it.  Chunk writes and publish swaps are short (a ripple, or an O(1)
+reference swap -- the expensive rebuild work happens *off* the latch, see
+:meth:`repro.storage.table.Table.publish_chunk`), so briefly pausing the
+read stream is cheap and keeps a steady read load from starving background
+reorganization out of ever landing its replans.
+
+Latches are intentionally *not* reentrant and never held across calls into
+other latches except in ascending chunk order (:meth:`ChunkLatches.
+acquire_write_many`), which is what makes the locking deadlock-free:
+
+* read operations hold at most one chunk's shared latch at a time;
+* single-chunk writes hold exactly one exclusive latch;
+* multi-chunk writes (cross-chunk key updates) acquire their exclusive
+  latches in ascending chunk order;
+* a publish holds one exclusive latch plus the table's structure lock,
+  which is only ever acquired *inside* an exclusive chunk latch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+
+class RWLatch:
+    """A writer-preferring readers-writer latch.
+
+    ``acquire_read``/``release_read`` bracket shared critical sections;
+    ``acquire_write``/``release_write`` bracket exclusive ones.  Writers
+    waiting block new readers, so a continuous read stream cannot starve a
+    publish.  Not reentrant in either mode.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_waiting_writers")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        """Enter a shared section (blocks while a writer holds or waits)."""
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave a shared section."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Enter the exclusive section (blocks until sole holder)."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        """Leave the exclusive section."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    def __enter__(self) -> "RWLatch":
+        self.acquire_write()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release_write()
+
+
+class ChunkLatches:
+    """One :class:`RWLatch` per column chunk of a table.
+
+    The table's operations bracket each chunk visit with
+    :meth:`acquire_read`/:meth:`release_read` (shared) or
+    :meth:`acquire_write`/:meth:`release_write` (exclusive); cross-chunk
+    writes take :meth:`acquire_write_many`, which sorts the chunk set so
+    every multi-latch acquisition follows the same ascending order.
+
+    The per-chunk latch list is exposed (:meth:`latch`) so tests can swap a
+    latch for an instrumented subclass and drive controlled interleavings
+    at the latch boundaries -- the yield points of the concurrency model.
+    """
+
+    __slots__ = ("_latches",)
+
+    def __init__(self, count: int) -> None:
+        self._latches = [RWLatch() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._latches)
+
+    def latch(self, chunk_index: int) -> RWLatch:
+        """The latch guarding one chunk (tests may replace it)."""
+        return self._latches[chunk_index]
+
+    def replace(self, chunk_index: int, latch: RWLatch) -> None:
+        """Swap in an instrumented latch (test hook)."""
+        self._latches[chunk_index] = latch
+
+    def acquire_read(self, chunk_index: int) -> None:
+        self._latches[chunk_index].acquire_read()
+
+    def release_read(self, chunk_index: int) -> None:
+        self._latches[chunk_index].release_read()
+
+    def acquire_write(self, chunk_index: int) -> None:
+        self._latches[chunk_index].acquire_write()
+
+    def release_write(self, chunk_index: int) -> None:
+        self._latches[chunk_index].release_write()
+
+    def acquire_write_many(self, chunk_indices: Iterable[int]) -> Sequence[int]:
+        """Exclusively latch several chunks in ascending order.
+
+        Returns the acquired (deduplicated, sorted) chunk list; pass it to
+        :meth:`release_write_many` in a ``finally`` block.
+        """
+        acquired = sorted(set(int(i) for i in chunk_indices))
+        for chunk_index in acquired:
+            self._latches[chunk_index].acquire_write()
+        return acquired
+
+    def release_write_many(self, chunk_indices: Sequence[int]) -> None:
+        """Release latches taken by :meth:`acquire_write_many`."""
+        for chunk_index in reversed(chunk_indices):
+            self._latches[chunk_index].release_write()

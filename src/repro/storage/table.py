@@ -17,10 +17,37 @@ loaded key column simply slices the sorted keys, a duplicate run may straddle
 a chunk boundary; point operations therefore probe the *span* of candidate
 chunks returned by :meth:`PartitionIndex.locate_all`, never just one chunk.
 Every routing decision is charged through ``AccessCounter.index_probe``.
+
+Concurrency model (chunk-granular)
+----------------------------------
+
+A table may be shared by multiple sessions on concurrent threads.  Isolation
+is *chunk-granular*: every chunk visit is bracketed by that chunk's
+:class:`~repro.storage.latches.RWLatch` -- shared for reads, exclusive for
+writes -- so reads share chunks freely, writes to different chunks run in
+parallel, and only writers (or a publish) targeting the *same* chunk
+serialize.  Operations spanning several chunks latch them one at a time (or,
+for cross-chunk key moves, all at once in ascending order), so a multi-chunk
+read observes each chunk atomically but not the whole span -- the documented
+unit of read consistency is the chunk.
+
+Online reorganization is copy-on-write: :meth:`Table.snapshot_chunk` pins a
+consistent (values, rowids, generation) snapshot under the shared latch, the
+replacement chunk is built entirely off to the side
+(:meth:`Table.build_chunk_replacement`, no latch held), and
+:meth:`Table.publish_chunk` swaps it in with a single generation-checked
+exchange under the exclusive latch.  Readers therefore stall on a replan
+only for the O(1) publish of one chunk, never for the solve or the rebuild;
+in-flight reads that already fetched the prior chunk object keep reading it
+(Python reference counting reclaims the snapshot when the last reader
+drops it).  A write that lands between snapshot and publish bumps the
+chunk's generation, so the publish detects the race and refuses the stale
+replacement.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -33,6 +60,7 @@ from .cost_accounting import (
 )
 from .column import expand_ranges
 from .errors import LayoutError, ValueNotFoundError
+from .latches import ChunkLatches
 from .layouts import ColumnLike, LayoutKind, LayoutSpec, build_column
 from .partition_index import PartitionIndex
 
@@ -69,6 +97,28 @@ class Row:
     key: int
     rowid: int
     payload: dict[str, int]
+
+
+@dataclass(frozen=True)
+class ChunkSnapshot:
+    """A pinned, consistent view of one chunk's live data.
+
+    Taken under the chunk's shared latch by :meth:`Table.snapshot_chunk`:
+    ``values``/``rowids`` are aligned copies in ascending key order,
+    ``generation`` is the chunk's data generation *at snapshot time* --
+    the staleness token a copy-on-write :meth:`Table.publish_chunk`
+    re-checks -- and ``partition_offsets`` describes the chunk's *current*
+    physical layout (exclusive value end offsets of its partitions; a
+    single ``[size]`` partition for layouts that do not expose counts,
+    e.g. delta-store chunks) so a cost gate can price the live layout
+    against the same data the plan is solved for.
+    """
+
+    chunk_index: int
+    values: np.ndarray
+    rowids: np.ndarray
+    generation: int
+    partition_offsets: np.ndarray
 
 
 class Table:
@@ -153,12 +203,20 @@ class Table:
         self._chunk_bounds[-1] = np.iinfo(np.int64).max
         self._router = PartitionIndex(fanout=router_fanout)
         self._rebuild_router()
-        # Per-chunk data generation: bumped on every mutation that touches a
-        # chunk (inserts, deletes, key updates, bulk writes, rebuilds).  An
-        # incremental reorganizer snapshots the generation when it solves a
-        # layout and re-checks it before applying, so a replan that raced a
-        # concurrent write is detected and requeued instead of applied stale.
+        # Per-chunk data generation: bumped (under the chunk's exclusive
+        # latch) on every mutation that touches a chunk -- inserts, deletes,
+        # key updates, bulk writes, published rebuilds.  An incremental
+        # reorganizer snapshots the generation when it solves a layout and
+        # re-checks it at publish time, so a replan that raced a concurrent
+        # write is detected and requeued instead of applied stale.
         self._generations = [0] * len(self._chunks)
+        # Chunk-granular read/write latches (see the module docstring for
+        # the concurrency model) plus two small structural locks: payload
+        # appends allocate row ids, and publishes refresh the chunk bound /
+        # router, each under its own mutex.
+        self._latches = ChunkLatches(len(self._chunks))
+        self._payload_lock = threading.Lock()
+        self._structure_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -189,9 +247,20 @@ class Table:
         """The chunk-level routing index (read-only use)."""
         return self._router
 
+    @property
+    def latches(self) -> ChunkLatches:
+        """The per-chunk read/write latches (tests may instrument them)."""
+        return self._latches
+
     def keys(self) -> np.ndarray:
         """Materialize all live keys (unsorted)."""
-        pieces = [chunk.values() for chunk in self._chunks]
+        pieces = []
+        for chunk_index in range(len(self._chunks)):
+            self._latches.acquire_read(chunk_index)
+            try:
+                pieces.append(self._chunks[chunk_index].values())
+            finally:
+                self._latches.release_read(chunk_index)
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
@@ -208,6 +277,8 @@ class Table:
         return sum(self._generations)
 
     def _bump_generation(self, chunk_index: int) -> None:
+        # Only ever called with the chunk's exclusive latch held, so the
+        # read-modify-write cannot race another mutator.
         self._generations[chunk_index] += 1
 
     # ------------------------------------------------------------------ #
@@ -285,20 +356,29 @@ class Table:
         if rows.ndim != 2 or rows.shape[1] != len(self.payload_names):
             raise LayoutError("payload width mismatch")
         count = int(rows.shape[0])
-        needed = self._next_rowid + count
-        if needed > self._payload_capacity:
-            extra = max(1024, self._payload_capacity // 2, needed - self._payload_capacity)
-            self._payload = np.vstack(
-                (
-                    self._payload,
-                    np.zeros((extra, max(self._payload.shape[1], 0)), dtype=np.int64),
+        # Row-id allocation and the growth vstack are serialized; readers
+        # never hold this lock -- a row id only becomes visible once its
+        # chunk insert publishes it (under the chunk's exclusive latch), by
+        # which time the payload row is durably written.
+        with self._payload_lock:
+            needed = self._next_rowid + count
+            if needed > self._payload_capacity:
+                extra = max(
+                    1024, self._payload_capacity // 2, needed - self._payload_capacity
                 )
-            )
-            self._payload_capacity = self._payload.shape[0]
-        start = self._next_rowid
-        if self._payload.shape[1]:
-            self._payload[start:needed, :] = rows
-        self._next_rowid = needed
+                self._payload = np.vstack(
+                    (
+                        self._payload,
+                        np.zeros(
+                            (extra, max(self._payload.shape[1], 0)), dtype=np.int64
+                        ),
+                    )
+                )
+                self._payload_capacity = self._payload.shape[0]
+            start = self._next_rowid
+            if self._payload.shape[1]:
+                self._payload[start:needed, :] = rows
+            self._next_rowid = needed
         return np.arange(start, needed, dtype=np.int64)
 
     def _materialize_rows(
@@ -332,7 +412,13 @@ class Table:
         indices = self._payload_indices(columns)
         pieces: list[np.ndarray] = []
         for chunk_index in range(first, last + 1):
-            hits = self._chunks[chunk_index].point_query(key, return_rowids=True)
+            self._latches.acquire_read(chunk_index)
+            try:
+                hits = self._chunks[chunk_index].point_query(
+                    key, return_rowids=True
+                )
+            finally:
+                self._latches.release_read(chunk_index)
             hits = np.asarray(hits, dtype=np.int64)
             if hits.size:
                 pieces.append(hits)
@@ -374,27 +460,33 @@ class Table:
         for chunk_index in np.unique(expanded_chunks):
             positions = expanded_pos[expanded_chunks == chunk_index]
             chunk_keys = keys_arr[positions]
-            chunk = self._chunks[int(chunk_index)]
-            if chunk_keys.size >= SMALL_PROBE_FALLBACK and hasattr(
-                chunk, "multi_point_query"
-            ):
-                hits, counts = chunk.multi_point_query(
-                    chunk_keys, return_rowids=True
-                )
-            else:
-                found = [
-                    np.asarray(
-                        chunk.point_query(int(value), return_rowids=True),
-                        dtype=np.int64,
+            self._latches.acquire_read(int(chunk_index))
+            try:
+                chunk = self._chunks[int(chunk_index)]
+                if chunk_keys.size >= SMALL_PROBE_FALLBACK and hasattr(
+                    chunk, "multi_point_query"
+                ):
+                    hits, counts = chunk.multi_point_query(
+                        chunk_keys, return_rowids=True
                     )
-                    for value in chunk_keys
-                ]
-                counts = np.asarray([hit.size for hit in found], dtype=np.int64)
-                hits = (
-                    np.concatenate(found)
-                    if found
-                    else np.empty(0, dtype=np.int64)
-                )
+                else:
+                    found = [
+                        np.asarray(
+                            chunk.point_query(int(value), return_rowids=True),
+                            dtype=np.int64,
+                        )
+                        for value in chunk_keys
+                    ]
+                    counts = np.asarray(
+                        [hit.size for hit in found], dtype=np.int64
+                    )
+                    hits = (
+                        np.concatenate(found)
+                        if found
+                        else np.empty(0, dtype=np.int64)
+                    )
+            finally:
+                self._latches.release_read(int(chunk_index))
             if not int(counts.sum()):
                 continue
             counts_per_key[positions] += counts
@@ -425,9 +517,13 @@ class Table:
         first, last = self._route_range(int(low), int(high))
         total = 0
         for chunk_index in range(first, last + 1):
-            result = self._chunks[chunk_index].range_query(
-                int(low), int(high), materialize=False
-            )
+            self._latches.acquire_read(chunk_index)
+            try:
+                result = self._chunks[chunk_index].range_query(
+                    int(low), int(high), materialize=False
+                )
+            finally:
+                self._latches.release_read(chunk_index)
             total += result.count
         return total
 
@@ -459,21 +555,27 @@ class Table:
         expanded_chunks = expand_ranges(first, spans)
         for chunk_index in np.unique(expanded_chunks):
             positions = expanded_pos[expanded_chunks == chunk_index]
-            chunk = self._chunks[int(chunk_index)]
-            if positions.size >= SMALL_PROBE_FALLBACK and hasattr(
-                chunk, "multi_range_count"
-            ):
-                counts = chunk.multi_range_count(lows[positions], highs[positions])
-            else:
-                counts = np.asarray(
-                    [
-                        chunk.range_query(
-                            int(lows[pos]), int(highs[pos]), materialize=False
-                        ).count
-                        for pos in positions
-                    ],
-                    dtype=np.int64,
-                )
+            self._latches.acquire_read(int(chunk_index))
+            try:
+                chunk = self._chunks[int(chunk_index)]
+                if positions.size >= SMALL_PROBE_FALLBACK and hasattr(
+                    chunk, "multi_range_count"
+                ):
+                    counts = chunk.multi_range_count(
+                        lows[positions], highs[positions]
+                    )
+                else:
+                    counts = np.asarray(
+                        [
+                            chunk.range_query(
+                                int(lows[pos]), int(highs[pos]), materialize=False
+                            ).count
+                            for pos in positions
+                        ],
+                        dtype=np.int64,
+                    )
+            finally:
+                self._latches.release_read(int(chunk_index))
             np.add.at(totals, positions, counts)
         return totals
 
@@ -486,8 +588,13 @@ class Table:
         first, last = self._route_range(int(low), int(high))
         total = 0
         for chunk_index in range(first, last + 1):
-            chunk = self._chunks[chunk_index]
-            rowids = chunk.range_rowids(int(low), int(high))
+            self._latches.acquire_read(chunk_index)
+            try:
+                rowids = self._chunks[chunk_index].range_rowids(
+                    int(low), int(high)
+                )
+            finally:
+                self._latches.release_read(chunk_index)
             rowids = np.asarray(rowids, dtype=np.int64)
             if rowids.size == 0 or not indices:
                 continue
@@ -500,10 +607,26 @@ class Table:
         """Q4: insert a new row; returns its global row id."""
         payload = payload if payload is not None else [0] * len(self.payload_names)
         rowid = self._append_payload(payload)
-        chunk_index = self._route_insert(int(key))
-        self._chunks[chunk_index].insert(int(key), rowid=rowid)
-        self._bump_generation(chunk_index)
-        return rowid
+        key = int(key)
+        chunk_index = self._route_insert(key)
+        while True:
+            self._latches.acquire_write(chunk_index)
+            # Revalidate the insert route under the latch: a concurrent
+            # publish may have tightened this chunk's fence between routing
+            # and latching, and inserting above the fence would make the
+            # key unreachable.  Once the route checks out while we hold the
+            # exclusive latch it cannot move again -- tightening *this*
+            # fence needs this latch, and earlier fences are already below
+            # the key and only ever tighten further.
+            if self._router.locate(key) == chunk_index:
+                try:
+                    self._chunks[chunk_index].insert(key, rowid=rowid)
+                    self._bump_generation(chunk_index)
+                finally:
+                    self._latches.release_write(chunk_index)
+                return rowid
+            self._latches.release_write(chunk_index)
+            chunk_index = self._route_insert(key)
 
     def delete(self, key: int) -> int:
         """Q5: delete one row by key; returns the number of deleted rows.
@@ -514,12 +637,15 @@ class Table:
         key = int(key)
         first, last = self._route_key(key)
         for chunk_index in range(first, last + 1):
+            self._latches.acquire_write(chunk_index)
             try:
                 deleted = self._chunks[chunk_index].delete(key, limit=1)
+                self._bump_generation(chunk_index)
+                return deleted
             except ValueNotFoundError:
                 continue
-            self._bump_generation(chunk_index)
-            return deleted
+            finally:
+                self._latches.release_write(chunk_index)
         raise ValueNotFoundError(f"key {key} not found")
 
     def bulk_insert(
@@ -556,24 +682,49 @@ class Table:
         if m == 0:
             return rowids
         self.counter.index_probe(m)
-        # First-candidate (insert) routing is locate_batch's `first` array.
-        chunk_ids, _ = self._router.locate_batch(keys)
-        order = np.argsort(keys, kind="stable")
-        sorted_chunks = chunk_ids[order]
-        unique_chunks, group_starts, group_counts = np.unique(
-            sorted_chunks, return_index=True, return_counts=True
-        )
-        for chunk_index, lo, count in zip(
-            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
-        ):
-            sel = order[lo : lo + count]
-            chunk = self._chunks[chunk_index]
-            if hasattr(chunk, "bulk_insert"):
-                chunk.bulk_insert(keys[sel], rowids[sel])
-            else:
-                for i in sel.tolist():
-                    chunk.insert(int(keys[i]), rowid=int(rowids[i]))
-            self._bump_generation(chunk_index)
+        pending = np.arange(m, dtype=np.int64)
+        while pending.size:
+            # First-candidate (insert) routing is locate_batch's `first`
+            # array.  Each group revalidates its routes under the chunk's
+            # exclusive latch (a concurrent publish may have tightened the
+            # fence since routing); re-routed keys retry on the next pass.
+            chunk_ids, _ = self._router.locate_batch(keys[pending])
+            perm = np.argsort(keys[pending], kind="stable")
+            order = pending[perm]
+            sorted_chunks = chunk_ids[perm]
+            unique_chunks, group_starts, group_counts = np.unique(
+                sorted_chunks, return_index=True, return_counts=True
+            )
+            stale_pieces: list[np.ndarray] = []
+            for chunk_index, lo, count in zip(
+                unique_chunks.tolist(),
+                group_starts.tolist(),
+                group_counts.tolist(),
+            ):
+                sel = order[lo : lo + count]
+                self._latches.acquire_write(chunk_index)
+                try:
+                    fresh, _ = self._router.locate_batch(keys[sel])
+                    valid = sel[fresh == chunk_index]
+                    stale = sel[fresh != chunk_index]
+                    if stale.size:
+                        stale_pieces.append(stale)
+                    if valid.size == 0:
+                        continue
+                    chunk = self._chunks[chunk_index]
+                    if hasattr(chunk, "bulk_insert"):
+                        chunk.bulk_insert(keys[valid], rowids[valid])
+                    else:
+                        for i in valid.tolist():
+                            chunk.insert(int(keys[i]), rowid=int(rowids[i]))
+                    self._bump_generation(chunk_index)
+                finally:
+                    self._latches.release_write(chunk_index)
+            pending = (
+                np.concatenate(stale_pieces)
+                if stale_pieces
+                else np.empty(0, dtype=np.int64)
+            )
         return rowids
 
     def bulk_delete(self, keys: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -606,19 +757,23 @@ class Table:
             if group.size == 0:
                 continue
             sel = order[group]
-            chunk = self._chunks[chunk_index]
-            if hasattr(chunk, "bulk_delete"):
-                counts = chunk.bulk_delete(keys[sel])
-            else:
-                counts = np.zeros(group.size, dtype=np.int64)
-                for j, i in enumerate(sel.tolist()):
-                    try:
-                        counts[j] = chunk.delete(int(keys[i]), limit=1)
-                    except ValueNotFoundError:
-                        counts[j] = 0
-            hit = counts > 0
-            if np.any(hit):
-                self._bump_generation(chunk_index)
+            self._latches.acquire_write(chunk_index)
+            try:
+                chunk = self._chunks[chunk_index]
+                if hasattr(chunk, "bulk_delete"):
+                    counts = chunk.bulk_delete(keys[sel])
+                else:
+                    counts = np.zeros(group.size, dtype=np.int64)
+                    for j, i in enumerate(sel.tolist()):
+                        try:
+                            counts[j] = chunk.delete(int(keys[i]), limit=1)
+                        except ValueNotFoundError:
+                            counts[j] = 0
+                hit = counts > 0
+                if np.any(hit):
+                    self._bump_generation(chunk_index)
+            finally:
+                self._latches.release_write(chunk_index)
             deleted[sel[hit]] = counts[hit]
             unresolved[group[hit]] = False
             missed = group[~hit]
@@ -657,23 +812,59 @@ class Table:
         targets, _ = self._router.locate_batch(pairs_arr[:, 1])
         updated = np.zeros(m, dtype=np.int64)
         for i in range(m):
-            old_key = int(pairs_arr[i, 0])
-            new_key = int(pairs_arr[i, 1])
-            target = int(targets[i])
-            for chunk_index in range(int(first[i]), int(last[i]) + 1):
-                try:
-                    if chunk_index == target:
-                        self._chunks[chunk_index].update(old_key, new_key)
-                    else:
-                        rowid = self._chunks[chunk_index].remove_one(old_key)
-                        self._chunks[target].insert(new_key, rowid=rowid)
-                        self._bump_generation(target)
-                    self._bump_generation(chunk_index)
-                    updated[i] = 1
-                    break
-                except ValueNotFoundError:
-                    continue
+            updated[i] = self._apply_update(
+                int(pairs_arr[i, 0]),
+                int(pairs_arr[i, 1]),
+                int(first[i]),
+                int(last[i]),
+                int(targets[i]),
+            )
         return updated
+
+    def _apply_update(
+        self, old_key: int, new_key: int, first: int, last: int, target: int
+    ) -> int:
+        """One ``old_key -> new_key`` correction over pre-computed routes.
+
+        Latches the candidate span plus the insert target exclusively (in
+        ascending order, the deadlock-free multi-chunk protocol) so a
+        cross-chunk move -- remove from the source, insert into the target
+        -- is atomic with respect to concurrent readers and writers.  The
+        target route is revalidated under the latches (a concurrent
+        publish may have tightened its fence since routing; the source
+        span needs no revalidation -- fences only tighten, which keeps a
+        stale span covering).  Returns 1 when a row was updated, 0 when
+        ``old_key`` was absent.
+        """
+        while True:
+            latched = self._latches.acquire_write_many(
+                list(range(first, last + 1)) + [target]
+            )
+            try:
+                fresh_target = self._router.locate(new_key)
+                if fresh_target == target:
+                    for chunk_index in range(first, last + 1):
+                        try:
+                            if chunk_index == target:
+                                self._chunks[chunk_index].update(
+                                    old_key, new_key
+                                )
+                            else:
+                                rowid = self._chunks[chunk_index].remove_one(
+                                    old_key
+                                )
+                                self._chunks[target].insert(
+                                    new_key, rowid=rowid
+                                )
+                                self._bump_generation(target)
+                            self._bump_generation(chunk_index)
+                            return 1
+                        except ValueNotFoundError:
+                            continue
+                    return 0
+            finally:
+                self._latches.release_write_many(latched)
+            target = fresh_target
 
     def update_key(self, old_key: int, new_key: int) -> None:
         """Q6: correct a primary-key value (update ``old_key`` -> ``new_key``).
@@ -687,38 +878,130 @@ class Table:
         old_key, new_key = int(old_key), int(new_key)
         first, last = self._route_key(old_key)
         target = self._route_insert(new_key)
-        for chunk_index in range(first, last + 1):
-            try:
-                if chunk_index == target:
-                    # Same-chunk update: the column's ripple update performs
-                    # (and charges) the single source scan, per Eq. 12/14.
-                    self._chunks[chunk_index].update(old_key, new_key)
-                else:
-                    # Cross-chunk move: remove_one reports the row id the
-                    # deletion actually picked (delta-store chunks prefer
-                    # their buffer), keeping global row ids consistent.
-                    rowid = self._chunks[chunk_index].remove_one(old_key)
-                    self._chunks[target].insert(new_key, rowid=rowid)
-                    self._bump_generation(target)
-                self._bump_generation(chunk_index)
-                return
-            except ValueNotFoundError:
-                continue
-        raise ValueNotFoundError(f"key {old_key} not found")
+        # Same-chunk updates rewrite in place via the column's ripple update
+        # (which performs and charges the single source scan, per Eq. 12/14);
+        # cross-chunk moves preserve the global row id via remove_one, so the
+        # payload never moves.  Both run under the span+target latches.
+        if not self._apply_update(old_key, new_key, first, last, target):
+            raise ValueNotFoundError(f"key {old_key} not found")
 
     def scan(self) -> np.ndarray:
         """Full scan of the key column."""
         pieces = []
-        for chunk in self._chunks:
-            if hasattr(chunk, "full_scan"):
-                pieces.append(chunk.full_scan())
-            else:
-                pieces.append(chunk.values())
+        for chunk_index in range(len(self._chunks)):
+            self._latches.acquire_read(chunk_index)
+            try:
+                chunk = self._chunks[chunk_index]
+                if hasattr(chunk, "full_scan"):
+                    pieces.append(chunk.full_scan())
+                else:
+                    pieces.append(chunk.values())
+            finally:
+                self._latches.release_read(chunk_index)
         return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Online reorganization
     # ------------------------------------------------------------------ #
+
+    def snapshot_chunk(self, chunk_index: int) -> ChunkSnapshot:
+        """Pin a consistent (values, rowids, generation) view of one chunk.
+
+        Taken under the chunk's shared latch, so the arrays and the
+        generation belong to one point in the chunk's mutation history --
+        the copy-on-write contract :meth:`publish_chunk` re-checks.  Values
+        and row ids come back aligned in ascending key order, ready for a
+        chunk builder.  No simulated accesses are charged (pricing belongs
+        to :meth:`build_chunk_replacement`).
+        """
+        if not 0 <= chunk_index < len(self._chunks):
+            raise LayoutError(f"chunk index {chunk_index} out of range")
+        self._latches.acquire_read(chunk_index)
+        try:
+            chunk = self._chunks[chunk_index]
+            if not hasattr(chunk, "rowids"):
+                raise LayoutError(
+                    "chunk does not expose row ids; cannot rebuild in place"
+                )
+            values = np.asarray(chunk.values(), dtype=np.int64)
+            rowids = np.asarray(chunk.rowids(), dtype=np.int64)
+            generation = self._generations[chunk_index]
+            offsets = None
+            if hasattr(chunk, "partition_counts"):
+                offsets = np.cumsum(
+                    np.asarray(chunk.partition_counts(), dtype=np.int64)
+                )
+                offsets = offsets[offsets > 0]
+                if not offsets.size or int(offsets[-1]) != int(values.size):
+                    offsets = None
+        finally:
+            self._latches.release_read(chunk_index)
+        if offsets is None:
+            # Price the chunk as one partition (e.g. delta-store chunks,
+            # whose main run is a single sorted area).
+            offsets = np.asarray([values.size], dtype=np.int64)
+        order = np.argsort(values, kind="stable")
+        return ChunkSnapshot(
+            chunk_index=chunk_index,
+            values=values[order],
+            rowids=rowids[order],
+            generation=generation,
+            partition_offsets=offsets,
+        )
+
+    def build_chunk_replacement(
+        self, snapshot: ChunkSnapshot, chunk_builder: ChunkBuilder | None = None
+    ) -> ColumnLike:
+        """Build a replacement chunk off to the side (no latch held).
+
+        Charges the rebuild's sequential read+write sweep -- the same charge
+        ``DeltaStoreColumn.merge`` pays for its reorganization -- and feeds
+        the snapshot through ``chunk_builder`` (the table's default when
+        omitted).  The result is not visible to readers until
+        :meth:`publish_chunk` swaps it in.
+        """
+        blocks = blocks_spanned(0, int(snapshot.values.size), self.block_values)
+        self.counter.seq_read(blocks)
+        self.counter.seq_write(blocks)
+        builder = chunk_builder if chunk_builder is not None else self._chunk_builder
+        return builder(snapshot.values, snapshot.rowids, self.counter)
+
+    def publish_chunk(
+        self, snapshot: ChunkSnapshot, rebuilt: ColumnLike
+    ) -> bool:
+        """Atomically swap a rebuilt chunk in, iff its snapshot is current.
+
+        Takes the chunk's exclusive latch, re-checks the data generation
+        against the snapshot, and -- when no write raced the rebuild --
+        publishes the replacement with a single reference exchange, bumps
+        the generation, refreshes the chunk's upper fence from the snapshot
+        maximum (tightening stale-high fences left by deletes) and rebuilds
+        the router.  Returns ``False`` when the generation moved: the
+        replacement was built from data that no longer exists, so the
+        caller must re-snapshot and rebuild (or requeue the replan).
+
+        Readers never block on the rebuild itself -- only on this O(1)
+        publish; in-flight reads that already fetched the prior chunk
+        object keep using it and drop it when they finish (reference-count
+        reclamation).
+        """
+        chunk_index = snapshot.chunk_index
+        self._latches.acquire_write(chunk_index)
+        try:
+            if self._generations[chunk_index] != snapshot.generation:
+                return False
+            self._chunks[chunk_index] = rebuilt
+            self._bump_generation(chunk_index)
+            with self._structure_lock:
+                if (
+                    chunk_index < len(self._chunks) - 1
+                    and snapshot.values.size
+                ):
+                    self._chunk_bounds[chunk_index] = int(snapshot.values[-1])
+                self._rebuild_router()
+            return True
+        finally:
+            self._latches.release_write(chunk_index)
 
     def rebuild_chunk(
         self, chunk_index: int, chunk_builder: ChunkBuilder | None = None
@@ -731,34 +1014,24 @@ class Table:
         a drifted workload).  The chunk's upper fence is refreshed from the
         surviving maximum and the router rebuilt, so stale-high fences left
         by deletes are tightened.
+
+        The rebuild is copy-on-write (:meth:`snapshot_chunk` ->
+        :meth:`build_chunk_replacement` -> :meth:`publish_chunk`): readers
+        proceed against the prior chunk throughout and only pause for the
+        O(1) publish.  A write racing the rebuild fails the publish, and
+        this synchronous entry point simply re-snapshots and rebuilds until
+        it lands (single-threaded callers always land on the first try;
+        callers that would rather requeue than retry use the three-phase
+        API directly, as :meth:`repro.api.reorg.ReorgPolicy.apply_action`
+        does).
         """
-        if not 0 <= chunk_index < len(self._chunks):
-            raise LayoutError(f"chunk index {chunk_index} out of range")
-        chunk = self._chunks[chunk_index]
-        if not hasattr(chunk, "rowids"):
-            raise LayoutError(
-                "chunk does not expose row ids; cannot rebuild in place"
-            )
-        values = np.asarray(chunk.values(), dtype=np.int64)
-        rowids = np.asarray(chunk.rowids(), dtype=np.int64)
-        if values.size == 0:
-            return chunk
-        order = np.argsort(values, kind="stable")
-        sorted_values = values[order]
-        sorted_rowids = rowids[order]
-        # A re-layout reads and rewrites the whole chunk sequentially, the
-        # same charge DeltaStoreColumn.merge pays for its reorganization.
-        blocks = blocks_spanned(0, int(values.size), self.block_values)
-        self.counter.seq_read(blocks)
-        self.counter.seq_write(blocks)
-        builder = chunk_builder if chunk_builder is not None else self._chunk_builder
-        rebuilt = builder(sorted_values, sorted_rowids, self.counter)
-        self._chunks[chunk_index] = rebuilt
-        self._bump_generation(chunk_index)
-        if chunk_index < len(self._chunks) - 1:
-            self._chunk_bounds[chunk_index] = int(sorted_values[-1])
-        self._rebuild_router()
-        return rebuilt
+        while True:
+            snapshot = self.snapshot_chunk(chunk_index)
+            if snapshot.values.size == 0:
+                return self._chunks[chunk_index]
+            rebuilt = self.build_chunk_replacement(snapshot, chunk_builder)
+            if self.publish_chunk(snapshot, rebuilt):
+                return rebuilt
 
     # ------------------------------------------------------------------ #
     # Validation

@@ -2,10 +2,38 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro.storage.cost_accounting import constants_for_block_values
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "concurrency: threaded stress tests; CI re-runs them 5x with "
+        "randomized hash seeds and a tight thread-switch interval "
+        "(REPRO_SWITCH_INTERVAL) to widen race windows",
+    )
+
+
+@pytest.fixture
+def tight_switch_interval():
+    """Shrink the interpreter's thread-switch interval to widen races.
+
+    The CI concurrency job sets ``REPRO_SWITCH_INTERVAL`` (1e-5 seconds)
+    so the scheduler preempts threads mid-operation far more often than
+    the 5ms default; locally the default keeps the stress tests fast.
+    """
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(float(os.environ.get("REPRO_SWITCH_INTERVAL", "1e-3")))
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(old)
 
 
 @pytest.fixture

@@ -19,7 +19,10 @@ on:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -256,3 +259,153 @@ class TestSingleRecordEquivalence:
                 per_op.recorded_workload(chunk).operations
                 == batched.recorded_workload(chunk).operations
             )
+
+
+@pytest.mark.concurrency
+class TestConcurrentFlush:
+    """Two writer threads flushing one monitor.
+
+    The monitor's ingest lock serializes whole-record ingestion, so (a) no
+    count update is lost to a racing increment, (b) each record's entries
+    stay contiguous and in submission order inside the shared ring buffer,
+    and (c) the paired-update source_i/target_i interleave survives even
+    when truncation replaces the window mid-stress -- the regression the
+    concurrent-flush fix targets.
+    """
+
+    @staticmethod
+    def _single_chunk_table() -> Table:
+        # One chunk: every key attributes to chunk 0, so both threads
+        # contend on one ChunkActivity (the worst case for the window).
+        spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=4, block_values=8)
+        return Table(
+            np.arange(0, 64, 2, dtype=np.int64),
+            chunk_size=1_024,
+            chunk_builder=layout_chunk_builder(spec),
+            block_values=8,
+        )
+
+    @staticmethod
+    def _flush_point_records(monitor, table, keys_per_record, records, barrier):
+        barrier.wait(timeout=30.0)
+        for record_keys in keys_per_record[:records]:
+            log = AccessLog()
+            log.record("point_query", record_keys)
+            monitor.observe_batch(table, log)
+
+    def test_counts_exact_with_two_writer_threads(self, tight_switch_interval):
+        table = self._single_chunk_table()
+        monitor = WorkloadMonitor(sample_limit=64)
+        records, width = 40, 8
+        streams = [
+            [[100 * t + i for i in range(width)] for _ in range(records)]
+            for t in (1, 2)
+        ]
+        barrier = threading.Barrier(2)
+        threads = [
+            threading.Thread(
+                target=self._flush_point_records,
+                args=(monitor, table, stream, records, barrier),
+            )
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        counts = monitor.operation_counts(0)
+        assert counts == {"point_query": 2 * records * width}
+
+    def test_sequence_equality_per_thread_with_two_writers(
+        self, tight_switch_interval
+    ):
+        # Disjoint key ranges per thread: filtering the shared window by
+        # origin must reproduce each thread's exact submission sequence --
+        # the same sequence-equality contract the single-threaded property
+        # tests pin, now under concurrent flushes (no truncation here, so
+        # nothing may be lost either).
+        table = self._single_chunk_table()
+        monitor = WorkloadMonitor(sample_limit=4_096)
+        records, width = 30, 8
+        streams = [
+            [
+                [1_000 * t + r * width + i for i in range(width)]
+                for r in range(records)
+            ]
+            for t in (1, 2)
+        ]
+        barrier = threading.Barrier(2)
+        threads = [
+            threading.Thread(
+                target=self._flush_point_records,
+                args=(monitor, table, stream, records, barrier),
+            )
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        window = [op.key for op in monitor.recorded_workload(0).operations]
+        assert len(window) == 2 * records * width
+        for t, stream in zip((1, 2), streams):
+            submitted = [key for record in stream for key in record]
+            observed = [key for key in window if key // 1_000 == t]
+            assert observed == submitted
+
+    def test_paired_update_interleave_survives_truncation(
+        self, tight_switch_interval
+    ):
+        # Each thread flushes one paired update record whose interleaved
+        # source/target entries exceed the window; after both land, the
+        # retained window must be a clean suffix of one thread's interleave
+        # -- never a torn mix of half-written entries.
+        table = self._single_chunk_table()
+        limit = 7
+        pairs = 8
+
+        def interleave(base: int) -> list[tuple[int, int]]:
+            ops = []
+            for i in range(pairs):
+                source, target = base + i, base + 500 + i
+                ops.append((source, source))
+                ops.append((target, target))
+            return ops
+
+        expectations = []
+        for base in (1_000, 3_000):
+            expectations.append(interleave(base)[-limit:])
+
+        monitor = WorkloadMonitor(sample_limit=limit)
+        barrier = threading.Barrier(2)
+
+        def flush(base: int) -> None:
+            barrier.wait(timeout=30.0)
+            log = AccessLog()
+            log.record(
+                "update",
+                [base + i for i in range(pairs)],
+                [base + 500 + i for i in range(pairs)],
+            )
+            monitor.observe_batch(table, log)
+
+        threads = [
+            threading.Thread(target=flush, args=(base,))
+            for base in (1_000, 3_000)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        window = [
+            (op.old_key, op.new_key)
+            for op in monitor.recorded_workload(0).operations
+        ]
+        assert window in expectations, (
+            "truncated window must be one record's clean interleave suffix"
+        )
+        counts = monitor.operation_counts(0)
+        assert counts == {
+            "update_source": 2 * pairs,
+            "update_target": 2 * pairs,
+        }
