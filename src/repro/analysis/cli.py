@@ -1,0 +1,322 @@
+"""``repro-lint`` entry point: discovery, caching, driving the checkers.
+
+``python -m repro.analysis [paths] [--format text|json] [--no-cache]``
+
+Two passes over the file set:
+
+1. collect the ``@requires_latch`` registry contributed by every file's
+   decorators (merged with the seed table
+   ``repro.discipline.CHUNK_METHOD_MODES``);
+2. analyze each file against the merged registry.
+
+Both passes are cached per file (keyed on path, mtime, size, analyzer
+version and a digest of the declaration tables + merged registry), so a
+warm run re-parses only changed files -- the CI job stays well under its
+30s budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import os
+import pickle
+import re
+import sys
+from pathlib import Path
+
+from repro.discipline import (
+    CHUNK_METHOD_MODES,
+    GUARDED_BY,
+    LOCK_ATTRIBUTES,
+    LOCK_ORDER,
+    SOLVER_CALL_NAMES,
+)
+
+from . import checks
+from .report import Violation, format_json, format_text
+from .walker import analyze_function, decorator_requirements, iter_functions
+
+#: Bump to invalidate every cache entry on analyzer changes.
+ANALYSIS_VERSION = 1
+
+#: Implementation modules exempt from analysis: they *are* the latch /
+#: discipline machinery the rules describe.
+EXEMPT_SUFFIXES = (
+    os.path.join("repro", "discipline.py"),
+    os.path.join("repro", "storage", "latches.py"),
+)
+EXEMPT_DIR_PARTS = (os.path.join("repro", "analysis"),)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+def _is_exempt(path: str) -> bool:
+    norm = os.path.normpath(path)
+    if norm.endswith(EXEMPT_SUFFIXES):
+        return True
+    return any(part in norm for part in EXEMPT_DIR_PARTS)
+
+
+def discover(paths: list[str]) -> list[str]:
+    """Python files under the given paths (files pass through)."""
+    found: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            found.append(str(path))
+        elif path.is_dir():
+            found.extend(
+                str(p) for p in sorted(path.rglob("*.py"))
+            )
+    return found
+
+
+# --------------------------------------------------------------------- #
+# Registry collection (pass 1)
+# --------------------------------------------------------------------- #
+
+
+def collect_registry(tree: ast.Module) -> dict[str, dict[str, str]]:
+    """``{class name: {method: latch mode}}`` from ``@requires_latch``
+    decorators in one module (module-level functions key ``""``)."""
+    contrib: dict[str, dict[str, str]] = {}
+    for class_name, func in iter_functions(tree):
+        latch, _ = decorator_requirements(func)
+        if latch is not None:
+            contrib.setdefault(class_name or "", {})[func.name] = latch
+    return contrib
+
+
+def merge_registry(
+    contribs: list[dict[str, dict[str, str]]],
+) -> tuple[dict[str, str], dict[str, dict[str, str]]]:
+    """Merge per-file contributions into (name registry, class registry).
+
+    The name registry (method name -> strongest declared mode) drives
+    LB01 on chunk-receiver calls; the class registry drives self-call
+    resolution.  The seed table ``CHUNK_METHOD_MODES`` always applies.
+    """
+    names: dict[str, str] = dict(CHUNK_METHOD_MODES)
+    classes: dict[str, dict[str, str]] = {}
+    for contrib in contribs:
+        for class_name, methods in contrib.items():
+            bucket = classes.setdefault(class_name, {})
+            for method, mode in methods.items():
+                bucket[method] = mode
+                prior = names.get(method)
+                if prior is None or (
+                    prior == "shared" and mode == "exclusive"
+                ):
+                    names[method] = mode
+    return names, classes
+
+
+# --------------------------------------------------------------------- #
+# Per-file analysis (pass 2)
+# --------------------------------------------------------------------- #
+
+
+def _suppressed(source_lines: list[str], violation: Violation) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    match = _SUPPRESS_RE.search(source_lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = {code.strip() for code in match.group(1).split(",")}
+    return "*" in codes or violation.check in codes
+
+
+def analyze_source(
+    path: str,
+    source: str,
+    tree: ast.Module,
+    registry: dict[str, str],
+    class_registry: dict[str, dict[str, str]],
+) -> list[Violation]:
+    """Run every checker family over one parsed module."""
+    violations: list[Violation] = []
+    for class_name, func in iter_functions(tree):
+        analysis = analyze_function(func, class_name)
+        violations.extend(
+            checks.check_latch_bracketing(
+                path, analysis, registry, class_registry
+            )
+        )
+        violations.extend(checks.check_lock_order(path, analysis))
+        violations.extend(checks.check_guarded_state(path, analysis))
+        violations.extend(checks.check_solver_rules(path, analysis))
+    source_lines = source.splitlines()
+    return [v for v in violations if not _suppressed(source_lines, v)]
+
+
+# --------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------- #
+
+
+def _default_cache_path() -> str:
+    return os.path.join(".repro-lint-cache", "cache.pickle")
+
+
+def _file_sig(path: str) -> tuple[int, int]:
+    stat = os.stat(path)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _tables_digest(registry: dict[str, str]) -> str:
+    blob = repr(
+        (
+            ANALYSIS_VERSION,
+            sorted(registry.items()),
+            sorted(LOCK_ORDER.items()),
+            sorted(LOCK_ATTRIBUTES.items(), key=repr),
+            sorted((k, sorted(v.items())) for k, v in GUARDED_BY.items()),
+            sorted(SOLVER_CALL_NAMES),
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Pickle-backed per-file cache of registry contributions and
+    violations (invalidated by mtime/size, analyzer version and the
+    declaration-table digest)."""
+
+    def __init__(self, path: "str | None") -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        self.dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "rb") as fh:
+                    data = pickle.load(fh)
+                if data.get("version") == ANALYSIS_VERSION:
+                    self.entries = data.get("entries", {})
+            except Exception:
+                self.entries = {}
+
+    def entry(self, path: str) -> "dict | None":
+        entry = self.entries.get(os.path.abspath(path))
+        if entry is None:
+            return None
+        try:
+            if entry["sig"] != _file_sig(path):
+                return None
+        except OSError:
+            return None
+        return entry
+
+    def store(self, path: str, **fields) -> None:
+        key = os.path.abspath(path)
+        entry = self.entries.setdefault(key, {"sig": _file_sig(path)})
+        entry["sig"] = _file_sig(path)
+        entry.update(fields)
+        self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "wb") as fh:
+            pickle.dump(
+                {"version": ANALYSIS_VERSION, "entries": self.entries}, fh
+            )
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def analyze_paths(
+    paths: list[str], *, cache_path: "str | None" = None
+) -> list[Violation]:
+    """Analyze every Python file under ``paths``; return all violations."""
+    files = [f for f in discover(paths) if not _is_exempt(f)]
+    cache = AnalysisCache(cache_path)
+
+    parsed: dict[str, tuple[str, ast.Module]] = {}
+
+    def parse(path: str) -> tuple[str, ast.Module]:
+        if path not in parsed:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            parsed[path] = (source, ast.parse(source, filename=path))
+        return parsed[path]
+
+    # Pass 1: registry contributions.
+    contribs: list[dict[str, dict[str, str]]] = []
+    for path in files:
+        entry = cache.entry(path)
+        if entry is not None and "registry" in entry:
+            contribs.append(entry["registry"])
+            continue
+        _, tree = parse(path)
+        contrib = collect_registry(tree)
+        cache.store(path, registry=contrib)
+        contribs.append(contrib)
+    registry, class_registry = merge_registry(contribs)
+    digest = _tables_digest(registry)
+
+    # Pass 2: per-file checks.
+    violations: list[Violation] = []
+    for path in files:
+        entry = cache.entry(path)
+        if (
+            entry is not None
+            and entry.get("digest") == digest
+            and "violations" in entry
+        ):
+            violations.extend(entry["violations"])
+            continue
+        source, tree = parse(path)
+        found = analyze_source(path, source, tree, registry, class_registry)
+        cache.store(path, digest=digest, violations=found)
+        violations.extend(found)
+
+    cache.save()
+    return violations
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static concurrency-discipline analyzer for the repro engine "
+            "(latch bracketing, lock order, guarded state, solver/"
+            "generation rules)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file analysis cache",
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=_default_cache_path(),
+        help="cache file location (default: .repro-lint-cache/cache.pickle)",
+    )
+    args = parser.parse_args(argv)
+
+    cache_path = None if args.no_cache else args.cache_path
+    violations = analyze_paths(args.paths or ["src"], cache_path=cache_path)
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(violations))
+    return 1 if violations else 0

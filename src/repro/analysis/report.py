@@ -1,0 +1,46 @@
+"""Violation records and report formatting for ``repro-lint``."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One static concurrency-discipline finding."""
+
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+    function: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.check)
+
+
+def format_text(violations: list[Violation]) -> str:
+    """GCC-style one-line-per-finding report."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col + 1}: {v.check} "
+        f"[{v.function or '<module>'}] {v.message}"
+        for v in sorted(violations, key=Violation.sort_key)
+    ]
+    lines.append(
+        f"repro-lint: {len(violations)} violation"
+        f"{'' if len(violations) == 1 else 's'}"
+    )
+    return "\n".join(lines)
+
+
+def format_json(violations: list[Violation]) -> str:
+    """Machine-readable report (a JSON object per finding plus a count)."""
+    payload = {
+        "violations": [
+            asdict(v) for v in sorted(violations, key=Violation.sort_key)
+        ],
+        "count": len(violations),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,557 @@
+"""Held-lock abstract interpretation over function bodies.
+
+The walker flows a *held set* -- which chunk latches (and modes) and which
+declared locks the executing thread holds -- through every statement of a
+function, handling the repo's two bracketing idioms:
+
+* ``acquire_* ; try: ... finally: release_*`` (explicit bracketing), and
+* ``with self._lock:`` / ``with self._latches.shared(i):`` scopes.
+
+Branches merge by intersection (a lock is held after an ``if`` only when
+both arms hold it); paths that terminate (``return``/``raise``/...) drop
+out of the merge.  Loop bodies are flowed once with the loop-entry state --
+sound for the repo's balanced acquire/release-per-iteration loops.
+
+Entry preconditions come from the discipline decorators: a method under
+``@requires_latch("exclusive")`` starts with an exclusive chunk latch in
+its held set, ``@requires_lock("monitor")`` with the monitor lock -- the
+decorator is the contract, so self-calls between annotated methods
+check out without interprocedural analysis.
+
+The result (:class:`FunctionAnalysis`) annotates every AST node with the
+held set in force before it, plus the acquire events, return-site
+holdings and chunk-alias variables the checkers consume.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.discipline import LOCK_ATTRIBUTES, lock_rank, mode_level
+
+#: Chunk-latch acquire/release method names (explicit bracketing idiom).
+_ACQUIRES = {
+    "acquire_read": ("shared", False),
+    "acquire_write": ("exclusive", False),
+    "acquire_write_many": ("exclusive", True),
+}
+_RELEASES = {
+    "release_read": ("shared", False),
+    "release_write": ("exclusive", False),
+    "release_write_many": ("exclusive", True),
+}
+_SCOPES = {"shared": "shared", "exclusive": "exclusive"}
+
+#: Sentinel index for the sanctioned ascending multi-acquire.
+MANY = "<many>"
+#: Sentinel index for a latch held as a decorator precondition.
+PREMISE = "<premise>"
+
+
+@dataclass(frozen=True)
+class ChunkHold:
+    """One held chunk latch: mode plus the source text of its index."""
+
+    mode: str
+    index: str
+
+    @property
+    def level(self) -> int:
+        return mode_level(self.mode)
+
+
+@dataclass(frozen=True)
+class Held:
+    """An immutable held set: chunk latches plus named locks."""
+
+    chunks: frozenset[ChunkHold] = frozenset()
+    locks: frozenset[str] = frozenset()
+
+    def with_chunk(self, hold: ChunkHold) -> "Held":
+        return Held(self.chunks | {hold}, self.locks)
+
+    def without_chunk(self, mode: str, index: str) -> "Held":
+        for hold in self.chunks:
+            if hold.index == index and hold.mode == mode:
+                return Held(self.chunks - {hold}, self.locks)
+        # Fall back to releasing by mode only (index spelled differently).
+        for hold in self.chunks:
+            if hold.mode == mode and hold.index != PREMISE:
+                return Held(self.chunks - {hold}, self.locks)
+        return self
+
+    def with_lock(self, name: str) -> "Held":
+        return Held(self.chunks, self.locks | {name})
+
+    def without_lock(self, name: str) -> "Held":
+        return Held(self.chunks, self.locks - {name})
+
+    def has_chunk(self, mode: str) -> bool:
+        needed = mode_level(mode)
+        return any(hold.level >= needed for hold in self.chunks)
+
+    def non_premise_chunks(self) -> list[ChunkHold]:
+        return [h for h in self.chunks if h.index != PREMISE]
+
+    def empty(self) -> bool:
+        return not self.chunks and not self.locks
+
+    def intersect(self, other: "Held") -> "Held":
+        return Held(self.chunks & other.chunks, self.locks & other.locks)
+
+
+#: Flow result for a statement list every path of which terminates.
+TERMINATED = None
+
+
+@dataclass
+class AcquireEvent:
+    """One latch/lock acquisition site with the held set just before it."""
+
+    node: ast.AST
+    held_before: Held
+    kind: str  # "chunk" or "lock"
+    mode: str = ""  # chunk mode, for kind == "chunk"
+    index: str = ""  # chunk index source text
+    lock_name: str = ""  # for kind == "lock"
+    many: bool = False  # the sanctioned ascending multi-acquire
+    scoped: bool = False  # with-statement scope (self-releasing)
+
+    @property
+    def rank(self) -> int:
+        if self.kind == "chunk":
+            return 0
+        return lock_rank(self.lock_name)
+
+
+@dataclass
+class FunctionAnalysis:
+    """Per-function walker output consumed by the checkers."""
+
+    func: ast.AST
+    class_name: str | None
+    held_at: dict[int, Held] = field(default_factory=dict)
+    acquires: list[AcquireEvent] = field(default_factory=list)
+    #: (return/fall-off node, leaked chunk holds) after subtracting
+    #: pending ``finally`` releases -- LB03 material.
+    leaks: list[tuple[ast.AST, list[ChunkHold]]] = field(default_factory=list)
+    chunk_aliases: set[str] = field(default_factory=set)
+    premise: Held = field(default_factory=Held)
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``self._latches.acquire_read`` -> ``["self", "_latches",
+    "acquire_read"]`` (empty when the expression is not a name chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def is_latches_expr(node: ast.AST) -> bool:
+    """Whether an expression names a latch set (``self._latches``,
+    ``table.latches``, a bare ``latches`` variable...)."""
+    chain = _attr_chain(node)
+    return bool(chain) and "latches" in chain[-1]
+
+
+def is_chunks_subscript(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<...>._chunks[...]`` subscript."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    value = node.value
+    return (
+        isinstance(value, ast.Attribute) and value.attr == "_chunks"
+    ) or (isinstance(value, ast.Name) and value.id == "_chunks")
+
+
+def _decorator_call(dec: ast.AST) -> tuple[str, str] | None:
+    """``(decorator name, first string argument)`` for discipline
+    decorators, else ``None``."""
+    if not (isinstance(dec, ast.Call) and dec.args):
+        return None
+    name = None
+    if isinstance(dec.func, ast.Name):
+        name = dec.func.id
+    elif isinstance(dec.func, ast.Attribute):
+        name = dec.func.attr
+    arg = dec.args[0]
+    if name in ("requires_latch", "requires_lock") and isinstance(
+        arg, ast.Constant
+    ) and isinstance(arg.value, str):
+        return name, arg.value
+    return None
+
+
+def decorator_requirements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[str | None, str | None]:
+    """(latch mode, lock name) declared on a function, if any."""
+    latch = lock = None
+    for dec in func.decorator_list:
+        found = _decorator_call(dec)
+        if found is None:
+            continue
+        kind, value = found
+        if kind == "requires_latch":
+            latch = value
+        else:
+            lock = value
+    return latch, lock
+
+
+class FunctionWalker:
+    """Flows the held set through one function body."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        self.analysis = FunctionAnalysis(func=func, class_name=class_name)
+        latch, lock = decorator_requirements(func)
+        premise = Held()
+        if latch is not None:
+            premise = premise.with_chunk(ChunkHold(latch, PREMISE))
+        if lock is not None:
+            premise = premise.with_lock(lock)
+        self.analysis.premise = premise
+        # Stack of ChunkHold lists releasable by an enclosing ``finally``.
+        self._pending_finally: list[list[ChunkHold]] = []
+
+    # ------------------------------------------------------------------ #
+    # Entry
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> FunctionAnalysis:
+        out = self._flow(self.analysis.func.body, self.analysis.premise)
+        if out is not TERMINATED:
+            leaked = out.non_premise_chunks()
+            if leaked:
+                self.analysis.leaks.append((self.analysis.func, leaked))
+        return self.analysis
+
+    # ------------------------------------------------------------------ #
+    # Expression effects
+    # ------------------------------------------------------------------ #
+
+    def _index_text(self, call: ast.Call) -> str:
+        if call.args:
+            return ast.unparse(call.args[0])
+        return "?"
+
+    def _lock_name_for(self, node: ast.AST) -> str | None:
+        """Resolve ``self._state_lock``-style expressions to an order
+        name via ``LOCK_ATTRIBUTES`` (class-qualified first)."""
+        attr = None
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        elif isinstance(node, ast.Name):
+            attr = node.id
+        if attr is None:
+            return None
+        cls = self.analysis.class_name
+        if (cls, attr) in LOCK_ATTRIBUTES:
+            return LOCK_ATTRIBUTES[(cls, attr)]
+        if (None, attr) in LOCK_ATTRIBUTES:
+            return LOCK_ATTRIBUTES[(None, attr)]
+        if attr.endswith("_lock") or attr.endswith("_mutex"):
+            return f"?{attr}"  # unknown lock: ranks after every declared one
+        return None
+
+    def _apply_call(self, call: ast.Call, held: Held) -> Held:
+        """Apply one call's acquire/release effect to the held set."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return held
+        name = func.attr
+        if name in _ACQUIRES and is_latches_expr(func.value):
+            mode, many = _ACQUIRES[name]
+            index = MANY if many else self._index_text(call)
+            self.analysis.acquires.append(
+                AcquireEvent(
+                    node=call,
+                    held_before=held,
+                    kind="chunk",
+                    mode=mode,
+                    index=index,
+                    many=many,
+                )
+            )
+            return held.with_chunk(ChunkHold(mode, index))
+        if name in _RELEASES and is_latches_expr(func.value):
+            mode, many = _RELEASES[name]
+            index = MANY if many else self._index_text(call)
+            return held.without_chunk(mode, index)
+        if name == "acquire":
+            lock_name = self._lock_name_for(func.value)
+            if lock_name is not None:
+                self.analysis.acquires.append(
+                    AcquireEvent(
+                        node=call,
+                        held_before=held,
+                        kind="lock",
+                        lock_name=lock_name,
+                    )
+                )
+                return held.with_lock(lock_name)
+        if name == "release":
+            lock_name = self._lock_name_for(func.value)
+            if lock_name is not None:
+                return held.without_lock(lock_name)
+        return held
+
+    def _apply_effects(self, stmt: ast.stmt, held: Held) -> Held:
+        """Apply every acquire/release call inside a simple statement."""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                held = self._apply_call(node, held)
+        return held
+
+    def _note_aliases(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and is_chunks_subscript(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.analysis.chunk_aliases.add(target.id)
+
+    # ------------------------------------------------------------------ #
+    # Annotation helpers
+    # ------------------------------------------------------------------ #
+
+    def _annotate_tree(self, node: ast.AST, held: Held) -> None:
+        for sub in ast.walk(node):
+            self.analysis.held_at.setdefault(id(sub), held)
+
+    def _annotate_exprs(self, nodes, held: Held) -> None:
+        for node in nodes:
+            if node is not None:
+                self._annotate_tree(node, held)
+
+    # ------------------------------------------------------------------ #
+    # Statement flow
+    # ------------------------------------------------------------------ #
+
+    def _flow(self, stmts, held: Held):
+        for stmt in stmts:
+            held = self._flow_stmt(stmt, held)
+            if held is TERMINATED:
+                return TERMINATED
+        return held
+
+    def _finally_releases(self, finalbody) -> list[ChunkHold]:
+        """Chunk holds an enclosing ``finally`` block will release."""
+        releases: list[ChunkHold] = []
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RELEASES
+                    and is_latches_expr(node.func.value)
+                ):
+                    mode, many = _RELEASES[node.func.attr]
+                    index = MANY if many else self._index_text(node)
+                    releases.append(ChunkHold(mode, index))
+        return releases
+
+    def _check_leak(self, node: ast.AST, held: Held) -> None:
+        """LB03 material: chunk holds leaking out of a return/fall-off
+        after crediting every pending ``finally`` release."""
+        leaked = held.non_premise_chunks()
+        for pending in self._pending_finally:
+            for hold in pending:
+                matched = next(
+                    (
+                        leak
+                        for leak in leaked
+                        if leak.mode == hold.mode
+                        and (leak.index == hold.index or hold.index == MANY
+                             or leak.index == MANY)
+                    ),
+                    None,
+                )
+                if matched is None:
+                    matched = next(
+                        (leak for leak in leaked if leak.mode == hold.mode),
+                        None,
+                    )
+                if matched is not None:
+                    leaked.remove(matched)
+        if leaked:
+            self.analysis.leaks.append((node, leaked))
+
+    def _flow_stmt(self, stmt: ast.stmt, held: Held):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analyzed separately with its own premise.
+            self._annotate_exprs(stmt.decorator_list, held)
+            return held
+        if isinstance(stmt, ast.ClassDef):
+            self._annotate_tree(stmt, held)
+            return held
+        if isinstance(stmt, ast.With):
+            return self._flow_with(stmt, held)
+        if isinstance(stmt, ast.Try):
+            return self._flow_try(stmt, held)
+        if isinstance(stmt, ast.If):
+            self._annotate_tree(stmt.test, held)
+            after_test = self._apply_effects_expr(stmt.test, held)
+            then_out = self._flow(stmt.body, after_test)
+            else_out = self._flow(stmt.orelse, after_test)
+            if then_out is TERMINATED and else_out is TERMINATED:
+                return TERMINATED
+            if then_out is TERMINATED:
+                return else_out
+            if else_out is TERMINATED:
+                return then_out
+            return then_out.intersect(else_out)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.While):
+                self._annotate_tree(stmt.test, held)
+            else:
+                self._annotate_tree(stmt.iter, held)
+                self._annotate_tree(stmt.target, held)
+            self._flow(stmt.body, held)
+            self._flow(stmt.orelse, held)
+            # Balanced-per-iteration assumption: the loop neither leaks
+            # nor consumes holds across iterations (the per-iteration
+            # body flow above still checks its own bracketing).
+            return held
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._annotate_tree(stmt, held)
+            if isinstance(stmt, ast.Return):
+                self._check_leak(stmt, held)
+            return TERMINATED
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self._annotate_tree(stmt, held)
+            return TERMINATED
+        # Simple statement: annotate with the entry state, then apply
+        # acquire/release effects for what follows.
+        self._annotate_tree(stmt, held)
+        self._note_aliases(stmt)
+        return self._apply_effects(stmt, held)
+
+    def _apply_effects_expr(self, expr: ast.AST, held: Held) -> Held:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                held = self._apply_call(node, held)
+        return held
+
+    def _flow_with(self, stmt: ast.With, held: Held):
+        entered = held
+        scoped: list[tuple[str, object]] = []
+        for item in stmt.items:
+            self._annotate_tree(item.context_expr, entered)
+            ctx = item.context_expr
+            handled = False
+            if isinstance(ctx, ast.Call) and isinstance(
+                ctx.func, ast.Attribute
+            ):
+                scope_mode = _SCOPES.get(ctx.func.attr)
+                if scope_mode is not None and is_latches_expr(ctx.func.value):
+                    index = self._index_text(ctx)
+                    self.analysis.acquires.append(
+                        AcquireEvent(
+                            node=ctx,
+                            held_before=entered,
+                            kind="chunk",
+                            mode=scope_mode,
+                            index=index,
+                            scoped=True,
+                        )
+                    )
+                    entered = entered.with_chunk(ChunkHold(scope_mode, index))
+                    scoped.append(("chunk", (scope_mode, index)))
+                    handled = True
+            if not handled:
+                lock_name = self._lock_name_for(ctx)
+                if lock_name is not None:
+                    self.analysis.acquires.append(
+                        AcquireEvent(
+                            node=ctx,
+                            held_before=entered,
+                            kind="lock",
+                            lock_name=lock_name,
+                            scoped=True,
+                        )
+                    )
+                    entered = entered.with_lock(lock_name)
+                    scoped.append(("lock", lock_name))
+        # A with-scope self-releases on every exit path, exactly like a
+        # pending ``finally`` -- credit it against return-site leaks.
+        scope_releases = [
+            ChunkHold(info[0], info[1])
+            for kind, info in scoped
+            if kind == "chunk"
+        ]
+        if scope_releases:
+            self._pending_finally.append(scope_releases)
+        try:
+            out = self._flow(stmt.body, entered)
+        finally:
+            if scope_releases:
+                self._pending_finally.pop()
+        if out is TERMINATED:
+            return TERMINATED
+        for kind, info in scoped:
+            if kind == "chunk":
+                mode, index = info
+                out = out.without_chunk(mode, index)
+            else:
+                out = out.without_lock(info)
+        return out
+
+    def _flow_try(self, stmt: ast.Try, held: Held):
+        releases = self._finally_releases(stmt.finalbody)
+        if releases:
+            self._pending_finally.append(releases)
+        try:
+            body_out = self._flow(stmt.body, held)
+            for handler in stmt.handlers:
+                # Handlers run with (approximately) the try-entry state.
+                self._flow(handler.body, held)
+            self._flow(stmt.orelse, body_out if body_out else held)
+        finally:
+            if releases:
+                self._pending_finally.pop()
+        base = body_out if body_out is not TERMINATED else held
+        if stmt.finalbody:
+            final_out = self._flow(stmt.finalbody, base)
+            if final_out is TERMINATED:
+                return TERMINATED
+            if body_out is TERMINATED:
+                return TERMINATED
+            return final_out
+        return body_out
+
+
+def iter_functions(tree: ast.Module):
+    """Yield ``(class name or None, function node)`` for every function.
+
+    Methods of nested classes report the innermost class; nested
+    functions are yielded with their enclosing class (their held premise
+    is still their own decorator set).
+    """
+
+    def visit(node, class_name):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield class_name, child
+                yield from visit(child, class_name)
+            else:
+                yield from visit(child, class_name)
+
+    yield from visit(tree, None)
+
+
+def analyze_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, class_name: str | None
+) -> FunctionAnalysis:
+    """Run the held-set walker over one function."""
+    return FunctionWalker(func, class_name).run()

@@ -44,9 +44,11 @@ exactly why the lifecycle did (or did not) act.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+from repro import discipline
+from repro.discipline import guarded_class
 
 from ..core.monitor import WorkloadMonitor, mix_distance
 from ..storage.cost_accounting import blocks_spanned
@@ -100,6 +102,7 @@ class ReorgAction:
     rebuild_cost_ns: float | None = None
 
 
+@guarded_class
 @dataclass
 class ReorgPolicy:
     """When (and whether) a session replans drifted chunks.
@@ -155,7 +158,7 @@ class ReorgPolicy:
         # deliberately runs outside this lock: pricing a candidate can take
         # milliseconds, and the generation-checked publish already makes a
         # stale plan harmless.
-        self._state_lock = threading.RLock()
+        self._state_lock = discipline.make_rlock("policy_state")
 
     @property
     def replans(self) -> int:

@@ -19,18 +19,37 @@ concurrent write fails the publish and the chunk is *requeued* (a fresh
 decision will price the new data) rather than applied stale.
 
 Concurrency model: there is deliberately **no** global lock between
-session execution and background reorganization.  Reads and writes are
-isolated by the table's chunk-granular latches; the replan's expensive
-phases (solving the layout, building the replacement chunk) run entirely
-off those latches against a pinned snapshot, so concurrent readers only
-ever pause for the O(1) publish swap of one chunk -- and only writers
-targeting the chunk being swapped serialize with it.  The decision phase's
-monitor reads go through the monitor's own ingest lock; the cost gate's
-baseline bookkeeping is guarded inside :class:`ReorgPolicy`.  A decision
-that still catches transient state (e.g. a chunk emptied between scan and
-decide) can raise; the worker shields each chunk's processing so an
-exception is counted (:attr:`Reorganizer.errors`), retried a bounded
-number of times, and never kills the thread.
+session execution and background reorganization.  The rules below are
+machine-checked -- statically by ``python -m repro.analysis`` and at
+runtime under ``REPRO_DEBUG_LATCHES=1`` (check IDs refer to
+:mod:`repro.analysis`; the declaration tables live in
+:mod:`repro.discipline`):
+
+* Reads and writes are isolated by the table's chunk-granular latches;
+  every chunk access is latch-bracketed (checks LB01/LB02/LB03) and
+  multi-chunk latching is ascending-index only (LO02).
+* The replan's expensive phases -- solving the layout, building the
+  replacement chunk -- run entirely *off* the latches against a pinned
+  snapshot (SL01: a solver call under any latch or declared lock is an
+  error), so concurrent readers only ever pause for the O(1) publish swap
+  of one chunk, and only writers targeting the chunk being swapped
+  serialize with it.  Every publish is generation-checked (GC01: a
+  ``publish_chunk`` call site must test the result or be dominated by a
+  generation comparison).
+* Cross-object lock nesting follows the declared partial order
+  ``repro.discipline.LOCK_ORDER`` -- chunk latch before structure locks
+  before monitor before reorganizer state (LO01, runtime cycle detection
+  LO03).  The decision phase's monitor reads go through the monitor's own
+  ingest lock; the cost gate's baseline bookkeeping is guarded inside
+  :class:`ReorgPolicy`.
+* The reorganizer's own shared scalars are declared in
+  ``repro.discipline.GUARDED_BY`` (GS01/GS02): the queue and worker wake
+  state under ``_wake``, counters and lifecycle under ``_state``.
+
+A decision that still catches transient state (e.g. a chunk emptied
+between scan and decide) can raise; the worker shields each chunk's
+processing so an exception is counted (:attr:`Reorganizer.errors`),
+retried a bounded number of times, and never kills the thread.
 
 One reorganizer may serve many concurrent sessions of its database: the
 work queue, failure counters and decision watermark are mutex-guarded,
@@ -45,6 +64,9 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING
 
+from repro import discipline
+from repro.discipline import guarded_class
+
 from .reorg import ReorgAction, ReorgDecision, ReorgPolicy
 
 if TYPE_CHECKING:
@@ -56,6 +78,7 @@ if TYPE_CHECKING:
 _MAX_CHUNK_FAILURES = 3
 
 
+@guarded_class
 class Reorganizer:
     """Budgeted, optionally background, application of reorg decisions.
 
@@ -112,8 +135,8 @@ class Reorganizer:
         # decision watermark, worker lifecycle).  Database mutation needs no
         # reorganizer-level lock: the table's chunk latches isolate the
         # copy-on-write publish from session execution.
-        self._wake = threading.Condition(threading.Lock())
-        self._state = threading.Lock()
+        self._wake = discipline.make_condition("reorg_wake")
+        self._state = discipline.make_lock("reorg_state")
         self._thread: threading.Thread | None = None
         self._stop = False
         self._busy = False
@@ -145,19 +168,27 @@ class Reorganizer:
     # ------------------------------------------------------------------ #
 
     def attach(self, database: "Database") -> None:
-        """Bind to ``database`` and start the worker in background mode."""
+        """Bind to ``database`` and start the worker in background mode.
+
+        ``_database`` and the worker lifecycle are written under their
+        declared guards (GS01: ``_database``/``_thread`` under ``_state``,
+        ``_stop`` under ``_wake``) -- an unlocked ``_database`` publish
+        could race a concurrent ``_stop_worker``/re-attach, and a
+        ``_stop`` write outside ``_wake`` could be reordered against the
+        worker's condition-variable check.
+        """
         self.policy.bind(database)
-        self._database = database
-        if self.background:
-            with self._state:
-                if self._thread is None:
+        with self._state:
+            self._database = database
+            if self.background and self._thread is None:
+                with self._wake:
                     self._stop = False
-                    self._thread = threading.Thread(
-                        target=self._worker,
-                        name="repro-reorganizer",
-                        daemon=True,
-                    )
-                    self._thread.start()
+                self._thread = threading.Thread(
+                    target=self._worker,
+                    name="repro-reorganizer",
+                    daemon=True,
+                )
+                self._thread.start()
 
     def register_session(self, database: "Database") -> None:
         """Count a session against the worker's lifetime.

@@ -34,8 +34,10 @@ class CompressionConfig:
     seed: int = 21
 
 
-def run(config: CompressionConfig = CompressionConfig()) -> dict[str, object]:
+def run(config: CompressionConfig | None = None) -> dict[str, object]:
     """Measure compression ratios on micro-benchmark and TPC-H-like data."""
+    if config is None:
+        config = CompressionConfig()
     rng = np.random.default_rng(config.seed)
     micro = np.sort(rng.integers(0, config.distinct_values, config.num_values)) * 7
     _tpch_keys, payload = generate_lineitem(TPCHConfig(num_rows=config.num_values))

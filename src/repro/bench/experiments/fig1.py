@@ -42,8 +42,10 @@ LAYOUTS = (
 )
 
 
-def run(config: Figure1Config = Figure1Config()) -> dict[str, WorkloadRunResult]:
+def run(config: Figure1Config | None = None) -> dict[str, WorkloadRunResult]:
     """Run the Figure 1 comparison and return per-layout results."""
+    if config is None:
+        config = Figure1Config()
     tpch = TPCHConfig(
         num_rows=config.num_rows,
         chunk_size=config.num_rows,

@@ -38,8 +38,10 @@ class Figure11Config:
     exponent: float = 3.0
 
 
-def run(config: Figure11Config = Figure11Config()) -> dict[str, object]:
+def run(config: Figure11Config | None = None) -> dict[str, object]:
     """Produce the decision-latency matrix (milliseconds)."""
+    if config is None:
+        config = Figure11Config()
     model = ScalabilityModel.calibrate(
         calibration_blocks=config.calibration_blocks, exponent=config.exponent
     )

@@ -38,8 +38,10 @@ class Figure12Config:
     ghost_fraction: float = 0.01
 
 
-def run(config: Figure12Config = Figure12Config()) -> dict[str, dict]:
+def run(config: Figure12Config | None = None) -> dict[str, dict]:
     """Return per-profile normalized throughput and raw results."""
+    if config is None:
+        config = Figure12Config()
     hap = HAPConfig(
         num_rows=config.num_rows,
         chunk_size=config.num_rows,

@@ -47,8 +47,10 @@ class Figure13Config:
     ghost_fraction: float = 0.01
 
 
-def run(config: Figure13Config = Figure13Config()) -> dict[str, dict]:
+def run(config: Figure13Config | None = None) -> dict[str, dict]:
     """Run the three panels and return per-layout results."""
+    if config is None:
+        config = Figure13Config()
     hap = HAPConfig(
         num_rows=config.num_rows,
         chunk_size=config.num_rows,

@@ -33,8 +33,10 @@ class Figure14Config:
     ghost_fractions: tuple[float, ...] = (0.0001, 0.001, 0.01, 0.1)
 
 
-def run(config: Figure14Config = Figure14Config()) -> dict[str, list[tuple]]:
+def run(config: Figure14Config | None = None) -> dict[str, list[tuple]]:
     """Insert latency per workload and ghost fraction."""
+    if config is None:
+        config = Figure14Config()
     hap = HAPConfig(
         num_rows=config.num_rows,
         chunk_size=config.num_rows,

@@ -40,8 +40,10 @@ class Figure15Config:
     )
 
 
-def run(config: Figure15Config = Figure15Config()) -> list[tuple]:
+def run(config: Figure15Config | None = None) -> list[tuple]:
     """Rows of (SLA, Q1 latency, Q4 latency, Q4 p99.9, Q6 latency, throughput)."""
+    if config is None:
+        config = Figure15Config()
     hap = HAPConfig(
         num_rows=config.num_rows,
         chunk_size=config.num_rows,

@@ -61,8 +61,10 @@ def training_model(config: Figure16Config) -> FrequencyModel:
     return model
 
 
-def run(config: Figure16Config = Figure16Config()) -> dict[str, object]:
+def run(config: Figure16Config | None = None) -> dict[str, object]:
     """Normalized latency for every (mass shift, rotational shift) pair."""
+    if config is None:
+        config = Figure16Config()
     constants = constants_for_block_values(config.block_values)
     base_model = training_model(config)
     trained = solve_dp(CostModel(base_model, constants))

@@ -102,8 +102,10 @@ def ghost_value_sweep(config: Figure2Config) -> list[tuple[float, float, float, 
     return rows
 
 
-def run(config: Figure2Config = Figure2Config()) -> dict[str, list[tuple]]:
+def run(config: Figure2Config | None = None) -> dict[str, list[tuple]]:
     """Run both sweeps."""
+    if config is None:
+        config = Figure2Config()
     return {
         "structure": structure_sweep(config),
         "ghost_values": ghost_value_sweep(config),

@@ -124,8 +124,10 @@ def point_query_verification(
     return rows
 
 
-def run(config: Figure9Config = Figure9Config()) -> dict[str, list[tuple]]:
+def run(config: Figure9Config | None = None) -> dict[str, list[tuple]]:
     """Run both verification panels."""
+    if config is None:
+        config = Figure9Config()
     return {
         "inserts": insert_verification(config),
         "point_queries": point_query_verification(config),

@@ -100,13 +100,13 @@ def run_workload(
     executed = 0
     batch_sizes: list[int] = []
     if batch_size is not None:
-        if batch_size == "auto":
-            policy = AdaptivePolicy()
-        elif isinstance(batch_size, str):
+        if isinstance(batch_size, str) and batch_size != "auto":
             raise ValueError(
                 f"batch_size must be a positive int, 'auto' or None, "
                 f"got {batch_size!r}"
             )
+        if batch_size == "auto":
+            policy = AdaptivePolicy()
         else:
             policy = VectorizedPolicy(batch_size=int(batch_size))
         for _, outcome in policy.batches(engine, list(workload)):

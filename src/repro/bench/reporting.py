@@ -40,7 +40,7 @@ def format_table(
 
 def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
     """Render an (x, y) series as two aligned columns under a heading."""
-    rows = list(zip(xs, ys))
+    rows = list(zip(xs, ys, strict=True))
     return f"# {name}\n" + format_table(("x", "y"), rows)
 
 

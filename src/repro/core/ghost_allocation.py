@@ -53,7 +53,7 @@ def data_movement_per_partition(
     ends = np.nonzero(vector)[0] + 1
     starts = np.concatenate(([0], ends[:-1]))
     return np.asarray(
-        [per_block[start:end].sum() for start, end in zip(starts, ends)]
+        [per_block[start:end].sum() for start, end in zip(starts, ends, strict=True)]
     )
 
 

@@ -30,11 +30,13 @@ chunks' mixes.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
+
+from repro import discipline
+from repro.discipline import guarded_class, requires_lock
 
 from ..storage.access_log import (
     ATTRIBUTION_KINDS,
@@ -199,6 +201,7 @@ class RecentSample:
             self._codes[indices].tolist(),
             self._lows[indices].tolist(),
             self._highs[indices].tolist(),
+            strict=True,
         ):
             operation = synthesize_operation(ATTRIBUTION_KINDS[code], low, high)
             if operation is not None:
@@ -243,6 +246,7 @@ class ChunkActivity:
         return {kind: count / total for kind, count in self.counts.items()}
 
 
+@guarded_class
 class WorkloadMonitor:
     """Records per-chunk operation mixes and drives online re-planning.
 
@@ -271,12 +275,13 @@ class WorkloadMonitor:
         # flushes truncate the same window concurrently.  Introspection
         # snapshots (counts, mixes, recorded windows) take the same lock so
         # a reorganization decision never reads a half-ingested record.
-        self._lock = threading.RLock()
+        self._lock = discipline.make_rlock("monitor")
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
 
+    @requires_lock("monitor")
     def _activity_for(self, chunk_index: int) -> ChunkActivity:
         activity = self._activity.get(chunk_index)
         if activity is None:
@@ -321,13 +326,14 @@ class WorkloadMonitor:
             if counts is None:
                 return
             kind_ids, chunk_ids = np.nonzero(counts)
-            for kind_id, chunk_id in zip(kind_ids.tolist(), chunk_ids.tolist()):
+            for kind_id, chunk_id in zip(kind_ids.tolist(), chunk_ids.tolist(), strict=True):
                 activity = self._activity_for(chunk_id)
                 kind = ATTRIBUTION_KINDS[kind_id]
                 activity.counts[kind] = activity.counts.get(kind, 0) + int(
                     counts[kind_id, chunk_id]
                 )
 
+    @requires_lock("monitor")
     def _attribute_scalar(
         self,
         table,
@@ -351,6 +357,7 @@ class WorkloadMonitor:
             if self.sample_limit:
                 activity.sample.append(code, low, high)
 
+    @requires_lock("monitor")
     def _ingest_scalar(self, table, record: AccessRecord) -> None:
         """Single-operation attribution without the vectorized machinery."""
         if record.lows.shape[0] == 0:
@@ -370,6 +377,7 @@ class WorkloadMonitor:
                 table, record.kind, low, low, first_only=record.write_target
             )
 
+    @requires_lock("monitor")
     def _ingest_update(
         self, table, record: AccessRecord, counts: np.ndarray
     ) -> None:
@@ -411,12 +419,16 @@ class WorkloadMonitor:
             sorted_chunks, return_index=True, return_counts=True
         )
         for chunk_id, start, count in zip(
-            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
+            unique_chunks.tolist(),
+            group_starts.tolist(),
+            group_counts.tolist(),
+            strict=True,
         ):
             idx = sel[start : start + count]
             activity = self._activity_for(int(chunk_id))
             activity.sample.extend(codes[idx], values[idx], values[idx])
 
+    @requires_lock("monitor")
     def _ingest(self, table, record: AccessRecord, counts: np.ndarray) -> None:
         """Attribute one record: count-matrix update plus sample appends."""
         lows = record.lows
@@ -453,7 +465,10 @@ class WorkloadMonitor:
             sorted_chunks, return_index=True, return_counts=True
         )
         for chunk_id, start, count in zip(
-            unique_chunks.tolist(), group_starts.tolist(), group_counts.tolist()
+            unique_chunks.tolist(),
+            group_starts.tolist(),
+            group_counts.tolist(),
+            strict=True,
         ):
             positions = sorted_positions[start : start + count]
             activity = self._activity_for(int(chunk_id))

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.discipline import requires_latch
+
 from .cost_accounting import (
     DEFAULT_BLOCK_VALUES,
     AccessCounter,
@@ -325,7 +327,7 @@ class PartitionedColumn:
         """Materialize all live values (unsorted across the chunk)."""
         pieces = [
             self._data[s : s + c]
-            for s, c in zip(self._starts, self._counts)
+            for s, c in zip(self._starts, self._counts, strict=True)
             if c > 0
         ]
         if not pieces:
@@ -338,7 +340,7 @@ class PartitionedColumn:
             raise LayoutError("row-id tracking is disabled for this column")
         pieces = [
             self._rowids[s : s + c]
-            for s, c in zip(self._starts, self._counts)
+            for s, c in zip(self._starts, self._counts, strict=True)
             if c > 0
         ]
         if not pieces:
@@ -402,6 +404,7 @@ class PartitionedColumn:
         self.counter.index_probe()
         return self._index.locate(int(value))
 
+    @requires_latch("shared")
     def point_query(self, value: int, *, return_rowids: bool = False) -> np.ndarray:
         """Return positions (or row ids) of live entries equal to ``value``.
 
@@ -431,6 +434,7 @@ class PartitionedColumn:
             return self._rowids[positions]
         return positions
 
+    @requires_latch("shared")
     def multi_point_query(
         self, values: np.ndarray | list[int], *, return_rowids: bool = False
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -469,7 +473,10 @@ class PartitionedColumn:
         random_reads = 0
         seq_reads = 0
         for partition, group_lo, group_size in zip(
-            unique_parts.tolist(), group_starts.tolist(), group_counts.tolist()
+            unique_parts.tolist(),
+            group_starts.tolist(),
+            group_counts.tolist(),
+            strict=True,
         ):
             sel = order[group_lo : group_lo + group_size]
             blocks = self._partition_blocks(partition)
@@ -484,7 +491,7 @@ class PartitionedColumn:
                 # Small probe group on an unindexed partition: per-value
                 # linear scans beat building a sorted view.
                 segment = self._data[start : start + count]
-                for owner, value in zip(sel.tolist(), wanted.tolist()):
+                for owner, value in zip(sel.tolist(), wanted.tolist(), strict=True):
                     local = np.nonzero(segment == value)[0]
                     if local.size:
                         counts_out[owner] = local.size
@@ -525,6 +532,7 @@ class PartitionedColumn:
         hits = np.concatenate(hit_pieces)
         return hits[np.argsort(owners, kind="stable")], counts_out
 
+    @requires_latch("shared")
     def multi_range_count(
         self, lows: np.ndarray | list[int], highs: np.ndarray | list[int]
     ) -> np.ndarray:
@@ -597,6 +605,7 @@ class PartitionedColumn:
             )
         return totals
 
+    @requires_latch("shared")
     def range_query(
         self,
         low: int,
@@ -661,11 +670,13 @@ class PartitionedColumn:
                 values = self._data[positions]
         return RangeResult(count=total, positions=positions, values=values)
 
+    @requires_latch("shared")
     def range_rowids(self, low: int, high: int) -> np.ndarray:
         """Row ids of live entries whose value lies in ``[low, high]``."""
         result = self.range_query(low, high, materialize=True, return_rowids=True)
         return result.values if result.values is not None else np.empty(0, dtype=np.int64)
 
+    @requires_latch("shared")
     def full_scan(self) -> np.ndarray:
         """Scan the entire chunk sequentially and return live values."""
         total_blocks = blocks_spanned(0, self.physical_size, self.block_values)
@@ -677,6 +688,7 @@ class PartitionedColumn:
     # Write operations
     # ------------------------------------------------------------------ #
 
+    @requires_latch("exclusive")
     def insert(self, value: int, rowid: int | None = None) -> int:
         """Insert ``value`` and return its row id.
 
@@ -731,6 +743,7 @@ class PartitionedColumn:
             raise ValueNotFoundError(f"value {value} not found")
         return partition, positions
 
+    @requires_latch("exclusive")
     def delete(self, value: int, *, limit: int = 1) -> int:
         """Delete up to ``limit`` occurrences of ``value``.
 
@@ -750,6 +763,7 @@ class PartitionedColumn:
                 self._ripple_hole_forward(partition)
         return deleted
 
+    @requires_latch("exclusive")
     def remove_one(self, value: int) -> int | None:
         """Delete one occurrence of ``value`` and return its row id.
 
@@ -767,6 +781,7 @@ class PartitionedColumn:
             self._ripple_hole_forward(partition)
         return rowid
 
+    @requires_latch("exclusive")
     def update(self, old_value: int, new_value: int) -> None:
         """Update one occurrence of ``old_value`` to ``new_value``.
 
@@ -812,6 +827,7 @@ class PartitionedColumn:
     # Bulk write operations
     # ------------------------------------------------------------------ #
 
+    @requires_latch("exclusive")
     def bulk_insert(
         self, values: np.ndarray | list[int], rowids: np.ndarray | None = None
     ) -> np.ndarray:
@@ -947,7 +963,10 @@ class PartitionedColumn:
             targets, return_index=True, return_counts=True
         )
         for partition, lo, arrivals in zip(
-            unique_targets.tolist(), group_starts.tolist(), group_counts.tolist()
+            unique_targets.tolist(),
+            group_starts.tolist(),
+            group_counts.tolist(),
+            strict=True,
         ):
             tail = int(self._starts[partition]) + int(self._counts[partition])
             blocks = blocks_spanned(tail, arrivals, self.block_values)
@@ -976,6 +995,7 @@ class PartitionedColumn:
                 self._index.update_fence(partition, high)
         return out
 
+    @requires_latch("exclusive")
     def bulk_delete(self, values: np.ndarray | list[int]) -> np.ndarray:
         """Delete one occurrence of each value with one coalesced hole sweep.
 
@@ -1022,7 +1042,7 @@ class PartitionedColumn:
         groups = {
             int(partition): (int(lo), int(cnt))
             for partition, lo, cnt in zip(
-                unique_targets, group_starts, group_counts
+                unique_targets, group_starts, group_counts, strict=True
             )
         }
         first_touched = int(unique_targets[0])

@@ -27,6 +27,8 @@ from .column import (
     expand_ranges,
     sort_batch_with_rowids,
 )
+from repro.discipline import requires_latch
+
 from .cost_accounting import (
     DEFAULT_BLOCK_VALUES,
     AccessCounter,
@@ -171,6 +173,7 @@ class DeltaStoreColumn:
     def _charge_delta_scan(self) -> None:
         self._charge_delta_scans(1)
 
+    @requires_latch("shared")
     def point_query(self, value: int, *, return_rowids: bool = False) -> np.ndarray:
         """Positions/row ids of entries equal to ``value`` in main and delta."""
         value = int(value)
@@ -198,6 +201,7 @@ class DeltaStoreColumn:
             if blocks > 1:
                 self.counter.seq_read((blocks - 1) * scans)
 
+    @requires_latch("shared")
     def multi_point_query(
         self, values: np.ndarray | list[int], *, return_rowids: bool = False
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -255,6 +259,7 @@ class DeltaStoreColumn:
         hits = np.concatenate((main_hits, delta_hits))
         return hits[np.argsort(owners, kind="stable")], counts
 
+    @requires_latch("shared")
     def multi_range_count(
         self, lows: np.ndarray | list[int], highs: np.ndarray | list[int]
     ) -> np.ndarray:
@@ -291,6 +296,7 @@ class DeltaStoreColumn:
             totals -= np.searchsorted(delta_sorted, lows, side="left")
         return totals
 
+    @requires_latch("shared")
     def range_query(
         self, low: int, high: int, *, materialize: bool = True
     ) -> RangeResult:
@@ -312,6 +318,7 @@ class DeltaStoreColumn:
             )
         return RangeResult(count=total, positions=None, values=values)
 
+    @requires_latch("shared")
     def range_rowids(self, low: int, high: int) -> np.ndarray:
         """Row ids of entries whose value lies in ``[low, high]``.
 
@@ -337,6 +344,7 @@ class DeltaStoreColumn:
     # Writes
     # ------------------------------------------------------------------ #
 
+    @requires_latch("exclusive")
     def insert(self, value: int, rowid: int | None = None) -> int:
         """Append ``value`` to the delta buffer, merging if it overflows."""
         if rowid is None:
@@ -348,6 +356,7 @@ class DeltaStoreColumn:
         self._maybe_merge()
         return int(rowid)
 
+    @requires_latch("exclusive")
     def delete(self, value: int, *, limit: int = 1) -> int:
         """Delete up to ``limit`` occurrences of ``value``."""
         value = int(value)
@@ -375,6 +384,7 @@ class DeltaStoreColumn:
             raise ValueNotFoundError(f"value {value} not found")
         return deleted
 
+    @requires_latch("exclusive")
     def remove_one(self, value: int) -> int | None:
         """Delete one occurrence of ``value`` and return its row id.
 
@@ -401,6 +411,7 @@ class DeltaStoreColumn:
         self.counter.random_write(1)
         return rowid
 
+    @requires_latch("exclusive")
     def update(self, old_value: int, new_value: int) -> None:
         """Update one occurrence of ``old_value``, preserving its row id."""
         rowid = self.remove_one(old_value)
@@ -410,6 +421,7 @@ class DeltaStoreColumn:
     # Bulk writes
     # ------------------------------------------------------------------ #
 
+    @requires_latch("exclusive")
     def bulk_insert(
         self, values: np.ndarray | list[int], rowids: np.ndarray | None = None
     ) -> np.ndarray:
@@ -440,6 +452,7 @@ class DeltaStoreColumn:
         self._maybe_merge()
         return out
 
+    @requires_latch("exclusive")
     def bulk_delete(self, values: np.ndarray | list[int]) -> np.ndarray:
         """Delete one occurrence of each value; absent values report 0.
 
@@ -500,11 +513,11 @@ class DeltaStoreColumn:
             # exactly as the per-value path's point queries.
             _, main_counts = self._main.multi_point_query(main_values)
             available = {}
-            for value, count in zip(main_values.tolist(), main_counts.tolist()):
+            for value, count in zip(main_values.tolist(), main_counts.tolist(), strict=True):
                 if value not in available:
                     available[value] = count - self._tombstones.get(value, 0)
             main_positions = np.nonzero(needs_main)[0]
-            for i, value in zip(main_positions.tolist(), main_values.tolist()):
+            for i, value in zip(main_positions.tolist(), main_values.tolist(), strict=True):
                 if available[value] > 0:
                     available[value] -= 1
                     self._tombstones[value] = self._tombstones.get(value, 0) + 1
@@ -539,7 +552,7 @@ class DeltaStoreColumn:
         if self._track_rowids:
             main_rowids = self._main.rowids()
             main_values = self._main.values()
-            pairs = list(zip(main_values.tolist(), main_rowids.tolist()))
+            pairs = list(zip(main_values.tolist(), main_rowids.tolist(), strict=True))
             remaining = dict(self._tombstones)
             kept = []
             for value, rid in pairs:
@@ -548,7 +561,7 @@ class DeltaStoreColumn:
                     remaining[value] = count - 1
                     continue
                 kept.append((value, rid))
-            kept.extend(zip(self._delta_values, self._delta_rowids))
+            kept.extend(zip(self._delta_values, self._delta_rowids, strict=True))
             kept.sort(key=lambda pair: pair[0])
             merged = np.asarray([pair[0] for pair in kept], dtype=np.int64)
             rowids = np.asarray([pair[1] for pair in kept], dtype=np.int64)

@@ -23,6 +23,9 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from repro import discipline
+from repro.discipline import guarded_class
+
 from .access_log import PAIRED_UPDATE_KIND, AccessLog
 from .cost_accounting import (
     DEFAULT_COST_CONSTANTS,
@@ -61,19 +64,26 @@ class BatchResult(SimulatedCost):
     errors: int = 0
 
 
+@guarded_class
 @dataclass
 class EngineStatistics:
     """Running per-operation-kind statistics maintained by the engine.
 
     Safe to update from concurrent sessions: each accumulation runs under a
-    small internal mutex, so per-kind tallies never lose a racing update.
+    small internal mutex (order name ``engine_stats``, GUARDED_BY mode
+    ``write``), so per-kind tallies never lose a racing update; the
+    ``mean_*`` readers stay unlocked, tolerating a read that lands between
+    a count bump and its latency accumulation.
     """
 
     operations: dict[str, int] = field(default_factory=dict)
     simulated_ns: dict[str, float] = field(default_factory=dict)
     wall_ns: dict[str, float] = field(default_factory=dict)
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, init=False, repr=False, compare=False
+        default_factory=lambda: discipline.make_lock("engine_stats"),
+        init=False,
+        repr=False,
+        compare=False,
     )
 
     def record(

@@ -30,6 +30,8 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Sequence
 
+from repro import discipline
+
 
 class RWLatch:
     """A writer-preferring readers-writer latch.
@@ -87,6 +89,32 @@ class RWLatch:
         self.release_write()
 
 
+class _LatchScope:
+    """Context manager bracketing one chunk latch (shared or exclusive)."""
+
+    __slots__ = ("_latches", "_chunk_index", "_exclusive")
+
+    def __init__(
+        self, latches: "ChunkLatches", chunk_index: int, exclusive: bool
+    ) -> None:
+        self._latches = latches
+        self._chunk_index = chunk_index
+        self._exclusive = exclusive
+
+    def __enter__(self) -> int:
+        if self._exclusive:
+            self._latches.acquire_write(self._chunk_index)
+        else:
+            self._latches.acquire_read(self._chunk_index)
+        return self._chunk_index
+
+    def __exit__(self, *exc) -> None:
+        if self._exclusive:
+            self._latches.release_write(self._chunk_index)
+        else:
+            self._latches.release_read(self._chunk_index)
+
+
 class ChunkLatches:
     """One :class:`RWLatch` per column chunk of a table.
 
@@ -99,11 +127,24 @@ class ChunkLatches:
     The per-chunk latch list is exposed (:meth:`latch`) so tests can swap a
     latch for an instrumented subclass and drive controlled interleavings
     at the latch boundaries -- the yield points of the concurrency model.
+
+    Constructing with ``debug=True`` (default: the ``REPRO_DEBUG_LATCHES``
+    flag, see :mod:`repro.discipline`) returns a :class:`DebugChunkLatches`
+    that feeds every acquire/release into the discipline layer's per-thread
+    held-set, order checks and lock-order graph.  Tracking lives at this
+    level -- not inside :class:`RWLatch` -- so latches swapped in via
+    :meth:`replace` stay tracked.
     """
 
     __slots__ = ("_latches",)
 
-    def __init__(self, count: int) -> None:
+    def __new__(cls, count: int, debug: "bool | None" = None):
+        if cls is ChunkLatches:
+            if debug if debug is not None else discipline.debug_enabled():
+                return super().__new__(DebugChunkLatches)
+        return super().__new__(cls)
+
+    def __init__(self, count: int, debug: "bool | None" = None) -> None:
         self._latches = [RWLatch() for _ in range(count)]
 
     def __len__(self) -> int:
@@ -144,3 +185,74 @@ class ChunkLatches:
         """Release latches taken by :meth:`acquire_write_many`."""
         for chunk_index in reversed(chunk_indices):
             self._latches[chunk_index].release_write()
+
+    def shared(self, chunk_index: int) -> _LatchScope:
+        """``with latches.shared(i):`` -- a bracketed shared section."""
+        return _LatchScope(self, chunk_index, exclusive=False)
+
+    def exclusive(self, chunk_index: int) -> _LatchScope:
+        """``with latches.exclusive(i):`` -- a bracketed exclusive section."""
+        return _LatchScope(self, chunk_index, exclusive=True)
+
+
+class DebugChunkLatches(ChunkLatches):
+    """Discipline-tracked :class:`ChunkLatches` (``REPRO_DEBUG_LATCHES``).
+
+    Every acquisition runs the lock-order checks *before* blocking (a
+    potential deadlock is reported even if the acquire would actually
+    deadlock) and lands in the calling thread's held-set on success, which
+    is what powers ``@requires_latch`` assertions, :meth:`assert_latched`
+    and the Eraser-lite guarded-state pass.
+    """
+
+    __slots__ = ()
+
+    def _key(self, chunk_index: int) -> tuple[str, int, int]:
+        return ("latch", id(self), chunk_index)
+
+    def acquire_read(self, chunk_index: int) -> None:
+        discipline.note_latch_request(
+            self._key(chunk_index), "shared", group=id(self), index=chunk_index
+        )
+        self._latches[chunk_index].acquire_read()
+        discipline.note_latch_acquired(
+            self._key(chunk_index), "shared", group=id(self), index=chunk_index
+        )
+
+    def release_read(self, chunk_index: int) -> None:
+        self._latches[chunk_index].release_read()
+        discipline.note_latch_released(self._key(chunk_index))
+
+    def acquire_write(self, chunk_index: int) -> None:
+        discipline.note_latch_request(
+            self._key(chunk_index),
+            "exclusive",
+            group=id(self),
+            index=chunk_index,
+        )
+        self._latches[chunk_index].acquire_write()
+        discipline.note_latch_acquired(
+            self._key(chunk_index),
+            "exclusive",
+            group=id(self),
+            index=chunk_index,
+        )
+
+    def release_write(self, chunk_index: int) -> None:
+        self._latches[chunk_index].release_write()
+        discipline.note_latch_released(self._key(chunk_index))
+
+    def acquire_write_many(self, chunk_indices: Iterable[int]) -> Sequence[int]:
+        """Tracked multi-acquire (routes through :meth:`acquire_write`)."""
+        acquired = sorted(set(int(i) for i in chunk_indices))
+        for chunk_index in acquired:
+            self.acquire_write(chunk_index)
+        return acquired
+
+    def release_write_many(self, chunk_indices: Sequence[int]) -> None:
+        for chunk_index in reversed(chunk_indices):
+            self.release_write(chunk_index)
+
+    def assert_latched(self, chunk_index: int, mode: str) -> None:
+        """Raise unless the calling thread holds this chunk's latch."""
+        discipline.assert_held(self._key(chunk_index), mode)

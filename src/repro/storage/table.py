@@ -47,11 +47,13 @@ replacement.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+
+from repro import discipline
+from repro.discipline import requires_latch, requires_lock
 
 from .cost_accounting import (
     DEFAULT_BLOCK_VALUES,
@@ -201,8 +203,18 @@ class Table:
             if start >= n:
                 break
         self._chunk_bounds[-1] = np.iinfo(np.int64).max
+        # Chunk-granular read/write latches (see the module docstring for
+        # the concurrency model) plus two small structural locks: payload
+        # appends allocate row ids, and publishes refresh the chunk bound /
+        # router, each under its own mutex.  Created before the router so
+        # every ``_rebuild_router`` call -- including the initial one --
+        # runs under the structure lock.
+        self._latches = ChunkLatches(len(self._chunks))
+        self._payload_lock = discipline.make_lock("table_payload")
+        self._structure_lock = discipline.make_lock("table_structure")
         self._router = PartitionIndex(fanout=router_fanout)
-        self._rebuild_router()
+        with self._structure_lock:
+            self._rebuild_router()
         # Per-chunk data generation: bumped (under the chunk's exclusive
         # latch) on every mutation that touches a chunk -- inserts, deletes,
         # key updates, bulk writes, published rebuilds.  An incremental
@@ -210,13 +222,6 @@ class Table:
         # re-checks it at publish time, so a replan that raced a concurrent
         # write is detected and requeued instead of applied stale.
         self._generations = [0] * len(self._chunks)
-        # Chunk-granular read/write latches (see the module docstring for
-        # the concurrency model) plus two small structural locks: payload
-        # appends allocate row ids, and publishes refresh the chunk bound /
-        # router, each under its own mutex.
-        self._latches = ChunkLatches(len(self._chunks))
-        self._payload_lock = threading.Lock()
-        self._structure_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -276,8 +281,10 @@ class Table:
         """Table-wide mutation counter: the sum of all chunk generations."""
         return sum(self._generations)
 
+    @requires_latch("exclusive")
     def _bump_generation(self, chunk_index: int) -> None:
-        # Only ever called with the chunk's exclusive latch held, so the
+        # Only ever called with the chunk's exclusive latch held (checked:
+        # LB01 statically, held-latch assertion in debug mode), so the
         # read-modify-write cannot race another mutator.
         self._generations[chunk_index] += 1
 
@@ -285,6 +292,7 @@ class Table:
     # Routing
     # ------------------------------------------------------------------ #
 
+    @requires_lock("table_structure")
     def _rebuild_router(self) -> None:
         self._router.rebuild(np.asarray(self._chunk_bounds, dtype=np.int64))
 
@@ -393,7 +401,7 @@ class Table:
             rowid = int(rowid)
             payload = {
                 name: int(self._payload[rowid, idx])
-                for name, idx in zip(columns, indices)
+                for name, idx in zip(columns, indices, strict=True)
             }
             rows.append(Row(key=int(key), rowid=rowid, payload=payload))
         return rows
@@ -700,6 +708,7 @@ class Table:
                 unique_chunks.tolist(),
                 group_starts.tolist(),
                 group_counts.tolist(),
+                strict=True,
             ):
                 sel = order[lo : lo + count]
                 self._latches.acquire_write(chunk_index)
@@ -1028,7 +1037,8 @@ class Table:
         while True:
             snapshot = self.snapshot_chunk(chunk_index)
             if snapshot.values.size == 0:
-                return self._chunks[chunk_index]
+                with self._latches.shared(chunk_index):
+                    return self._chunks[chunk_index]
             rebuilt = self.build_chunk_replacement(snapshot, chunk_builder)
             if self.publish_chunk(snapshot, rebuilt):
                 return rebuilt

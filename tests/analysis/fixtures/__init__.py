@@ -1,0 +1,4 @@
+"""Deliberately-broken fixture modules proving each repro-lint checker
+fires.  These files are *never* imported at runtime -- the analyzer parses
+them as text -- and are excluded from the CI lint run (which targets
+``src/`` only)."""

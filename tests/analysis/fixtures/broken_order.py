@@ -1,0 +1,41 @@
+"""Lock-ordering violations (LO01 / LO02)."""
+
+
+class Reorganizer:
+    def inverted_locks(self):
+        # LO01: reorg_wake (rank 70) is held while acquiring reorg_state
+        # (rank 60) -- the declared order runs state before wake.
+        with self._wake:
+            with self._state:
+                self.errors += 1
+
+    def latch_under_lock(self, chunk_index):
+        # LO01: a chunk latch (rank 0, outermost) acquired under a
+        # declared lock.
+        with self._state:
+            with self._latches.shared(chunk_index):
+                return self._chunks[chunk_index]
+
+
+class BrokenNesting:
+    def descending_chunks(self, chunk_index, key):
+        # LO02: nested single-latch acquisition (and descending, to boot);
+        # multi-chunk latching must use acquire_write_many.
+        self._latches.acquire_write(chunk_index)
+        try:
+            self._latches.acquire_write(chunk_index - 1)
+            try:
+                self._chunks[chunk_index - 1].insert(key)
+            finally:
+                self._latches.release_write(chunk_index - 1)
+        finally:
+            self._latches.release_write(chunk_index)
+
+    def sanctioned_many(self, chunk_indices, key):
+        # Clean: acquire_write_many is the sanctioned ascending path.
+        acquired = self._latches.acquire_write_many(chunk_indices)
+        try:
+            for chunk_index in acquired:
+                self._chunks[chunk_index].insert(key)
+        finally:
+            self._latches.release_write_many(acquired)

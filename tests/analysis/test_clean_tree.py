@@ -1,0 +1,75 @@
+"""The shipped source tree is discipline-clean: the analyzer reports no
+violations, and the CLI (the exact command CI runs) exits 0."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO = Path(__file__).parents[2]
+
+
+def test_src_tree_is_clean(tmp_path):
+    violations = analyze_paths(
+        [str(REPO / "src")], cache_path=tmp_path / "cache.pickle"
+    )
+    assert violations == [], "\n".join(
+        f"{v.path}:{v.line}: {v.check} {v.message}" for v in violations
+    )
+
+
+def test_cli_exits_zero_on_src(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            "src",
+            "--cache-path",
+            str(tmp_path / "cache.pickle"),
+        ],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 violations" in result.stdout
+
+
+def test_cli_exits_nonzero_on_fixtures(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            "tests/analysis/fixtures",
+            "--no-cache",
+        ],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    for check in ("LB01", "LB02", "LB03", "LO01", "LO02",
+                  "GS01", "GS02", "SL01", "GC01"):
+        assert check in result.stdout, f"{check} missing from CLI report"
+
+
+def test_warm_cache_reanalysis_matches(tmp_path):
+    cache = tmp_path / "cache.pickle"
+    cold = analyze_paths([str(REPO / "src")], cache_path=cache)
+    assert cache.exists()
+    warm = analyze_paths([str(REPO / "src")], cache_path=cache)
+    assert warm == cold

@@ -1,0 +1,164 @@
+"""Property tests for the runtime lock-order graph and the sanctioned
+ascending multi-latch path.
+
+The hypothesis test feeds random per-thread nested acquisition sequences
+into ``LockOrderGraph`` and checks its incremental cycle detection against
+a brute-force DFS over the accumulated edge set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import discipline
+from repro.discipline import LockOrderGraph
+from repro.storage.latches import ChunkLatches, DebugChunkLatches
+
+pytestmark = pytest.mark.concurrency
+
+
+# --------------------------------------------------------------------------
+# LockOrderGraph vs brute force
+# --------------------------------------------------------------------------
+
+def brute_force_has_cycle(edges: set[tuple[str, str]]) -> bool:
+    graph: dict[str, set[str]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, set()).add(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(graph, WHITE)
+
+    def dfs(node: str) -> bool:
+        color[node] = GREY
+        for nxt in graph.get(node, ()):
+            state = color.get(nxt, WHITE)
+            if state == GREY:
+                return True
+            if state == WHITE and dfs(nxt):
+                return True
+        color[node] = BLACK
+        return False
+
+    return any(dfs(n) for n in graph if color[n] == WHITE)
+
+
+# Each inner list is one thread's nested acquisition order over a small
+# lock-id space; prefixes of it become (held, acquired) graph edges.
+sequences = st.lists(
+    st.lists(
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sequences)
+def test_cycle_detection_matches_brute_force(seqs):
+    graph = LockOrderGraph()
+    for seq in seqs:
+        for i, lock in enumerate(seq):
+            graph.note(seq[:i], lock, stack="")
+    assert graph.has_cycles() == brute_force_has_cycle(graph.edges())
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequences)
+def test_reported_cycles_are_real_paths(seqs):
+    """has_cycles() flips exactly when a cycle is reported, and every
+    reported cycle is a genuine closed path through recorded edges."""
+    graph = LockOrderGraph()
+    reported = []
+    for seq in seqs:
+        for i, lock in enumerate(seq):
+            reported.extend(graph.note(seq[:i], lock, stack=""))
+    assert bool(reported) == graph.has_cycles()
+    edges = set(graph.edges())
+    for deadlock in reported:
+        assert deadlock.edge in edges
+        path = deadlock.cycle
+        assert path[0] == path[-1] and len(path) >= 3
+        for src, dst in zip(path, path[1:], strict=False):
+            assert (src, dst) in edges
+
+
+def test_simple_inversion_reports_cycle():
+    graph = LockOrderGraph()
+    assert graph.note(["a"], "b", stack="t1") == []
+    cycles = graph.note(["b"], "a", stack="t2")
+    assert len(cycles) == 1
+    assert graph.has_cycles()
+    (deadlock,) = cycles
+    assert deadlock.edge == ("b", "a")
+    assert deadlock.cycle == ["a", "b", "a"]
+    assert deadlock.stack == "t2"
+    assert deadlock.reverse_stack == "t1"
+
+
+# --------------------------------------------------------------------------
+# ChunkLatches multi-acquire discipline (runtime)
+# --------------------------------------------------------------------------
+
+@pytest.fixture
+def debug_latches():
+    discipline.clear_violations()
+    latches = ChunkLatches(6, debug=True)
+    assert isinstance(latches, DebugChunkLatches)
+    yield latches
+    discipline.clear_violations()
+
+
+def recorded_checks():
+    return [v.check for v in discipline.violations()]
+
+
+def test_acquire_write_many_unsorted_input_is_clean(debug_latches):
+    acquired = debug_latches.acquire_write_many([3, 1, 2])
+    assert acquired == [1, 2, 3]
+    debug_latches.release_write_many(acquired)
+    assert recorded_checks() == []
+
+
+def test_manual_descending_acquire_records_lo02(debug_latches):
+    debug_latches.acquire_write(3)
+    debug_latches.acquire_write(1)
+    debug_latches.release_write(1)
+    debug_latches.release_write(3)
+    assert "LO02" in recorded_checks()
+
+
+def test_reacquire_of_held_latch_records_lo02(debug_latches):
+    # The latches are not reentrant: re-acquiring a held index is flagged
+    # (for a read latch the acquire itself still succeeds, so the probe
+    # can unwind cleanly; a write re-acquire would self-deadlock).
+    debug_latches.acquire_read(2)
+    debug_latches.acquire_read(2)
+    debug_latches.release_read(2)
+    debug_latches.release_read(2)
+    assert "LO02" in recorded_checks()
+
+
+def test_manual_ascending_acquire_is_clean(debug_latches):
+    # Ascending manual nesting is the same order acquire_write_many uses,
+    # so it is runtime-legal (the static LO02 check is stricter).
+    debug_latches.acquire_write(1)
+    debug_latches.acquire_write(3)
+    debug_latches.release_write(3)
+    debug_latches.release_write(1)
+    assert recorded_checks() == []
+
+
+def test_single_bracketed_acquires_are_clean(debug_latches):
+    with debug_latches.shared(2):
+        pass
+    with debug_latches.exclusive(4):
+        pass
+    debug_latches.acquire_read(0)
+    debug_latches.release_read(0)
+    assert recorded_checks() == []

@@ -208,8 +208,9 @@ class TestBackgroundMode:
                 session.execute(operations[start : start + per_round])
                 assert reorganizer.wait_idle(timeout=30.0)
         assert session.report().replans >= 1
-        # The worker is stopped by close().
-        assert reorganizer._thread is None
+        # The worker is stopped by close() (white-box read under the lock).
+        with reorganizer._state:
+            assert reorganizer._thread is None
         db.check_invariants()
         # Served results stay correct after background replans.
         verification = generator(seed=21).generate(POINT_HEAVY, 200)
@@ -228,7 +229,8 @@ class TestBackgroundMode:
                 session.execute(list(drifted))
                 raise RuntimeError("boom")
         assert session.closed
-        assert reorganizer._thread is None
+        with reorganizer._state:
+            assert reorganizer._thread is None
         assert reorganizer.pending_chunks() == []
 
 

@@ -8,7 +8,29 @@ import sys
 import numpy as np
 import pytest
 
+from repro import discipline
 from repro.storage.cost_accounting import constants_for_block_values
+
+
+@pytest.fixture(autouse=True)
+def _discipline_guard():
+    """Fail any test that records a concurrency-discipline violation.
+
+    Active only under ``REPRO_DEBUG_LATCHES=1`` (the concurrency-stress CI
+    job): lock-order violations, potential-deadlock cycles and Eraser-lite
+    lockset violations recorded by :mod:`repro.discipline` during the test
+    surface as that test's failure.  The per-test reset also keeps the
+    lock-order graph from aliasing latch identities across tests.
+    """
+    if not discipline.debug_enabled():
+        yield
+        return
+    discipline.clear_violations()
+    yield
+    found = discipline.violations()
+    assert not found, "discipline violations recorded:\n" + "\n\n".join(
+        f"[{v.check}] {v.message}\n{v.stack}" for v in found
+    )
 
 
 def pytest_configure(config):
