@@ -13,7 +13,14 @@ tune for:
   replan drifted chunks online;
 * :meth:`Database.session` opens the execution surface: a context-managed
   :class:`~repro.api.session.Session` with pluggable execution and
-  reorganization policies.
+  reorganization policies;
+* the durability surface: pass ``durability=`` (a log-directory path or a
+  :class:`~repro.durability.manager.DurabilityConfig`) to
+  :meth:`from_rows` / :meth:`plan_for` to write-ahead-log every write and
+  take a baseline snapshot, then :meth:`Database.open` recovers the stored
+  state (latest snapshot + WAL replay), :meth:`checkpoint` takes a new
+  snapshot and rotates the log, and :meth:`close` fsyncs the tail and
+  releases the log.
 
 The engine (with its workload monitor) stays reachable through
 ``db.engine`` as the compatibility layer for pre-façade code.
@@ -21,6 +28,7 @@ The engine (with its workload monitor) stays reachable through
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 import numpy as np
@@ -29,6 +37,8 @@ from ..core.constraints import SLAConstraints
 from ..core.monitor import WorkloadMonitor
 from ..core.optimizer import SolverBackend
 from ..core.planner import CasperPlanner
+from ..durability.manager import DurabilityConfig, DurabilityManager
+from ..durability.recovery import recover, spec_to_meta
 from ..storage.cost_accounting import (
     DEFAULT_BLOCK_VALUES,
     CostConstants,
@@ -42,6 +52,14 @@ from .policies import ExecutionPolicy
 from .reorg import ReorgPolicy
 from .reorganizer import Reorganizer
 from .session import Session
+
+
+def _durability_config(
+    durability: "str | os.PathLike | DurabilityConfig | None",
+) -> DurabilityConfig | None:
+    if durability is None or isinstance(durability, DurabilityConfig):
+        return durability
+    return DurabilityConfig(root=durability)
 
 
 class Database:
@@ -86,6 +104,33 @@ class Database:
             enable_transactions=enable_transactions,
             monitor=self.monitor,
         )
+        #: Attached :class:`DurabilityManager`, or ``None`` (memory-only).
+        self.durability: DurabilityManager | None = None
+        #: :class:`~repro.durability.recovery.RecoveryReport` when this
+        #: database was built by :meth:`open`, else ``None``.
+        self.recovery = None
+
+    def _attach_durability(
+        self,
+        config: DurabilityConfig,
+        *,
+        layout_spec: LayoutSpec | None,
+        next_lsn: int | None = None,
+        checkpoint: bool = True,
+    ) -> None:
+        meta = {
+            "chunk_size": self.table.chunk_size,
+            "block_values": self.table.block_values,
+            "payload_names": list(self.table.payload_names),
+            "layout_spec": spec_to_meta(layout_spec),
+        }
+        manager = DurabilityManager(config, meta=meta, next_lsn=next_lsn)
+        self.durability = manager
+        self.engine.attach_durability(manager)
+        if checkpoint:
+            # Baseline snapshot: makes a freshly-created database
+            # recoverable before its first checkpoint call.
+            manager.checkpoint(self.table)
 
     # ------------------------------------------------------------------ #
     # Declarative constructors
@@ -108,6 +153,7 @@ class Database:
         constants: CostConstants | None = None,
         monitor: WorkloadMonitor | bool | None = None,
         enable_transactions: bool = False,
+        durability: "str | os.PathLike | DurabilityConfig | None" = None,
     ) -> "Database":
         """Load rows under a fixed layout mode.
 
@@ -117,6 +163,12 @@ class Database:
         :meth:`plan_for` instead.  No workload monitor is attached unless
         requested (``monitor=True``): without a planner there is nothing to
         replan, so per-operation attribution would be pure overhead.
+
+        Pass ``durability`` (a log-directory path or a
+        :class:`DurabilityConfig`) to make writes durable: every write
+        batch is write-ahead logged before its results return, a baseline
+        snapshot is taken at load, and :meth:`Database.open` on the same
+        directory recovers the stored state after a crash or restart.
         """
         if isinstance(layout, LayoutSpec):
             spec = layout
@@ -145,12 +197,16 @@ class Database:
             payload_names=payload_names,
             block_values=block_values,
         )
-        return cls(
+        database = cls(
             table,
             constants=constants,
             monitor=monitor,
             enable_transactions=enable_transactions,
         )
+        config = _durability_config(durability)
+        if config is not None:
+            database._attach_durability(config, layout_spec=spec)
+        return database
 
     @classmethod
     def plan_for(
@@ -168,6 +224,7 @@ class Database:
         constants: CostConstants | None = None,
         monitor: WorkloadMonitor | bool | None = None,
         enable_transactions: bool = False,
+        durability: "str | os.PathLike | DurabilityConfig | None" = None,
     ) -> "Database":
         """Build a Casper-planned database tuned for ``workload``.
 
@@ -202,13 +259,100 @@ class Database:
             payload_names=payload_names,
             block_values=block_values,
         )
-        return cls(
+        database = cls(
             table,
             constants=constants,
             planner=planner,
             monitor=monitor,
             enable_transactions=enable_transactions,
         )
+        config = _durability_config(durability)
+        if config is not None:
+            # Planner-built chunks have no serializable LayoutSpec; the
+            # manifest records ``layout_spec: null`` and recovery falls
+            # back to the sorted builder (Database.open accepts an
+            # explicit ``chunk_builder`` to restore a planned layout).
+            database._attach_durability(config, layout_spec=None)
+        return database
+
+    @classmethod
+    def open(
+        cls,
+        durability: "str | os.PathLike | DurabilityConfig",
+        *,
+        chunk_builder=None,
+        constants: CostConstants | None = None,
+        monitor: WorkloadMonitor | bool | None = None,
+        enable_transactions: bool = False,
+    ) -> "Database":
+        """Recover the database stored under a durability log directory.
+
+        Rebuilds the table as *latest intact snapshot + WAL replay* (see
+        :mod:`repro.durability.recovery`), truncates any CRC-rejected torn
+        tail off the log, and re-attaches a durability manager so writes
+        resume appending where the recovered history ends.  The recovery
+        account is kept on :attr:`recovery`.  Global row ids are
+        renumbered by recovery; the logical row multiset is preserved.
+        """
+        config = _durability_config(durability)
+        table, report = recover(config.root, chunk_builder=chunk_builder)
+        database = cls(
+            table,
+            constants=constants,
+            monitor=monitor,
+            enable_transactions=enable_transactions,
+        )
+        manager = DurabilityManager(
+            config,
+            meta={
+                "chunk_size": table.chunk_size,
+                "block_values": table.block_values,
+                "payload_names": list(table.payload_names),
+                "layout_spec": None,
+            },
+            next_lsn=report.last_lsn + 1,
+        )
+        # Preserve the stored manifest metadata (including the layout
+        # spec) for the snapshots this incarnation will take.
+        from ..durability.snapshot import load_snapshot
+
+        manager.meta = dict(load_snapshot(report.snapshot_path).meta)
+        database.durability = manager
+        database.engine.attach_durability(manager)
+        database.recovery = report
+        return database
+
+    # ------------------------------------------------------------------ #
+    # Durability lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the durability layer degraded to read-only mode."""
+        return self.durability is not None and self.durability.read_only
+
+    def checkpoint(self):
+        """Snapshot the current state and rotate the WAL.
+
+        Returns the :class:`~repro.durability.snapshot.SnapshotInfo`.
+        Bounds recovery replay at the cost of one chunk-by-chunk snapshot;
+        durable writes are excluded while it runs, reads are not.
+        """
+        if self.durability is None:
+            raise RuntimeError("no durability manager attached")
+        return self.durability.checkpoint(self.table)
+
+    def sync(self) -> int:
+        """Force a group-commit fsync; returns the durable LSN."""
+        if self.durability is None:
+            raise RuntimeError("no durability manager attached")
+        return self.durability.sync()
+
+    def close(self) -> None:
+        """Release the durability layer (idempotent): fsync the WAL tail
+        and close its descriptors.  Memory-only databases are a no-op."""
+        if self.durability is not None:
+            self.durability.close()
 
     # ------------------------------------------------------------------ #
     # Sessions

@@ -56,6 +56,14 @@ class SessionResult(SimulatedCost):
     ``accesses`` aggregates the whole call, *including* any reorganization
     work it triggered; ``reorg_ns`` isolates the simulated cost of that
     reorganization (0.0 when nothing was rebuilt).
+
+    With durability attached, ``commit_lsn`` is the WAL watermark covering
+    every write this call committed (``None`` on memory-only databases and
+    pure-read calls that left the log untouched) and ``durable`` reports
+    whether that watermark was fsync-covered when the call returned --
+    always true under the ``"always"`` fsync policy; under ``"interval"``
+    / ``"os"`` a false means the commit is logged but would not survive a
+    power failure yet (:meth:`Session.sync` forces it).
     """
 
     results: list
@@ -66,6 +74,8 @@ class SessionResult(SimulatedCost):
     batch_sizes: list[int] = field(default_factory=list)
     reorg_decisions: list[ReorgDecision] = field(default_factory=list)
     reorg_ns: float = 0.0
+    commit_lsn: int | None = None
+    durable: bool = True
 
 
 @dataclass
@@ -246,6 +256,14 @@ class Session:
         self._wall_ns += wall_ns
         self._batch_sizes.extend(batch_sizes)
         self._reorg_decisions.extend(decisions)
+        commit_lsn: int | None = None
+        durable = True
+        manager = self.database.durability
+        if manager is not None and manager.last_lsn > 0:
+            # The appended watermark covers this call's writes (it may also
+            # cover a concurrent session's -- watermarks are global).
+            commit_lsn = manager.last_lsn
+            durable = manager.durable_lsn >= commit_lsn
         return SessionResult(
             results=outcome.results,
             accesses=accesses,
@@ -255,7 +273,22 @@ class Session:
             batch_sizes=batch_sizes,
             reorg_decisions=decisions,
             reorg_ns=reorg_ns,
+            commit_lsn=commit_lsn,
+            durable=durable,
         )
+
+    def sync(self) -> int:
+        """Force the database's WAL to disk; returns the durable LSN.
+
+        The commit-acknowledgement escape hatch for the relaxed fsync
+        policies: after ``sync()`` every ``commit_lsn`` this session was
+        handed is power-failure durable.
+        """
+        self._require_open()
+        manager = self.database.durability
+        if manager is None:
+            raise RuntimeError("no durability manager attached")
+        return manager.sync()
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -77,11 +77,17 @@ class LatchDisciplineError(AssertionError):
 CHUNK_LATCH_RANK = 0
 
 #: The declared acquisition partial order: a lock may only be acquired
-#: while every held lock has a strictly *smaller* rank.  Chunk latches are
-#: the outermost tier; within the tier, :class:`ChunkLatches` requires
-#: ascending chunk indices (check LO02).  This is the order the sharding
-#: dispatcher inherits -- extend it here, not in comments.
+#: while every held lock has a strictly *smaller* rank.  The durability
+#: commit lock is the outermost of all (a durable write scope holds it
+#: across chunk-latched applies *and* the WAL append; a checkpoint holds
+#: it across whole-table chunk snapshots), with the WAL group-commit sync
+#: lock just inside it -- hence the negative ranks.  Chunk latches are the
+#: outermost *storage* tier; within the tier, :class:`ChunkLatches`
+#: requires ascending chunk indices (check LO02).  This is the order the
+#: sharding dispatcher inherits -- extend it here, not in comments.
 LOCK_ORDER: dict[str, int] = {
+    "wal_commit": -20,
+    "wal_sync": -10,
     "chunk_latch": CHUNK_LATCH_RANK,
     "table_structure": 10,
     "table_payload": 20,
@@ -109,6 +115,11 @@ LOCK_ATTRIBUTES: dict[tuple[str | None, str], str] = {
     ("ReorgPolicy", "_state_lock"): "policy_state",
     ("Reorganizer", "_state"): "reorg_state",
     ("Reorganizer", "_wake"): "reorg_wake",
+    ("DurabilityManager", "_commit_lock"): "wal_commit",
+    ("WalWriter", "_sync_lock"): "wal_sync",
+    (None, "commit_lock"): "wal_commit",
+    (None, "_commit_lock"): "wal_commit",
+    (None, "_sync_lock"): "wal_sync",
     (None, "_structure_lock"): "table_structure",
     (None, "_payload_lock"): "table_payload",
     (None, "_state_lock"): "policy_state",
@@ -188,6 +199,28 @@ GUARDED_BY: dict[str, dict[str, tuple[str, str]]] = {
         "_pending_set": ("reorg_wake", "rw"),
         "_busy": ("reorg_wake", "rw"),
         "_stop": ("reorg_wake", "rw"),
+    },
+    "WalWriter": {
+        # Framing state moves only inside a commit scope (the manager's
+        # ``wal_commit`` lock, the decorated precondition of ``append``);
+        # the sync path reads them unlocked to latch its fsync target.
+        "_offset": ("wal_commit", "write"),
+        "_appended_lsn": ("wal_commit", "write"),
+        # The durable watermark moves only under the group-commit lock;
+        # commit acknowledgement reads it unlocked (monotonic scalar).
+        "_synced_offset": ("wal_sync", "write"),
+        "_synced_lsn": ("wal_sync", "write"),
+    },
+    "DurabilityManager": {
+        # Degradation latches and the checkpoint watermark flip only under
+        # the commit lock; ``require_writable`` reads them unlocked (a
+        # racing read at worst lets one already-in-flight scope commit,
+        # which the failing append itself then refuses).
+        "_read_only": ("wal_commit", "write"),
+        "_last_checkpoint": ("wal_commit", "write"),
+        # The active segment writer is swapped at checkpoint rotation
+        # only; unlocked readers see the old or the new published writer.
+        "wal": ("wal_commit", "write"),
     },
 }
 

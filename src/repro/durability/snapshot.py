@@ -1,0 +1,266 @@
+"""Chunk-level table snapshots: the WAL's replay floor.
+
+A snapshot is a directory ``snapshots/snap-<lsn>/`` holding one ``.npz``
+file per column chunk -- the ``values``/``rowids`` arrays of a consistent
+:meth:`~repro.storage.table.Table.snapshot_chunk` view plus the payload
+rows those rowids address -- and a ``MANIFEST.json`` written *last* with
+the snapshot LSN, per-file CRCs and the table's reconstruction metadata
+(chunk size, payload names, layout spec).  Commit protocol:
+
+1. everything is written into ``snap-<lsn>.partial/`` and fsynced;
+2. the manifest is written and fsynced inside the partial directory;
+3. the directory is renamed to its final name and the parent fsynced.
+
+A crash at any point leaves either a ``.partial`` directory (ignored and
+reclaimed by the next checkpoint's GC) or a complete snapshot -- never a
+half-visible one.  The loader validates every chunk file against its
+manifest CRC and falls back to the next older snapshot on any mismatch.
+
+Chunks are captured one at a time under their shared latches (the PR 5
+consistent off-latch copy), *not* under a table-wide freeze; the manager
+serializes checkpoints against durable write commits with the commit
+lock, so the captured state is exactly the state the WAL describes up to
+the snapshot LSN.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import SnapshotCorruptionError
+from .faults import FaultInjector, retry_io
+
+if TYPE_CHECKING:
+    from ..storage.table import Table
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest format version, bumped on layout changes.
+MANIFEST_VERSION = 1
+
+
+def snapshot_dir_name(lsn: int) -> str:
+    """Directory name of the snapshot taken at ``lsn``."""
+    return f"snap-{lsn:020d}"
+
+
+def snapshot_lsn(path: str | os.PathLike) -> int:
+    """Inverse of :func:`snapshot_dir_name`."""
+    name = Path(path).name
+    if not name.startswith("snap-"):
+        raise SnapshotCorruptionError(f"not a snapshot directory name: {name!r}")
+    return int(name[5:])
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Summary of one committed snapshot."""
+
+    lsn: int
+    path: Path
+    rows: int
+    chunks: int
+
+
+@dataclass(frozen=True)
+class LoadedSnapshot:
+    """A validated snapshot read back into memory.
+
+    ``keys`` / ``payload`` are the concatenated live rows of every chunk in
+    chunk order (keys ascending within each chunk); ``meta`` is the
+    manifest's table-reconstruction block, verbatim.
+    """
+
+    lsn: int
+    path: Path
+    keys: np.ndarray
+    payload: np.ndarray
+    meta: dict
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(
+    root: str | os.PathLike,
+    table: "Table",
+    lsn: int,
+    meta: dict,
+    *,
+    faults: FaultInjector | None = None,
+    max_retries: int = 4,
+    retry_backoff_s: float = 0.002,
+    sleep=time.sleep,
+) -> SnapshotInfo:
+    """Write (or find) the snapshot of ``table`` at ``lsn`` under ``root``.
+
+    Idempotent per LSN: if ``snap-<lsn>`` already committed, it is
+    returned untouched (a checkpoint with no intervening writes).  The
+    caller must hold the commit lock so no durable write lands between
+    the chunk captures and the LSN stamp.
+    """
+    root = Path(root)
+    final = root / snapshot_dir_name(lsn)
+    if final.exists():
+        manifest = json.loads((final / MANIFEST_NAME).read_text())
+        return SnapshotInfo(
+            lsn=lsn, path=final, rows=manifest["rows"], chunks=len(manifest["chunks"])
+        )
+    partial = Path(str(final) + ".partial")
+    if partial.exists():
+        shutil.rmtree(partial)
+    partial.mkdir(parents=True)
+
+    def _write_file(path: Path, data: bytes) -> None:
+        def attempt() -> None:
+            with open(path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        retry_io(
+            attempt,
+            point="snapshot.write",
+            faults=faults,
+            max_retries=max_retries,
+            backoff_s=retry_backoff_s,
+            sleep=sleep,
+        )
+
+    chunk_entries = []
+    total_rows = 0
+    for chunk_index in range(table.num_chunks):
+        view = table.snapshot_chunk(chunk_index)
+        payload_rows = table.payload_rows(view.rowids)
+        buffer = io.BytesIO()
+        np.savez(
+            buffer, values=view.values, rowids=view.rowids, payload=payload_rows
+        )
+        data = buffer.getvalue()
+        file_name = f"chunk-{chunk_index:05d}.npz"
+        _write_file(partial / file_name, data)
+        if faults is not None:
+            faults.hit("snapshot.chunk")
+        chunk_entries.append(
+            {
+                "file": file_name,
+                "rows": int(view.values.size),
+                "crc": zlib.crc32(data),
+            }
+        )
+        total_rows += int(view.values.size)
+
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "lsn": int(lsn),
+        "rows": total_rows,
+        "chunks": chunk_entries,
+        "meta": meta,
+    }
+    _write_file(
+        partial / MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+    )
+    if faults is not None:
+        faults.hit("snapshot.manifest")
+    os.rename(partial, final)
+    _fsync_dir(root)
+    return SnapshotInfo(
+        lsn=lsn, path=final, rows=total_rows, chunks=len(chunk_entries)
+    )
+
+
+def list_snapshots(root: str | os.PathLike) -> list[Path]:
+    """Committed snapshot directories under ``root``, newest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    dirs = [
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir()
+        and entry.name.startswith("snap-")
+        and not entry.name.endswith(".partial")
+    ]
+    return sorted(dirs, key=snapshot_lsn, reverse=True)
+
+
+def load_snapshot(path: str | os.PathLike) -> LoadedSnapshot:
+    """Read one snapshot back, validating every chunk file's CRC."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SnapshotCorruptionError(f"missing manifest in {path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, OSError) as exc:
+        raise SnapshotCorruptionError(f"unreadable manifest in {path}: {exc}") from exc
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise SnapshotCorruptionError(
+            f"unsupported snapshot version {manifest.get('version')!r} in {path}"
+        )
+    key_pieces: list[np.ndarray] = []
+    payload_pieces: list[np.ndarray] = []
+    for entry in manifest["chunks"]:
+        chunk_path = path / entry["file"]
+        try:
+            data = chunk_path.read_bytes()
+        except OSError as exc:
+            raise SnapshotCorruptionError(
+                f"missing chunk file {chunk_path}: {exc}"
+            ) from exc
+        if zlib.crc32(data) != entry["crc"]:
+            raise SnapshotCorruptionError(f"CRC mismatch in {chunk_path}")
+        with np.load(io.BytesIO(data), allow_pickle=False) as arrays:
+            values = np.asarray(arrays["values"], dtype=np.int64)
+            payload = np.asarray(arrays["payload"], dtype=np.int64)
+        if values.shape[0] != entry["rows"] or payload.shape[0] != values.shape[0]:
+            raise SnapshotCorruptionError(f"row-count mismatch in {chunk_path}")
+        key_pieces.append(values)
+        payload_pieces.append(payload)
+    width = payload_pieces[0].shape[1] if payload_pieces else 0
+    keys = (
+        np.concatenate(key_pieces) if key_pieces else np.empty(0, dtype=np.int64)
+    )
+    payload = (
+        np.concatenate(payload_pieces)
+        if payload_pieces
+        else np.empty((0, width), dtype=np.int64)
+    )
+    return LoadedSnapshot(
+        lsn=int(manifest["lsn"]),
+        path=path,
+        keys=keys,
+        payload=payload,
+        meta=dict(manifest["meta"]),
+    )
+
+
+def load_latest_snapshot(root: str | os.PathLike) -> LoadedSnapshot | None:
+    """Newest snapshot that passes validation, or ``None``.
+
+    Falls back across corrupt snapshots newest-to-oldest -- a damaged
+    latest snapshot costs a longer WAL replay, not data loss, as long as
+    the covering segments were retained (see the manager's GC policy).
+    """
+    for candidate in list_snapshots(root):
+        try:
+            return load_snapshot(candidate)
+        except SnapshotCorruptionError:
+            continue
+    return None

@@ -1,0 +1,415 @@
+"""LSN-prefixed, checksummed write-ahead log of batch deltas.
+
+One WAL *record* is one durable commit scope -- the whole delta log of an
+``execute_batch`` call (or one serial write) -- framed as::
+
+    +--------+----------+---------+------------------+
+    | lsn u64| length u32| crc u32 | body (length B)  |
+    +--------+----------+---------+------------------+
+
+with ``crc = crc32(lsn || length || body)``.  The body packs the scope's
+:class:`~repro.storage.access_log.DeltaRecord` list: a ``u32`` record
+count, then per record a ``u8`` kind code, a ``u32`` run length and the
+key / payload / target-key arrays as little-endian ``int64`` bytes.  No
+pickle anywhere: a corrupted log can at worst fail a CRC, never execute.
+
+A segment file starts with the 8-byte magic ``RPROWAL1`` and is named
+``wal-<first lsn>.log``; the manager rotates to a fresh segment at every
+checkpoint so segments fully covered by a retained snapshot can be
+garbage-collected as whole files.
+
+Crash safety on the write path:
+
+* records are appended with ``os.write`` on an unbuffered descriptor, so a
+  simulated crash leaves exactly the bytes that were written -- including
+  torn tails, which :func:`scan_segment` detects by CRC and the writer
+  truncates away on reopen;
+* ``sync`` implements *group commit*: it latches the current appended
+  offset, fsyncs once under the sync lock and publishes the durable
+  watermark, so every record appended before the fsync -- possibly by many
+  committers -- is covered by that one fsync, and a committer arriving
+  while a sync is in flight coalesces onto the next one;
+* all I/O runs through bounded retry-with-backoff
+  (:func:`repro.durability.faults.retry_io`); exhausting the retries
+  marks the writer failed, which the manager converts into read-only
+  degradation.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import discipline
+from repro.discipline import guarded_class, requires_lock
+
+from ..storage.access_log import DELTA_KIND_CODES, DELTA_KINDS, DeltaLog, DeltaRecord
+from .errors import WalCorruptionError, WalUnavailableError
+from .faults import FaultInjector, InjectedCrash, retry_io
+
+#: Segment file magic: format name + version, bumped on layout changes.
+MAGIC = b"RPROWAL1"
+
+#: Record frame: LSN, body length, CRC-32 of (lsn || length || body).
+_FRAME = struct.Struct("<QII")
+
+#: CRC input prefix: the frame minus the CRC field itself.
+_CRC_PREFIX = struct.Struct("<QI")
+
+#: Per-delta-record header inside a body: kind code, run length, payload
+#: width (0 for kinds without payload rows).
+_RECORD = struct.Struct("<BII")
+
+_COUNT = struct.Struct("<I")
+
+
+def segment_name(first_lsn: int) -> str:
+    """File name of the segment whose first record is ``first_lsn``."""
+    return f"wal-{first_lsn:020d}.log"
+
+
+def segment_first_lsn(path: str | os.PathLike) -> int:
+    """Inverse of :func:`segment_name`."""
+    stem = Path(path).name
+    if not (stem.startswith("wal-") and stem.endswith(".log")):
+        raise WalCorruptionError(f"not a WAL segment name: {stem!r}")
+    return int(stem[4:-4])
+
+
+# --------------------------------------------------------------------- #
+# Codec
+# --------------------------------------------------------------------- #
+
+
+def encode_delta_log(log: DeltaLog) -> bytes:
+    """Pack a delta log into one WAL record body."""
+    parts = [_COUNT.pack(len(log.records))]
+    for record in log.records:
+        n = record.operations
+        if record.kind == "insert":
+            width = int(record.payloads.shape[1])
+            parts.append(_RECORD.pack(DELTA_KIND_CODES["insert"], n, width))
+            parts.append(record.keys.astype("<i8", copy=False).tobytes())
+            parts.append(record.payloads.astype("<i8", copy=False).tobytes())
+        elif record.kind == "delete":
+            parts.append(_RECORD.pack(DELTA_KIND_CODES["delete"], n, 0))
+            parts.append(record.keys.astype("<i8", copy=False).tobytes())
+        else:  # "update"
+            parts.append(_RECORD.pack(DELTA_KIND_CODES["update"], n, 0))
+            parts.append(record.keys.astype("<i8", copy=False).tobytes())
+            parts.append(record.new_keys.astype("<i8", copy=False).tobytes())
+    return b"".join(parts)
+
+
+def _take(body: bytes, offset: int, count: int) -> tuple[np.ndarray, int]:
+    end = offset + 8 * count
+    if end > len(body):
+        raise WalCorruptionError("delta body shorter than its declared arrays")
+    return np.frombuffer(body, dtype="<i8", count=count, offset=offset).astype(
+        np.int64
+    ), end
+
+
+def decode_delta_log(body: bytes) -> DeltaLog:
+    """Unpack one WAL record body (inverse of :func:`encode_delta_log`).
+
+    Raises :class:`WalCorruptionError` on structural mismatch; in practice
+    the frame CRC rejects damaged bodies before they reach the decoder, so
+    this guards against format bugs, not disk corruption.
+    """
+    if len(body) < _COUNT.size:
+        raise WalCorruptionError("delta body shorter than its record count")
+    (count,) = _COUNT.unpack_from(body, 0)
+    offset = _COUNT.size
+    log = DeltaLog()
+    for _ in range(count):
+        if offset + _RECORD.size > len(body):
+            raise WalCorruptionError("delta body shorter than its record headers")
+        code, n, width = _RECORD.unpack_from(body, offset)
+        offset += _RECORD.size
+        if code >= len(DELTA_KINDS):
+            raise WalCorruptionError(f"unknown delta kind code {code}")
+        kind = DELTA_KINDS[code]
+        keys, offset = _take(body, offset, n)
+        if kind == "insert":
+            flat, offset = _take(body, offset, n * width)
+            log.records.append(
+                DeltaRecord(
+                    kind="insert", keys=keys, payloads=flat.reshape(n, width)
+                )
+            )
+        elif kind == "delete":
+            log.records.append(DeltaRecord(kind="delete", keys=keys))
+        else:
+            new_keys, offset = _take(body, offset, n)
+            log.records.append(
+                DeltaRecord(kind="update", keys=keys, new_keys=new_keys)
+            )
+    if offset != len(body):
+        raise WalCorruptionError("delta body has trailing bytes")
+    return log
+
+
+def frame_record(lsn: int, body: bytes) -> bytes:
+    """Frame one record: header + CRC + body."""
+    crc = zlib.crc32(_CRC_PREFIX.pack(lsn, len(body)) + body)
+    return _FRAME.pack(lsn, len(body), crc) + body
+
+
+# --------------------------------------------------------------------- #
+# Segment scan (recovery / torn-tail detection)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """Result of validating one segment front-to-back.
+
+    ``records`` holds the ``(lsn, body)`` pairs that passed the CRC, in
+    file order; ``valid_bytes`` is the file offset right after the last
+    valid record (the truncation target for a torn tail); ``file_bytes``
+    is the on-disk size that was scanned.
+    """
+
+    records: list[tuple[int, bytes]]
+    valid_bytes: int
+    file_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        """Whether the segment ends in an incomplete / corrupt tail."""
+        return self.file_bytes > self.valid_bytes
+
+
+def scan_segment(path: str | os.PathLike) -> SegmentScan:
+    """Validate a segment and return its intact record prefix.
+
+    Walks records front-to-back, stopping at the first frame that is
+    incomplete, fails its CRC or breaks LSN monotonicity; everything from
+    that point on is the *torn tail* a crash mid-append leaves behind.
+    Raises :class:`WalCorruptionError` only for a bad file magic (the file
+    is not a WAL segment at all).
+    """
+    data = Path(path).read_bytes()
+    if data[: len(MAGIC)] != MAGIC:
+        raise WalCorruptionError(f"bad WAL magic in {path}")
+    records: list[tuple[int, bytes]] = []
+    offset = len(MAGIC)
+    valid = offset
+    previous_lsn = 0
+    while offset + _FRAME.size <= len(data):
+        lsn, length, crc = _FRAME.unpack_from(data, offset)
+        body_start = offset + _FRAME.size
+        body_end = body_start + length
+        if body_end > len(data):
+            break
+        body = data[body_start:body_end]
+        if zlib.crc32(_CRC_PREFIX.pack(lsn, length) + body) != crc:
+            break
+        if previous_lsn and lsn != previous_lsn + 1:
+            break
+        records.append((lsn, body))
+        previous_lsn = lsn
+        offset = body_end
+        valid = offset
+    return SegmentScan(records=records, valid_bytes=valid, file_bytes=len(data))
+
+
+# --------------------------------------------------------------------- #
+# Writer
+# --------------------------------------------------------------------- #
+
+
+@guarded_class
+class WalWriter:
+    """Appender over one open WAL segment.
+
+    Concurrency model: appends run under the durability manager's commit
+    lock (order name ``wal_commit`` -- the decorated precondition of
+    :meth:`append`), which serializes record framing and keeps the LSN
+    sequence gap-free.  :meth:`sync` takes only the internal ``wal_sync``
+    lock, so group commit never blocks the next committer's append, and
+    the durable watermark (``synced_lsn``) trails the appended watermark
+    (``appended_lsn``) by exactly the un-fsynced tail.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        faults: FaultInjector | None = None,
+        max_retries: int = 4,
+        retry_backoff_s: float = 0.002,
+        sleep=time.sleep,
+    ) -> None:
+        self.path = Path(path)
+        self._faults = faults
+        self._max_retries = int(max_retries)
+        self._retry_backoff_s = float(retry_backoff_s)
+        self._sleep = sleep
+        self._sync_lock = discipline.make_lock("wal_sync")
+        self._failed = False
+        first_lsn = segment_first_lsn(self.path)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fresh:
+            os.write(self._fd, MAGIC)
+            self._offset = len(MAGIC)
+            self._appended_lsn = first_lsn - 1
+        else:
+            scan = scan_segment(self.path)
+            if scan.torn:
+                # CRC-rejected torn tail from a crash mid-append: drop it.
+                os.ftruncate(self._fd, scan.valid_bytes)
+            os.lseek(self._fd, scan.valid_bytes, os.SEEK_SET)
+            self._offset = scan.valid_bytes
+            self._appended_lsn = (
+                scan.records[-1][0] if scan.records else first_lsn - 1
+            )
+        # Bytes already on disk when the writer opens are treated as the
+        # durable baseline: recovery only ever reopens after re-reading
+        # them, and the power-loss simulation is scoped to one writer's
+        # lifetime.
+        self._synced_offset = self._offset
+        self._synced_lsn = self._appended_lsn
+
+    # -- introspection ------------------------------------------------- #
+
+    @property
+    def appended_lsn(self) -> int:
+        """LSN of the last record appended to this segment."""
+        return self._appended_lsn
+
+    @property
+    def synced_lsn(self) -> int:
+        """LSN of the last record covered by an fsync."""
+        return self._synced_lsn
+
+    @property
+    def unsynced_bytes(self) -> int:
+        """Appended bytes not yet covered by an fsync."""
+        return self._offset - self._synced_offset
+
+    @property
+    def failed(self) -> bool:
+        """Whether the writer shut down after exhausting I/O retries."""
+        return self._failed
+
+    # -- fault plumbing ------------------------------------------------ #
+
+    def _die(self) -> None:
+        """Simulate this process's death: close the fd (what the OS would
+        do), first dropping the un-fsynced tail when the injector models
+        power loss rather than a mere kill."""
+        if self._fd < 0:
+            return
+        faults = self._faults
+        if faults is not None and faults.power_loss:
+            try:
+                os.ftruncate(self._fd, self._synced_offset)
+            except OSError:
+                pass
+        os.close(self._fd)
+        self._fd = -1
+
+    def _crash_point(self, point: str) -> None:
+        if self._faults is None:
+            return
+        try:
+            self._faults.hit(point)
+        except InjectedCrash:
+            self._die()
+            raise
+
+    def _io(self, point: str, fn):
+        try:
+            return retry_io(
+                fn,
+                point=point,
+                faults=self._faults,
+                max_retries=self._max_retries,
+                backoff_s=self._retry_backoff_s,
+                sleep=self._sleep,
+                on_crash=self._die,
+            )
+        except OSError as exc:
+            self._failed = True
+            raise WalUnavailableError(
+                f"WAL I/O at {point!r} failed after "
+                f"{self._max_retries + 1} attempts: {exc}"
+            ) from exc
+
+    def _write_all(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            written = self._io("wal.write", lambda v=view: os.write(self._fd, v))
+            view = view[written:]
+
+    # -- append / sync ------------------------------------------------- #
+
+    @requires_lock("wal_commit")
+    def append(self, lsn: int, body: bytes) -> None:
+        """Append one framed record (caller holds the commit lock).
+
+        With a fault injector attached the frame is written in three
+        slices so the ``wal.append.*`` crash points land between real
+        ``os.write`` calls, leaving exactly the torn shapes a crash
+        produces; without one it is a single write.
+        """
+        if self._failed:
+            raise WalUnavailableError("WAL writer is shut down")
+        if lsn != self._appended_lsn + 1:
+            raise WalCorruptionError(
+                f"non-consecutive append: lsn {lsn} after {self._appended_lsn}"
+            )
+        frame = frame_record(lsn, body)
+        if self._faults is None:
+            self._write_all(frame)
+        else:
+            self._crash_point("wal.append.begin")
+            self._write_all(frame[: _FRAME.size])
+            self._crash_point("wal.append.header")
+            split = _FRAME.size + max(1, len(body) // 2)
+            self._write_all(frame[_FRAME.size : split])
+            self._crash_point("wal.append.partial")
+            self._write_all(frame[split:])
+        self._offset += len(frame)
+        self._appended_lsn = lsn
+        self._crash_point("wal.append.full")
+
+    def sync(self) -> int:
+        """Group commit: fsync everything appended so far; return the
+        durable LSN.  Concurrent callers coalesce -- whoever enters the
+        sync lock first covers every record appended before its fsync, and
+        later callers find their watermark already durable."""
+        if self._failed:
+            raise WalUnavailableError("WAL writer is shut down")
+        with self._sync_lock:
+            target_offset = self._offset
+            target_lsn = self._appended_lsn
+            if target_offset > self._synced_offset:
+                self._io("wal.fsync", lambda: os.fsync(self._fd))
+                self._synced_offset = target_offset
+                self._synced_lsn = target_lsn
+            return self._synced_lsn
+
+    def close(self, *, sync: bool = True) -> None:
+        """Close the segment, fsyncing the tail by default (idempotent)."""
+        if self._fd < 0:
+            return
+        if sync and not self._failed:
+            self.sync()
+        os.close(self._fd)
+        self._fd = -1
+
+    def abandon(self) -> None:
+        """Close the fd without syncing (crash cleanup path)."""
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1

@@ -131,3 +131,102 @@ class AccessLog:
     def clear(self) -> None:
         """Drop all buffered records."""
         self.records.clear()
+
+
+# --------------------------------------------------------------------- #
+# Write deltas: the WAL's record source
+# --------------------------------------------------------------------- #
+
+#: Delta kinds in stable order; the WAL codec stores the index into this
+#: tuple as a one-byte kind code, so the order is part of the on-disk
+#: format -- append only, never reorder.
+DELTA_KINDS = ("insert", "delete", "update")
+
+DELTA_KIND_CODES = {kind: code for code, kind in enumerate(DELTA_KINDS)}
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One applied write run in Z-set form (insert = +1, delete = -1,
+    update = -1/+1 on the key column).
+
+    ``keys`` holds the submitted keys of the run in submission order
+    (the *old* keys for an update run); ``payloads`` is the aligned
+    ``(n, width)`` payload-row array for inserts (zero-width when the table
+    has no payload columns) and ``None`` otherwise; ``new_keys`` is the
+    aligned target-key array for updates and ``None`` otherwise.  Replaying
+    the records of a batch in order through the table's bulk-write paths
+    reproduces the batch's logical effect (see
+    :mod:`repro.durability.recovery` for the one caveat on duplicate keys).
+    """
+
+    kind: str
+    keys: np.ndarray
+    payloads: np.ndarray | None = None
+    new_keys: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELTA_KIND_CODES:
+            raise ValueError(f"unknown delta kind: {self.kind!r}")
+
+    @property
+    def operations(self) -> int:
+        """Number of write operations the record covers."""
+        return int(self.keys.shape[0])
+
+
+class DeltaLog:
+    """An append-only buffer of :class:`DeltaRecord` entries.
+
+    The engine keeps one log per durable commit scope (an ``execute_batch``
+    call, or one serial write), appending one record per *applied* write
+    run -- records are added after the table mutation succeeds, so the log
+    always describes exactly what the in-memory state absorbed, even when a
+    batch dies part-way through.  The durability manager encodes the whole
+    log as one checksummed WAL record.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[DeltaRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DeltaRecord]:
+        return iter(self.records)
+
+    @property
+    def operations(self) -> int:
+        """Total write operations covered by the buffered records."""
+        return sum(record.operations for record in self.records)
+
+    def record_insert(
+        self,
+        keys: np.ndarray | Sequence[int],
+        payloads: np.ndarray | Sequence[Sequence[int]],
+    ) -> None:
+        """Append an applied insert run with its payload rows."""
+        keys = np.asarray(keys, dtype=np.int64)
+        rows = np.asarray(payloads, dtype=np.int64).reshape(keys.shape[0], -1)
+        self.records.append(DeltaRecord(kind="insert", keys=keys, payloads=rows))
+
+    def record_delete(self, keys: np.ndarray | Sequence[int]) -> None:
+        """Append an applied delete run (submitted keys, hits and misses)."""
+        self.records.append(
+            DeltaRecord(kind="delete", keys=np.asarray(keys, dtype=np.int64))
+        )
+
+    def record_update(
+        self, pairs: np.ndarray | Sequence[tuple[int, int]]
+    ) -> None:
+        """Append an applied ``old_key -> new_key`` update run."""
+        pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        self.records.append(
+            DeltaRecord(
+                kind="update",
+                keys=pairs_arr[:, 0].copy(),
+                new_keys=pairs_arr[:, 1].copy(),
+            )
+        )

@@ -8,25 +8,36 @@ search (count / sum), insert, delete, update -- together with:
 * optional snapshot-isolation transactions backed by
   :class:`~repro.storage.mvcc.TransactionManager`,
 * dispatch of :mod:`repro.workload.operations` objects, which is what the
-  benchmark harness drives.
+  benchmark harness drives,
+* an optional durability hook: with a
+  :class:`~repro.durability.manager.DurabilityManager` attached, every
+  write dispatch runs inside a *commit scope* -- the manager's
+  ``wal_commit`` lock held across [table apply + WAL append] -- so the
+  write-ahead log records exactly the deltas the in-memory state absorbed,
+  in the order it absorbed them, before results are returned.  Read-only
+  dispatches never touch the commit lock.  MVCC transaction writes bypass
+  the scope and are *not* logged (transactions remain an in-memory
+  feature; see the durability docs).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 if TYPE_CHECKING:
     from ..core.monitor import WorkloadMonitor
+    from ..durability.manager import DurabilityManager
 
 import numpy as np
 
 from repro import discipline
 from repro.discipline import guarded_class
 
-from .access_log import PAIRED_UPDATE_KIND, AccessLog
+from .access_log import PAIRED_UPDATE_KIND, AccessLog, DeltaLog
 from .cost_accounting import (
     DEFAULT_COST_CONSTANTS,
     AccessCounter,
@@ -55,6 +66,8 @@ class BatchResult(SimulatedCost):
     ``results`` holds the per-operation result payloads in submission order
     (``None`` for operations that raised ``ValueNotFoundError``); ``accesses``
     is the aggregate simulated block-access tally of the whole batch.
+    ``lsn`` is the WAL record the batch's writes committed under (``None``
+    for read-only batches and engines without durability attached).
     """
 
     results: list[Any]
@@ -62,6 +75,7 @@ class BatchResult(SimulatedCost):
     wall_ns: float
     operations: int
     errors: int = 0
+    lsn: int | None = None
 
 
 @guarded_class
@@ -176,6 +190,17 @@ class StorageEngine:
         # session accumulates its own log and the monitor merges them at
         # flush time (``observe_batch`` serializes ingestion internally).
         self._batch_local = threading.local()
+        #: Optional :class:`repro.durability.manager.DurabilityManager`;
+        #: attach through :meth:`attach_durability`, not by assignment.
+        self.durability: "DurabilityManager | None" = None
+
+    def attach_durability(self, manager: "DurabilityManager") -> None:
+        """Route every subsequent write dispatch through ``manager``.
+
+        Attach before the engine is shared between threads: the reference
+        itself is read unlocked on the dispatch path.
+        """
+        self.durability = manager
 
     @property
     def _batch_log(self) -> AccessLog | None:
@@ -184,6 +209,44 @@ class StorageEngine:
     @_batch_log.setter
     def _batch_log(self, log: AccessLog | None) -> None:
         self._batch_local.log = log
+
+    @property
+    def _batch_deltas(self) -> DeltaLog | None:
+        return getattr(self._batch_local, "deltas", None)
+
+    @_batch_deltas.setter
+    def _batch_deltas(self, deltas: DeltaLog | None) -> None:
+        self._batch_local.deltas = deltas
+
+    @contextmanager
+    def _commit_scope(self) -> Iterator[DeltaLog | None]:
+        """Durable commit scope around one write dispatch.
+
+        Yields the :class:`DeltaLog` the dispatch must record its applied
+        writes into, or ``None`` when no durability manager is attached
+        (writes stay memory-only, exactly the pre-durability behavior).
+        Inside ``execute_batch`` the batch-wide scope is already open --
+        the thread-local log is handed out and the batch holds the commit
+        lock.  A serial write outside a batch opens its own scope: commit
+        lock across [apply + append], then the fsync policy *outside* the
+        lock, so group commit can coalesce concurrent committers' fsyncs.
+        """
+        durability = self.durability
+        if durability is None:
+            yield None
+            return
+        active = self._batch_deltas
+        if active is not None:
+            yield active
+            return
+        durability.require_writable()
+        deltas = DeltaLog()
+        with durability.commit_lock:
+            yield deltas
+            if deltas.records:
+                durability.append(deltas)
+        if deltas.records:
+            durability.sync_for_policy()
 
     def _record(
         self,
@@ -280,15 +343,38 @@ class StorageEngine:
         self._record("range_sum", (low,), (high,))
         return self._measure("range_sum", self.table.range_sum, low, high, columns)
 
+    def _delta_payload_rows(
+        self, payloads: Sequence[Sequence[int]] | None, count: int
+    ) -> np.ndarray:
+        """Normalize insert payloads to the ``(count, width)`` row array the
+        table stores (``None`` rows become the zero rows the table pads)."""
+        width = len(self.table.payload_names)
+        if payloads is None:
+            return np.zeros((count, width), dtype=np.int64)
+        return np.asarray(payloads, dtype=np.int64).reshape(count, width)
+
     def insert(self, key: int, payload: Sequence[int] | None = None) -> OperationResult:
         """Q4: insert a new row."""
-        self._record("insert", (key,))
-        return self._measure("insert", self.table.insert, key, payload)
+        with self._commit_scope() as deltas:
+            self._record("insert", (key,))
+            outcome = self._measure("insert", self.table.insert, key, payload)
+            if deltas is not None:
+                rows = self._delta_payload_rows(
+                    [payload] if payload is not None else None, 1
+                )
+                deltas.record_insert([key], rows)
+        return outcome
 
     def delete(self, key: int) -> OperationResult:
         """Q5: delete a row by key."""
-        self._record("delete", (key,))
-        return self._measure("delete", self.table.delete, key)
+        with self._commit_scope() as deltas:
+            self._record("delete", (key,))
+            outcome = self._measure("delete", self.table.delete, key)
+            # Recorded only after the measured apply: a miss raises
+            # ValueNotFoundError above, mutates nothing and logs nothing.
+            if deltas is not None:
+                deltas.record_delete([key])
+        return outcome
 
     def multi_insert(
         self,
@@ -296,10 +382,19 @@ class StorageEngine:
         payloads: Sequence[Sequence[int]] | None = None,
     ) -> OperationResult:
         """Batched Q4 on the bulk-write fast path; result is the row ids."""
-        self._record("insert", keys)
-        return self._measure(
-            "multi_insert", self.table.bulk_insert, keys, payloads
-        )
+        with self._commit_scope() as deltas:
+            self._record("insert", keys)
+            if deltas is not None:
+                # Convert once and share: the table and the delta log would
+                # otherwise each pay the tuple->array conversion.
+                keys = np.asarray(keys, dtype=np.int64)
+                payloads = self._delta_payload_rows(payloads, len(keys))
+            outcome = self._measure(
+                "multi_insert", self.table.bulk_insert, keys, payloads
+            )
+            if deltas is not None:
+                deltas.record_insert(keys, payloads)
+        return outcome
 
     def multi_delete(self, keys: Sequence[int]) -> OperationResult:
         """Batched Q5 on the bulk-write fast path.
@@ -307,13 +402,28 @@ class StorageEngine:
         The result is the per-key deleted-count array (0 marks a missing
         key; no :class:`ValueNotFoundError` is raised on the bulk path).
         """
-        self._record("delete", keys)
-        return self._measure("multi_delete", self.table.bulk_delete, keys)
+        with self._commit_scope() as deltas:
+            self._record("delete", keys)
+            if deltas is not None:
+                keys = np.asarray(keys, dtype=np.int64)
+            outcome = self._measure("multi_delete", self.table.bulk_delete, keys)
+            # The submitted keys are logged, hits and misses alike: replay
+            # re-submits them through the same bulk path, and a miss is a
+            # no-op on both sides.
+            if deltas is not None:
+                deltas.record_delete(keys)
+        return outcome
 
     def update_key(self, old_key: int, new_key: int) -> OperationResult:
         """Q6: change a row's key value."""
-        self._record(PAIRED_UPDATE_KIND, (old_key,), (new_key,))
-        return self._measure("update", self.table.update_key, old_key, new_key)
+        with self._commit_scope() as deltas:
+            self._record(PAIRED_UPDATE_KIND, (old_key,), (new_key,))
+            outcome = self._measure(
+                "update", self.table.update_key, old_key, new_key
+            )
+            if deltas is not None:
+                deltas.record_update([(old_key, new_key)])
+        return outcome
 
     def multi_update(
         self, pairs: Sequence[tuple[int, int]]
@@ -326,10 +436,15 @@ class StorageEngine:
         simulated accesses match per-pair :meth:`update_key` dispatch
         exactly.
         """
-        if self.monitor is not None:
-            pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-            self._record(PAIRED_UPDATE_KIND, pairs_arr[:, 0], pairs_arr[:, 1])
-        return self._measure("multi_update", self.table.bulk_update, pairs)
+        with self._commit_scope() as deltas:
+            if self.monitor is not None or deltas is not None:
+                pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            if self.monitor is not None:
+                self._record(PAIRED_UPDATE_KIND, pairs[:, 0], pairs[:, 1])
+            outcome = self._measure("multi_update", self.table.bulk_update, pairs)
+            if deltas is not None:
+                deltas.record_update(pairs)
+        return outcome
 
     def full_scan(self) -> OperationResult:
         """Scan the entire key column."""
@@ -455,8 +570,50 @@ class StorageEngine:
         instead of one monitor call per operation.  Attribution routes by
         the chunk fences, which no batched write moves, so the deferred
         flush attributes exactly what per-operation observation would.
+
+        With durability attached, a batch containing any write runs inside
+        one commit scope: the manager's commit lock is held across the
+        whole dispatch and the batch's accumulated delta log is appended
+        as **one WAL record** before results are returned (group-commit
+        fsync per the configured policy, outside the lock).  The append
+        happens even when a dispatch raises mid-batch -- deltas are
+        recorded per *applied* run, so the log matches whatever prefix the
+        in-memory state absorbed.  Read-only batches skip the lock
+        entirely; durable write batches from concurrent sessions serialize
+        against each other (and against checkpoints), which is the price
+        of a single gap-free log (per-shard logs are the scale-out path,
+        see ROADMAP).
         """
+        from ..workload.operations import is_write
+
         oplist = list(operations)
+        durability = self.durability
+        if durability is None or not any(is_write(op) for op in oplist):
+            return self._execute_batch_inner(oplist)
+        durability.require_writable()
+        deltas = DeltaLog()
+        lsn: int | None = None
+        with durability.commit_lock:
+            self._batch_deltas = deltas
+            try:
+                result = self._execute_batch_inner(oplist)
+            finally:
+                self._batch_deltas = None
+                # Append in ``finally``: when the dispatch died mid-batch
+                # the already-applied prefix must still reach the log, or
+                # every later batch would replay onto diverged state.  (An
+                # append failure here masks a mid-batch exception -- both
+                # are fatal to the scope, and the WAL error is the one
+                # recovery semantics depend on.)
+                if deltas.records:
+                    lsn = durability.append(deltas)
+        if lsn is not None:
+            durability.sync_for_policy()
+            result.lsn = lsn
+        return result
+
+    def _execute_batch_inner(self, oplist) -> BatchResult:
+        """Monitor-scoped dispatch loop of :meth:`execute_batch`."""
         before = self.counter.snapshot()
         start = time.perf_counter_ns()
         batch_log = AccessLog() if self.monitor is not None else None

@@ -389,6 +389,18 @@ class Table:
             self._next_rowid = needed
         return np.arange(start, needed, dtype=np.int64)
 
+    def payload_rows(self, rowids: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Copy the payload rows addressed by ``rowids`` (snapshot path).
+
+        Returns a ``(len(rowids), num_payload_columns)`` array aligned with
+        the input.  Unlocked, like every payload read: a row id is only
+        handed out after its chunk insert published it, by which time its
+        payload row is durably written (``_payload`` is ``"write"``-guarded,
+        see :data:`repro.discipline.GUARDED_BY`).
+        """
+        rowids = np.asarray(rowids, dtype=np.int64)
+        return self._payload[rowids].copy()
+
     def _materialize_rows(
         self,
         key: int,

@@ -181,6 +181,24 @@ Operation = (
     | MultiUpdate
 )
 
+#: Kinds that mutate table state; the durability layer opens a commit
+#: scope (WAL append + fsync policy) exactly when a dispatch contains one.
+WRITE_KINDS = frozenset(
+    {
+        OperationKind.INSERT,
+        OperationKind.DELETE,
+        OperationKind.UPDATE,
+        OperationKind.MULTI_INSERT,
+        OperationKind.MULTI_DELETE,
+        OperationKind.MULTI_UPDATE,
+    }
+)
+
+
+def is_write(operation: Operation) -> bool:
+    """Whether ``operation`` mutates table state (needs a commit scope)."""
+    return operation.kind in WRITE_KINDS
+
 
 @dataclass
 class Workload:

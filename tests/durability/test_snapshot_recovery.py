@@ -1,0 +1,329 @@
+"""Snapshot + recovery tests: checkpoints, rotation/GC, oracle equality."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.database import Database
+from repro.api.policies import VectorizedPolicy
+from repro.durability.errors import ReadOnlyError, WalUnavailableError
+from repro.durability.faults import FaultInjector
+from repro.durability.manager import DurabilityConfig
+from repro.durability.recovery import recover, replay
+from repro.durability.snapshot import list_snapshots, load_snapshot
+from repro.durability.wal import scan_segment, segment_first_lsn
+from repro.storage.layouts import LayoutKind, LayoutSpec
+from repro.workload.operations import (
+    MultiDelete,
+    MultiInsert,
+    MultiUpdate,
+    PointQuery,
+    RangeQuery,
+)
+
+
+def payload_for(keys):
+    """Deterministic payload = f(key), so recovery checks are order-free."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return np.stack([keys % 7, (keys * 3) % 11], axis=1)
+
+
+def make_db(root, rows=200, **kwargs):
+    keys = np.arange(rows, dtype=np.int64) * 2
+    return Database.from_rows(
+        keys,
+        payload_for(keys),
+        chunk_size=64,
+        payload_names=("a", "b"),
+        durability=root,
+        **kwargs,
+    )
+
+
+def fingerprint(table):
+    """Multiset of (key, *payload) rows -- rowid-renumbering agnostic."""
+    keys = np.sort(table.scan())
+    rows = []
+    for key in keys.tolist():
+        for row in table.point_query(key):
+            rows.append((key, *sorted(row.payload.items())))
+    return sorted(rows)
+
+
+def wal_records(root):
+    """Every (lsn, body) record across all segments, in LSN order."""
+    segments = sorted(
+        (root / "wal").glob("wal-*.log"), key=lambda p: segment_first_lsn(p.name)
+    )
+    records = []
+    for segment in segments:
+        records.extend(scan_segment(segment).records)
+    return records
+
+
+class TestBaseline:
+    def test_from_rows_takes_baseline_snapshot(self, tmp_path):
+        db = make_db(tmp_path)
+        snapshots = list_snapshots(tmp_path / "snapshots")
+        assert len(snapshots) == 1
+        loaded = load_snapshot(snapshots[0])
+        assert loaded.keys.size == 200
+        assert loaded.meta["payload_names"] == ["a", "b"]
+        assert (tmp_path / "wal").exists()
+        db.close()
+
+    def test_open_without_writes_matches(self, tmp_path):
+        db = make_db(tmp_path)
+        before = fingerprint(db.table)
+        db.close()
+        reopened = Database.open(tmp_path)
+        assert reopened.recovery.batches_replayed == 0
+        assert fingerprint(reopened.table) == before
+        reopened.table.check_invariants()
+        reopened.close()
+
+
+class TestWriteRecover:
+    def test_writes_survive_close_and_open(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.session() as s:
+            new = np.arange(601, 641, dtype=np.int64)
+            s.execute(MultiInsert(tuple(new.tolist()), tuple(map(tuple, payload_for(new)))))
+            s.execute(MultiDelete((0, 2, 4, 6)))
+            s.execute(MultiUpdate(((10, 11), (12, 13))))
+        before = fingerprint(db.table)
+        db.close()
+
+        reopened = Database.open(tmp_path)
+        report = reopened.recovery
+        assert report.batches_replayed == 3
+        assert report.last_lsn > report.base_lsn
+        assert fingerprint(reopened.table) == before
+        reopened.table.check_invariants()
+        # The reopened database accepts further durable writes.
+        with reopened.session() as s:
+            result = s.execute(MultiInsert((1001, 1003), ((1, 2), (3, 4))))
+            assert result.commit_lsn == report.last_lsn + 1
+            assert result.durable
+            assert s.execute(PointQuery(1001)).results[0]
+        reopened.close()
+
+    def test_commit_acknowledgement_reports_lsn(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.session() as s:
+            read = s.execute(RangeQuery(0, 100))
+            write = s.execute(MultiInsert((901,), ((0, 0),)))
+            assert s.sync() == write.commit_lsn
+        # The pure read ran before any write: nothing logged yet.
+        assert read.commit_lsn is None
+        assert write.commit_lsn == 1
+        assert write.durable  # fsync="always"
+        db.close()
+
+    def test_checkpoint_shortens_replay(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.session() as s:
+            s.execute(MultiInsert((801, 803), ((0, 0), (1, 1))))
+        info = db.checkpoint()
+        assert info.lsn == 1
+        with db.session() as s:
+            s.execute(MultiDelete((801,)))
+        db.close()
+
+        reopened = Database.open(tmp_path)
+        assert reopened.recovery.base_lsn == info.lsn
+        assert reopened.recovery.batches_replayed == 1
+        assert reopened.table.point_query(803)
+        assert not reopened.table.point_query(801)
+        reopened.close()
+
+
+class TestRotationAndGC:
+    def test_checkpoints_rotate_and_collect(self, tmp_path):
+        db = make_db(tmp_path)
+        wal_dir = tmp_path / "wal"
+
+        def write_round(base):
+            with db.session() as s:
+                s.execute(MultiInsert((base, base + 2), ((0, 0), (1, 1))))
+
+        write_round(2001)
+        db.checkpoint()
+        assert len(list_snapshots(tmp_path / "snapshots")) == 2
+        write_round(3001)
+        db.checkpoint()
+        # keep_snapshots=2: the baseline snapshot is gone, and with it the
+        # segments its successors fully cover.
+        snapshots = list_snapshots(tmp_path / "snapshots")
+        assert len(snapshots) == 2
+        firsts = sorted(
+            segment_first_lsn(p.name) for p in wal_dir.glob("wal-*.log")
+        )
+        assert firsts[0] > 1  # the first post-baseline segment was collected
+        db.close()
+
+        reopened = Database.open(tmp_path)
+        assert reopened.table.point_query(2001)
+        assert reopened.table.point_query(3003)
+        reopened.close()
+
+    def test_layout_spec_survives_recovery(self, tmp_path):
+        keys = np.arange(500, dtype=np.int64)
+        spec = LayoutSpec(kind=LayoutKind.EQUI, partitions=8)
+        db = Database.from_rows(
+            keys,
+            payload_for(keys),
+            layout=spec,
+            chunk_size=128,
+            payload_names=("a", "b"),
+            durability=tmp_path,
+        )
+        with db.session() as s:
+            s.execute(MultiInsert((9001,), ((5, 5),)))
+        db.checkpoint()
+        db.close()
+
+        reopened = Database.open(tmp_path)
+        # The rebuilt chunks use the stored layout spec, not a default.
+        snapshots = list_snapshots(tmp_path / "snapshots")
+        meta = load_snapshot(snapshots[0]).meta
+        assert meta["layout_spec"]["kind"] == "equi"
+        assert meta["layout_spec"]["partitions"] == 8
+        assert reopened.table.num_rows == 501
+        reopened.table.check_invariants()
+        # A post-recovery checkpoint preserves the spec for the next open.
+        with reopened.session() as s:
+            s.execute(MultiInsert((9003,), ((6, 6),)))
+        reopened.checkpoint()
+        latest = load_snapshot(list_snapshots(tmp_path / "snapshots")[0])
+        assert latest.meta["layout_spec"]["partitions"] == 8
+        reopened.close()
+
+
+class TestReplaySemantics:
+    def test_replay_is_idempotent_past_watermark(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.session() as s:
+            s.execute(MultiInsert((701, 703), ((0, 0), (1, 1))))
+            s.execute(MultiDelete((701,)))
+        db.close()
+
+        table, report = recover(tmp_path)
+        before = fingerprint(table)
+        records = wal_records(tmp_path)
+        assert records
+        # Replaying the already-applied prefix again is a no-op.
+        batches, operations, last = replay(
+            table, records, after_lsn=report.last_lsn
+        )
+        assert batches == 0
+        assert operations == 0
+        assert last == report.last_lsn
+        assert fingerprint(table) == before
+
+    def test_corrupt_snapshot_falls_back_to_older(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.session() as s:
+            s.execute(MultiInsert((501,), ((0, 0),)))
+        db.checkpoint()
+        with db.session() as s:
+            s.execute(MultiInsert((503,), ((1, 1),)))
+        before = fingerprint(db.table)
+        db.close()
+
+        newest = list_snapshots(tmp_path / "snapshots")[0]
+        chunk = sorted(newest.glob("chunk-*.npz"))[0]
+        data = bytearray(chunk.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        chunk.write_bytes(bytes(data))
+
+        reopened = Database.open(tmp_path)
+        # Fallback to the baseline snapshot means a longer replay.
+        assert reopened.recovery.base_lsn == 0
+        assert reopened.recovery.batches_replayed == 2
+        assert fingerprint(reopened.table) == before
+        reopened.close()
+
+
+class TestReadOnlyDegradation:
+    def test_unwritable_log_degrades_to_read_only(self, tmp_path):
+        faults = FaultInjector()
+        config = DurabilityConfig(
+            root=tmp_path, faults=faults, max_retries=1, retry_backoff_s=0.0
+        )
+        db = Database.from_rows(
+            np.arange(100, dtype=np.int64),
+            payload_for(np.arange(100)),
+            chunk_size=32,
+            payload_names=("a", "b"),
+            durability=config,
+        )
+        with db.session() as s:
+            s.execute(MultiInsert((901,), ((0, 0),)))
+        # The log directory "becomes unwritable" from here on.
+        faults.io_error_at = "wal.write"
+        faults.io_errors = 10**9
+        with db.session() as s, pytest.raises(WalUnavailableError):
+            s.execute(MultiInsert((903,), ((1, 1),)))
+        assert db.read_only
+        with db.session() as s:
+            with pytest.raises(ReadOnlyError):
+                s.execute(MultiInsert((905,), ((2, 2),)))
+            # Reads keep flowing in the degraded state.
+            assert s.execute(RangeQuery(0, 200)).results[0] > 0
+            assert s.execute(PointQuery(901)).results[0]
+        db.close()
+
+        # Restart sees only the acknowledged prefix: lsn 1 survives, the
+        # failed append never made it to the log.
+        faults.io_errors = 0
+        reopened = Database.open(tmp_path)
+        assert reopened.recovery.last_lsn == 1
+        assert reopened.table.point_query(901)
+        assert not reopened.table.point_query(903)
+        reopened.close()
+
+
+class TestConcurrentDurability:
+    @pytest.mark.concurrency
+    def test_concurrent_sessions_recover_exactly(
+        self, tmp_path, tight_switch_interval
+    ):
+        db = make_db(tmp_path, rows=100)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                with db.session(
+                    execution=VectorizedPolicy(batch_size=32)
+                ) as s:
+                    for round_no in range(5):
+                        base = 10_000 + worker_id * 1_000 + round_no * 100
+                        keys = np.arange(base, base + 40, 2, dtype=np.int64)
+                        s.execute(
+                            MultiInsert(
+                                tuple(keys.tolist()),
+                                tuple(map(tuple, payload_for(keys))),
+                            )
+                        )
+                        s.execute(RangeQuery(0, 50_000))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        before = fingerprint(db.table)
+        db.checkpoint()
+        db.close()
+
+        reopened = Database.open(tmp_path)
+        assert fingerprint(reopened.table) == before
+        reopened.table.check_invariants()
+        reopened.close()

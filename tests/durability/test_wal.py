@@ -1,0 +1,301 @@
+"""WAL unit tests: codec round trips, torn tails, group commit, retries."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import discipline
+from repro.durability.errors import WalCorruptionError, WalUnavailableError
+from repro.durability.faults import FaultInjector, InjectedCrash
+from repro.durability.wal import (
+    MAGIC,
+    WalWriter,
+    decode_delta_log,
+    encode_delta_log,
+    frame_record,
+    scan_segment,
+    segment_first_lsn,
+    segment_name,
+)
+from repro.storage.access_log import DeltaLog
+
+
+#: ``WalWriter.append``'s declared precondition is the ``wal_commit``
+#: lock; tests acquire a real discipline lock so the debug-mode entry
+#: assertion (REPRO_DEBUG_LATCHES=1) holds here too.
+COMMIT_LOCK = discipline.make_lock("wal_commit")
+
+
+def append(writer, lsn, body):
+    with COMMIT_LOCK:
+        writer.append(lsn, body)
+
+
+def make_log(width=2):
+    log = DeltaLog()
+    log.record_insert([3, 1, 4], np.arange(3 * width).reshape(3, width))
+    log.record_delete([1, 5, 9])
+    log.record_update([(2, 6), (5, 3)])
+    return log
+
+
+def assert_logs_equal(a, b):
+    assert len(a.records) == len(b.records)
+    for left, right in zip(a.records, b.records, strict=True):
+        assert left.kind == right.kind
+        np.testing.assert_array_equal(left.keys, right.keys)
+        if left.kind == "insert":
+            np.testing.assert_array_equal(left.payloads, right.payloads)
+        if left.kind == "update":
+            np.testing.assert_array_equal(left.new_keys, right.new_keys)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        log = make_log()
+        assert_logs_equal(decode_delta_log(encode_delta_log(log)), log)
+
+    def test_round_trip_zero_width_payload(self):
+        log = DeltaLog()
+        log.record_insert([7, 8], np.empty((2, 0), dtype=np.int64))
+        decoded = decode_delta_log(encode_delta_log(log))
+        assert decoded.records[0].payloads.shape == (2, 0)
+
+    def test_empty_log(self):
+        decoded = decode_delta_log(encode_delta_log(DeltaLog()))
+        assert len(decoded.records) == 0
+
+    def test_operations_total(self):
+        assert make_log().operations == 8
+
+    def test_truncated_body_rejected(self):
+        body = encode_delta_log(make_log())
+        with pytest.raises(WalCorruptionError):
+            decode_delta_log(body[:-4])
+
+    def test_trailing_bytes_rejected(self):
+        body = encode_delta_log(make_log())
+        with pytest.raises(WalCorruptionError):
+            decode_delta_log(body + b"\x00")
+
+
+class TestSegmentNames:
+    def test_round_trip(self):
+        assert segment_first_lsn(segment_name(42)) == 42
+
+    def test_rejects_foreign_names(self):
+        with pytest.raises(WalCorruptionError):
+            segment_first_lsn("notawal.log")
+
+
+class TestAppendScan:
+    def test_append_then_scan(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = WalWriter(path)
+        bodies = [encode_delta_log(make_log(width=w)) for w in (0, 1, 3)]
+        for lsn, body in enumerate(bodies, start=1):
+            append(writer, lsn, body)
+        writer.close()
+        scan = scan_segment(path)
+        assert not scan.torn
+        assert [lsn for lsn, _ in scan.records] == [1, 2, 3]
+        assert [body for _, body in scan.records] == bodies
+
+    def test_lsn_must_be_consecutive(self, tmp_path):
+        writer = WalWriter(tmp_path / segment_name(1))
+        append(writer, 1, b"x")
+        with pytest.raises(WalCorruptionError):
+            append(writer, 3, b"y")
+        writer.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = WalWriter(path)
+        append(writer, 1, b"alpha")
+        append(writer, 2, b"beta")
+        writer.close()
+        intact = path.stat().st_size
+        # Simulate a crash mid-append: half of record 3's frame.
+        frame = frame_record(3, b"gamma-torn")
+        with open(path, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        scan = scan_segment(path)
+        assert scan.torn
+        assert [lsn for lsn, _ in scan.records] == [1, 2]
+        reopened = WalWriter(path)
+        assert path.stat().st_size == intact
+        assert reopened.appended_lsn == 2
+        append(reopened, 3, b"gamma")
+        reopened.close()
+        assert [lsn for lsn, _ in scan_segment(path).records] == [1, 2, 3]
+
+    def test_corrupt_middle_record_stops_scan(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = WalWriter(path)
+        for lsn in (1, 2, 3):
+            append(writer, lsn, b"payload-%d" % lsn)
+        writer.close()
+        data = bytearray(path.read_bytes())
+        # Flip one byte inside record 2's body.
+        offset = len(MAGIC) + len(frame_record(1, b"payload-1")) + 20
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = scan_segment(path)
+        assert scan.torn
+        assert [lsn for lsn, _ in scan.records] == [1]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+        with pytest.raises(WalCorruptionError):
+            scan_segment(path)
+
+    def test_empty_segment_reopens_at_first_lsn(self, tmp_path):
+        path = tmp_path / segment_name(7)
+        WalWriter(path).close()
+        reopened = WalWriter(path)
+        assert reopened.appended_lsn == 6
+        append(reopened, 7, b"first")
+        reopened.close()
+        assert [lsn for lsn, _ in scan_segment(path).records] == [7]
+
+
+class TestGroupCommit:
+    def test_sync_coalesces(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            "repro.durability.wal.os.fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd))[1],
+        )
+        writer = WalWriter(tmp_path / segment_name(1))
+        append(writer, 1, b"a")
+        append(writer, 2, b"b")
+        assert writer.synced_lsn == 0
+        assert writer.sync() == 2
+        assert len(calls) == 1
+        # Nothing new appended: the next sync is a no-op.
+        assert writer.sync() == 2
+        assert len(calls) == 1
+        writer.close()
+        assert len(calls) == 1
+
+    def test_concurrent_commit_and_sync(self, tmp_path):
+        writer = WalWriter(tmp_path / segment_name(1))
+        lock = threading.Lock()
+        errors = []
+
+        def committer(worker):
+            try:
+                for _ in range(25):
+                    with lock:
+                        append(writer, writer.appended_lsn + 1, b"w%d" % worker)
+                    writer.sync()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=committer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert writer.synced_lsn == 100
+        writer.close()
+        assert len(scan_segment(writer.path).records) == 100
+
+
+class TestRetriesAndDegradation:
+    def test_transient_errors_are_retried(self, tmp_path):
+        faults = FaultInjector(io_error_at="wal.write", io_errors=2)
+        writer = WalWriter(
+            tmp_path / segment_name(1),
+            faults=faults,
+            max_retries=4,
+            sleep=lambda _: None,
+        )
+        append(writer, 1, b"survives")
+        writer.close()
+        assert faults.io_errors == 0
+        assert len(scan_segment(writer.path).records) == 1
+
+    def test_persistent_errors_shut_the_writer_down(self, tmp_path):
+        faults = FaultInjector(io_error_at="wal.write", io_errors=100)
+        writer = WalWriter(
+            tmp_path / segment_name(1),
+            faults=faults,
+            max_retries=2,
+            sleep=lambda _: None,
+        )
+        with pytest.raises(WalUnavailableError):
+            append(writer, 1, b"never lands")
+        assert writer.failed
+        with pytest.raises(WalUnavailableError):
+            append(writer, 1, b"still down")
+        writer.abandon()
+
+    def test_fsync_errors_shut_the_writer_down(self, tmp_path):
+        faults = FaultInjector(io_error_at="wal.fsync", io_errors=100)
+        writer = WalWriter(
+            tmp_path / segment_name(1),
+            faults=faults,
+            max_retries=1,
+            sleep=lambda _: None,
+        )
+        append(writer, 1, b"appended")
+        with pytest.raises(WalUnavailableError):
+            writer.sync()
+        assert writer.failed
+        writer.abandon()
+
+
+class TestCrashPoints:
+    @pytest.mark.parametrize(
+        "point,surviving",
+        [
+            ("wal.append.begin", [1]),
+            ("wal.append.header", [1]),
+            ("wal.append.partial", [1]),
+            ("wal.append.full", [1, 2]),
+        ],
+    )
+    def test_append_crash_leaves_valid_prefix(self, tmp_path, point, surviving):
+        path = tmp_path / segment_name(1)
+        faults = FaultInjector(crash_at=point, crash_hit=2)
+        writer = WalWriter(path, faults=faults)
+        append(writer, 1, b"committed")
+        with pytest.raises(InjectedCrash):
+            append(writer, 2, b"torn away maybe")
+        scan = scan_segment(path)
+        assert [lsn for lsn, _ in scan.records] == surviving
+        # Reopen truncates whatever tail the crash left.
+        reopened = WalWriter(path)
+        assert reopened.appended_lsn == surviving[-1]
+        reopened.close()
+
+    def test_power_loss_drops_unsynced_tail(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        faults = FaultInjector(
+            crash_at="wal.append.full", crash_hit=3, power_loss=True
+        )
+        writer = WalWriter(path, faults=faults)
+        append(writer, 1, b"durable")
+        writer.sync()
+        append(writer, 2, b"volatile")
+        with pytest.raises(InjectedCrash):
+            append(writer, 3, b"volatile too")
+        # Only the fsynced prefix survives the power cut.
+        assert [lsn for lsn, _ in scan_segment(path).records] == [1]
+
+    def test_fsync_crash_before_durability(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        faults = FaultInjector(crash_at="wal.fsync", power_loss=True)
+        writer = WalWriter(path, faults=faults)
+        append(writer, 1, b"appended not synced")
+        with pytest.raises(InjectedCrash):
+            writer.sync()
+        assert scan_segment(path).records == []
