@@ -1,0 +1,146 @@
+"""Replica catch-up throughput vs. primary write throughput.
+
+A follower is only useful at *bounded* lag: if it applies the WAL slower
+than the primary appends it, lag grows without bound and every read
+session drifts arbitrarily stale.  This smoke gates the bound on the
+Fig. 12 write-heavy workload (fresh-key insert batches with interleaved
+deletes, the same mix the WAL bench ships): catch-up throughput -- write
+operations applied per second by a follower tailing the finished log --
+must be >= 1.0x the primary's sustained write throughput under
+``fsync="os"``.
+
+The follower side has structural slack: it replays pre-encoded bulk
+batches through the same vectorized write paths with no WAL append, no
+fsync policy and no monitor on its table, so apply-side throughput above
+the primary's is the expected shape, not an accident of the machine.
+Both sides run in the same process per round and the gate takes the best
+per-round ratio, so shared-runner drift that slows both cancels out.
+
+Results land in ``BENCH_replica.json`` before the gate assert (a
+regression still leaves the numbers behind for the CI artifact).  Set
+``REPRO_BENCH_ROWS`` to scale the table down on constrained machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.database import Database
+from repro.durability.manager import DurabilityConfig
+from repro.replication import Follower
+from repro.workload.operations import MultiDelete, MultiInsert
+
+NUM_BATCHES = 96
+BATCH_OPS = 512
+
+
+def payload_for(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.int64)
+    return np.stack([keys % 7, (keys * 3) % 11], axis=1)
+
+
+def build_batches(num_batches: int, batch_ops: int) -> list:
+    """Fig. 12 write-heavy mix: fresh-key inserts, every fourth batch
+    also deletes a slice of the recently inserted keys."""
+    batches = []
+    next_key = 1_000_001
+    recent: list[int] = []
+    for batch_no in range(num_batches):
+        fresh = [next_key + 2 * i for i in range(batch_ops)]
+        next_key += 2 * batch_ops
+        ops = [
+            MultiInsert(
+                tuple(fresh), tuple(map(tuple, payload_for(fresh).tolist()))
+            )
+        ]
+        if batch_no % 4 == 3 and recent:
+            ops.append(MultiDelete(tuple(recent[: batch_ops // 4])))
+            recent = recent[batch_ops // 4 :]
+        recent.extend(fresh)
+        batches.append(ops)
+    return batches
+
+
+def total_write_ops(batches: list) -> int:
+    return sum(len(op.keys) for ops in batches for op in ops)
+
+
+def run_round(num_rows: int) -> tuple[float, float, int]:
+    """One round: primary ingest (timed), then a fresh follower catches
+    up from the baseline snapshot over the whole log (timed)."""
+    with tempfile.TemporaryDirectory(prefix="repro-replica-bench-") as tmp:
+        root = Path(tmp)
+        keys = np.arange(num_rows, dtype=np.int64) * 2
+        db = Database.from_rows(
+            keys,
+            payload_for(keys),
+            chunk_size=max(1, num_rows // 16),
+            payload_names=("a", "b"),
+            durability=DurabilityConfig(root=root, fsync="os"),
+        )
+        batches = build_batches(NUM_BATCHES, BATCH_OPS)
+        engine = db.engine
+        start = time.perf_counter()
+        for ops in batches:
+            engine.execute_batch(ops)
+        primary_seconds = time.perf_counter() - start
+        db.close()
+
+        follower = Follower(root)  # offline tail: the whole log is durable
+        start = time.perf_counter()
+        follower.catch_up()
+        catchup_seconds = time.perf_counter() - start
+        applied = follower.operations_applied
+        assert applied == total_write_ops(batches)
+        assert follower.table.num_rows == db.table.num_rows
+        return primary_seconds, catchup_seconds, applied
+
+
+def test_replica_catchup_throughput(benchmark):
+    """Follower catch-up stays >= 1.0x the primary's write throughput."""
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    num_rows = int(os.environ.get("REPRO_BENCH_ROWS", 131_072))
+
+    ratio = 0.0
+    best_primary = float("inf")
+    best_catchup = float("inf")
+    applied = 0
+    for _ in range(5):
+        primary_seconds, catchup_seconds, applied = run_round(num_rows)
+        best_primary = min(best_primary, primary_seconds)
+        best_catchup = min(best_catchup, catchup_seconds)
+        ratio = max(ratio, primary_seconds / catchup_seconds)
+        if ratio >= 1.1:
+            break
+
+    primary_ops = applied / best_primary
+    catchup_ops = applied / best_catchup
+    print(
+        f"\nReplica catch-up: {applied} write ops in {NUM_BATCHES} batches "
+        f"on {num_rows} rows"
+    )
+    print(f"  primary ingest   {best_primary * 1e3:8.1f}ms  {primary_ops:12.0f} ops/s")
+    print(f"  follower catchup {best_catchup * 1e3:8.1f}ms  {catchup_ops:12.0f} ops/s")
+    print(f"  gated best-round ratio: {ratio:.2f}x (gate 1.0x)")
+
+    payload = {
+        "rows": num_rows,
+        "batches": NUM_BATCHES,
+        "write_ops": applied,
+        "primary_seconds": best_primary,
+        "catchup_seconds": best_catchup,
+        "primary_ops_per_s": primary_ops,
+        "catchup_ops_per_s": catchup_ops,
+        "ratio": ratio,
+        "gate": 1.0,
+    }
+    out_path = os.environ.get("REPRO_BENCH_REPLICA_JSON", "BENCH_replica.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    assert ratio >= 1.0

@@ -1,0 +1,225 @@
+"""Example: a follower *process* tails a live primary over the WAL.
+
+Two real OS processes share one log directory:
+
+* the **parent** is the primary: it serves a watermark endpoint on a
+  local socket (:class:`PrimaryServer`), ingests write batches, takes a
+  mid-run checkpoint (so the follower crosses a segment-rotation
+  handoff), then writes a ``PRIMARY_DONE`` marker with its final durable
+  watermark and a content digest;
+* the **child** (this same file, re-executed with ``--follower-worker``)
+  is the follower: it bootstraps from the latest snapshot, connects a
+  :class:`RemotePrimary` to the socket, tails the growing WAL while
+  printing its lag over time, and -- once the primary is done -- verifies
+  its replica digest against the primary's at the final watermark.
+
+Exits non-zero if the follower cannot reach the final watermark or its
+state digest differs there, so CI can gate on oracle equality across a
+process boundary.
+
+Run with::
+
+    python examples/follower_catchup.py
+    python examples/follower_catchup.py --batches 64 --rows-per-batch 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.database import Database
+from repro.replication import Follower, Primary, PrimaryServer, RemotePrimary
+from repro.workload.operations import MultiDelete, MultiInsert
+
+DONE_MARKER = "PRIMARY_DONE.json"
+
+
+def payload_for(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.int64)
+    return np.stack([keys % 7, (keys * 3) % 11], axis=1)
+
+
+def digest_table(table) -> str:
+    """Order-free content digest of the logical row multiset."""
+    rows = []
+    for key in np.sort(table.scan()).tolist():
+        for row in table.point_query(key):
+            rows.append((key, row.payload["a"], row.payload["b"]))
+    blob = json.dumps(sorted(rows)).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Primary (parent process)
+# --------------------------------------------------------------------- #
+
+
+def run_primary(root: Path, batches: int, rows_per_batch: int) -> int:
+    initial = np.arange(0, 20_000, 2, dtype=np.int64)
+    db = Database.from_rows(
+        initial,
+        payload_for(initial),
+        chunk_size=2_048,
+        payload_names=("a", "b"),
+        durability=root,
+    )
+    server = PrimaryServer(Primary(db.durability)).start()
+    host, port = server.address
+    print(f"[primary] log at {root}, endpoint on {host}:{port}")
+
+    worker = subprocess.Popen(
+        [
+            sys.executable,
+            __file__,
+            "--follower-worker",
+            str(root),
+            "--endpoint",
+            f"{host}:{port}",
+        ]
+    )
+    try:
+        # Wait for the follower's registration pin before ingesting, so
+        # the demo tail spans the whole run (including the rotation).
+        waited = time.time() + 30
+        while time.time() < waited and not db.durability.pins():
+            time.sleep(0.01)
+        print(f"[primary] follower registered: {db.durability.pins()}")
+        next_key = 1_000_001
+        recent: list[int] = []
+        for batch_no in range(batches):
+            fresh = [next_key + 2 * i for i in range(rows_per_batch)]
+            next_key += 2 * rows_per_batch
+            ops = [
+                MultiInsert(
+                    tuple(fresh),
+                    tuple(map(tuple, payload_for(fresh).tolist())),
+                )
+            ]
+            if batch_no % 4 == 3 and recent:
+                ops.append(MultiDelete(tuple(recent[: rows_per_batch // 4])))
+                recent = recent[rows_per_batch // 4 :]
+            recent.extend(fresh)
+            db.engine.execute_batch(ops)
+            if batch_no == batches // 2:
+                info = db.checkpoint()  # forces a rotation handoff mid-tail
+                print(f"[primary] checkpoint at lsn {info.lsn} (segment rotated)")
+            time.sleep(0.002)  # leave the follower room to interleave
+
+        final_lsn = db.sync()
+        marker = {
+            "final_lsn": final_lsn,
+            "digest": digest_table(db.table),
+            "rows": int(db.num_rows),
+        }
+        (root / DONE_MARKER).write_text(json.dumps(marker))
+        print(
+            f"[primary] done: {batches} batches, durable lsn {final_lsn}, "
+            f"{db.num_rows} rows, digest {marker['digest'][:12]}..."
+        )
+        returncode = worker.wait(timeout=120)
+    finally:
+        if worker.poll() is None:
+            worker.kill()
+        server.stop()
+        db.close()
+    if returncode != 0:
+        print(f"[primary] FOLLOWER FAILED (exit {returncode})")
+        return returncode
+    print("[primary] follower verified oracle equality at the final watermark")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Follower (child process)
+# --------------------------------------------------------------------- #
+
+
+def run_follower(root: Path, endpoint: str) -> int:
+    host, port = endpoint.rsplit(":", 1)
+    follower = Follower(
+        root,
+        primary=RemotePrimary((host, int(port))),
+        follower_id="example-follower",
+        poll_interval=0.005,
+    )
+    print(
+        f"[follower] bootstrapped from snapshot lsn {follower.snapshot_lsn}, "
+        f"{follower.table.num_rows} rows"
+    )
+    follower.start()
+
+    deadline = time.time() + 90
+    last_print = 0.0
+    marker = None
+    while time.time() < deadline:
+        now = time.time()
+        if now - last_print >= 0.05:
+            print(
+                f"[follower] applied lsn {follower.applied_lsn:>4}  "
+                f"lag {follower.lag_lsn:>3}  "
+                f"({follower.batches_applied} batches, "
+                f"{follower.operations_applied} ops)"
+            )
+            last_print = now
+        marker_path = root / DONE_MARKER
+        if marker_path.exists():
+            marker = json.loads(marker_path.read_text())
+            if follower.applied_lsn >= marker["final_lsn"]:
+                break
+        time.sleep(0.01)
+    follower.stop()
+
+    if marker is None:
+        print("[follower] FAIL: primary never published its done marker")
+        return 1
+    if follower.applied_lsn < marker["final_lsn"]:
+        print(
+            f"[follower] FAIL: stuck at lsn {follower.applied_lsn} < "
+            f"final watermark {marker['final_lsn']}"
+        )
+        return 1
+    digest = digest_table(follower.table)
+    follower.table.check_invariants()
+    follower.close()
+    if digest != marker["digest"]:
+        print(
+            f"[follower] FAIL: digest mismatch at lsn {marker['final_lsn']}: "
+            f"{digest[:12]}... != {marker['digest'][:12]}..."
+        )
+        return 1
+    print(
+        f"[follower] caught up: lsn {follower.applied_lsn}, "
+        f"{follower.table.num_rows} rows, digest matches the primary"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=48)
+    parser.add_argument("--rows-per-batch", type=int, default=128)
+    parser.add_argument(
+        "--follower-worker",
+        metavar="ROOT",
+        help="internal: run as the follower child process on this log dir",
+    )
+    parser.add_argument("--endpoint", help="internal: primary host:port")
+    args = parser.parse_args()
+
+    if args.follower_worker:
+        return run_follower(Path(args.follower_worker), args.endpoint)
+    with tempfile.TemporaryDirectory(prefix="repro-follower-demo-") as tmp:
+        return run_primary(Path(tmp), args.batches, args.rows_per_batch)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,12 +28,13 @@ from .policies import (
 )
 from .reorg import ReorgAction, ReorgDecision, ReorgPolicy
 from .reorganizer import Reorganizer
-from .session import Session, SessionReport, SessionResult
+from .session import FollowerSession, Session, SessionReport, SessionResult
 
 __all__ = [
     "AdaptivePolicy",
     "Database",
     "ExecutionPolicy",
+    "FollowerSession",
     "ReorgAction",
     "ReorgDecision",
     "ReorgPolicy",

@@ -51,7 +51,7 @@ from ..workload.operations import Workload
 from .policies import ExecutionPolicy
 from .reorg import ReorgPolicy
 from .reorganizer import Reorganizer
-from .session import Session
+from .session import FollowerSession, Session
 
 
 def _durability_config(
@@ -109,6 +109,9 @@ class Database:
         #: :class:`~repro.durability.recovery.RecoveryReport` when this
         #: database was built by :meth:`open`, else ``None``.
         self.recovery = None
+        #: Attached :class:`~repro.replication.follower.Follower` when this
+        #: database was built by :meth:`follow`, else ``None``.
+        self.follower = None
 
     def _attach_durability(
         self,
@@ -322,6 +325,54 @@ class Database:
         database.recovery = report
         return database
 
+    @classmethod
+    def follow(
+        cls,
+        root: "str | os.PathLike",
+        *,
+        primary=None,
+        follower_id: str | None = None,
+        chunk_builder=None,
+        constants: CostConstants | None = None,
+        poll_interval: float = 0.02,
+        start: bool = True,
+        catch_up: bool = True,
+    ) -> "Database":
+        """Open a read-only replica of the database logged under ``root``.
+
+        Bootstraps a :class:`~repro.replication.follower.Follower` from
+        the latest snapshot, optionally catches it up synchronously and
+        starts its background tailing thread, and wraps the replica table
+        in a database whose :meth:`session` hands out read-only
+        :class:`~repro.api.session.FollowerSession` objects with
+        ``lag_lsn`` / ``caught_up`` introspection.
+
+        ``primary`` is the watermark endpoint -- a
+        :class:`~repro.replication.primary.Primary` over the live
+        database's durability manager (same process), a
+        :class:`~repro.replication.transport.RemotePrimary` (socket, other
+        process), or ``None`` for offline tailing of a dead primary's
+        directory.  With an endpoint attached the follower applies only
+        fsync-covered records and pins WAL retention at its cursor;
+        :meth:`close` releases the pin.
+        """
+        from ..replication.follower import Follower
+
+        follower = Follower(
+            root,
+            primary=primary,
+            follower_id=follower_id,
+            chunk_builder=chunk_builder,
+            poll_interval=poll_interval,
+        )
+        if catch_up:
+            follower.catch_up()
+        if start:
+            follower.start()
+        database = cls(follower.table, constants=constants, monitor=False)
+        database.follower = follower
+        return database
+
     # ------------------------------------------------------------------ #
     # Durability lifecycle
     # ------------------------------------------------------------------ #
@@ -350,7 +401,11 @@ class Database:
 
     def close(self) -> None:
         """Release the durability layer (idempotent): fsync the WAL tail
-        and close its descriptors.  Memory-only databases are a no-op."""
+        and close its descriptors.  On a follower database, stops the
+        tailing thread and releases the primary-side retention pin.
+        Memory-only databases are a no-op."""
+        if self.follower is not None:
+            self.follower.close()
         if self.durability is not None:
             self.durability.close()
 
@@ -383,7 +438,18 @@ class Database:
         :class:`ReorgPolicy` inside it) is safe to share across the
         database's sessions, and its background worker keeps running until
         the last sharing session closes.
+
+        On a follower database (built with :meth:`follow`) the session is
+        a read-only :class:`FollowerSession`; ``reorg`` must be ``None``
+        (a replan would fight the replication applier for the chunks).
         """
+        if self.follower is not None:
+            if reorg is not None:
+                raise ValueError(
+                    "follower databases do not reorganize: their layout "
+                    "follows the primary's snapshots; pass reorg=None"
+                )
+            return FollowerSession(self, execution=execution)
         return Session(self, execution=execution, reorg=reorg)
 
     # ------------------------------------------------------------------ #

@@ -39,8 +39,9 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..durability.errors import ReadOnlyError
 from ..storage.cost_accounting import AccessCounter, SimulatedCost
-from ..workload.operations import Operation, Workload
+from ..workload.operations import Operation, Workload, is_write
 from .policies import ExecutionPolicy, SerialPolicy
 from .reorg import ReorgDecision, ReorgPolicy
 from .reorganizer import Reorganizer
@@ -321,3 +322,70 @@ class Session:
             reorg_decisions=list(self._reorg_decisions),
             batch_sizes=list(self._batch_sizes),
         )
+
+
+class FollowerSession(Session):
+    """A read-only session pinned to a follower's replica table.
+
+    Handed out by :meth:`Database.session` on a database built with
+    :meth:`Database.follow`.  Executes exactly like a :class:`Session`
+    except that write operations are refused up front
+    (:class:`~repro.durability.errors.ReadOnlyError` -- the replica's only
+    writer is the replication applier) and reorganization is disabled (a
+    replan would race the applier's bulk writes for no benefit: the
+    replica exists to serve reads, and its layout follows its snapshot).
+
+    Bounded-lag introspection rides along: :attr:`lag_lsn` /
+    :attr:`caught_up` report the replica's distance from the last
+    exchanged durable watermark, and :meth:`refresh` synchronously
+    applies whatever became durable since the last poll -- read-your-
+    writes for callers that just committed on the primary and can ask
+    the follower to catch up before querying.
+    """
+
+    def __init__(self, database: "Database", *, execution=None) -> None:
+        super().__init__(database, execution=execution, reorg=None)
+
+    def execute(
+        self, operations: Workload | Sequence[Operation] | Operation
+    ) -> SessionResult:
+        if isinstance(operations, Operation):
+            operations = [operations]
+        oplist = list(operations)
+        for operation in oplist:
+            if is_write(operation):
+                raise ReadOnlyError(
+                    f"follower sessions are read-only: refusing "
+                    f"{operation.kind.name} on the replica (writes go to "
+                    "the primary; the replication applier is the replica's "
+                    "only writer)"
+                )
+        return super().execute(oplist)
+
+    @property
+    def follower(self):
+        """The :class:`~repro.replication.follower.Follower` backing
+        this session's database."""
+        return self.database.follower
+
+    @property
+    def applied_lsn(self) -> int:
+        """LSN of the last commit visible to this session's reads."""
+        return self.database.follower.applied_lsn
+
+    @property
+    def lag_lsn(self) -> int:
+        """Commits the replica trails its known durable target by."""
+        return self.database.follower.lag_lsn
+
+    @property
+    def caught_up(self) -> bool:
+        """Whether the replica has applied everything it may apply."""
+        return self.database.follower.caught_up
+
+    def refresh(self) -> int:
+        """Synchronously apply newly durable records; returns the number
+        of batches applied.  Serializes with the background tailer on
+        the ``replica_apply`` lock."""
+        self._require_open()
+        return self.database.follower.poll()

@@ -88,6 +88,13 @@ CHUNK_LATCH_RANK = 0
 LOCK_ORDER: dict[str, int] = {
     "wal_commit": -20,
     "wal_sync": -10,
+    # Replication tier: the follower's applier lock is held across WAL
+    # replay into the replica table (which takes chunk latches), so it
+    # sits outside the chunk tier; the cursor-pin registry may be taken
+    # under the commit lock (checkpoint GC) *or* under the applier lock
+    # (watermark exchange), so it is the innermost durability lock.
+    "replica_apply": -6,
+    "replica_pins": -4,
     "chunk_latch": CHUNK_LATCH_RANK,
     "table_structure": 10,
     "table_payload": 20,
@@ -116,10 +123,14 @@ LOCK_ATTRIBUTES: dict[tuple[str | None, str], str] = {
     ("Reorganizer", "_state"): "reorg_state",
     ("Reorganizer", "_wake"): "reorg_wake",
     ("DurabilityManager", "_commit_lock"): "wal_commit",
+    ("DurabilityManager", "_pins_lock"): "replica_pins",
     ("WalWriter", "_sync_lock"): "wal_sync",
+    ("Follower", "_apply_lock"): "replica_apply",
     (None, "commit_lock"): "wal_commit",
     (None, "_commit_lock"): "wal_commit",
     (None, "_sync_lock"): "wal_sync",
+    (None, "_pins_lock"): "replica_pins",
+    (None, "_apply_lock"): "replica_apply",
     (None, "_structure_lock"): "table_structure",
     (None, "_payload_lock"): "table_payload",
     (None, "_state_lock"): "policy_state",
@@ -221,6 +232,19 @@ GUARDED_BY: dict[str, dict[str, tuple[str, str]]] = {
         # The active segment writer is swapped at checkpoint rotation
         # only; unlocked readers see the old or the new published writer.
         "wal": ("wal_commit", "write"),
+        # Replication cursor pins: mutated by watermark exchanges, read
+        # by checkpoint GC; every access holds the pin-registry lock.
+        "_pins": ("replica_pins", "rw"),
+    },
+    "Follower": {
+        # The cursor and the replay accounting move only under the
+        # applier lock; the applied/target watermarks are read unlocked
+        # by lag introspection (monotonic scalars within an incarnation).
+        "_cursor": ("replica_apply", "rw"),
+        "_applied_lsn": ("replica_apply", "write"),
+        "_target_lsn": ("replica_apply", "write"),
+        "_batches_applied": ("replica_apply", "write"),
+        "_operations_applied": ("replica_apply", "write"),
     },
 }
 

@@ -81,6 +81,12 @@ class DurabilityConfig:
     max_retries: int = 4
     retry_backoff_s: float = 0.002
     keep_snapshots: int = 2
+    #: Retention fallback for followers that cannot register a cursor pin
+    #: (e.g. a replica process that tails the log directory without a
+    #: primary endpoint): checkpoint GC always keeps this many rotated
+    #: segments behind the live one, on top of whatever registered pins
+    #: demand.
+    keep_segments: int = 0
     faults: FaultInjector | None = None
 
     def __post_init__(self) -> None:
@@ -113,6 +119,11 @@ class DurabilityManager:
         self.meta = dict(meta)
         self._sleep = sleep
         self._commit_lock = discipline.make_lock("wal_commit")
+        # Replication cursor pins: owner -> last applied LSN.  Checkpoint
+        # GC never deletes a segment holding records above the lowest pin,
+        # so a live cursor can never land on a deleted segment.
+        self._pins_lock = discipline.make_lock("replica_pins")
+        self._pins: dict[str, int] = {}
         self._read_only = False
         self._last_checkpoint = self._latest_snapshot_lsn()
         segments = self.segments()
@@ -180,6 +191,35 @@ class DurabilityManager:
                 "durability layer is in read-only degradation: the write-ahead "
                 "log became unwritable; reopen the database to resume writes"
             )
+
+    # -- replication cursor pins ---------------------------------------- #
+
+    def pin_lsn(self, owner: str, lsn: int) -> None:
+        """Declare that ``owner`` has applied the log through ``lsn``.
+
+        Every record with a larger LSN stays replayable: checkpoint GC
+        will not delete the segments holding them until the pin advances
+        past them or is released.  Re-pinning moves the watermark (it
+        normally only grows, but a re-bootstrapping follower may legally
+        move it back to its new snapshot's LSN).
+        """
+        with self._pins_lock:
+            self._pins[owner] = int(lsn)
+
+    def release_pin(self, owner: str) -> None:
+        """Drop ``owner``'s retention pin (idempotent)."""
+        with self._pins_lock:
+            self._pins.pop(owner, None)
+
+    def pins(self) -> dict[str, int]:
+        """A copy of the live cursor pins (owner -> applied LSN)."""
+        with self._pins_lock:
+            return dict(self._pins)
+
+    def retention_floor(self) -> int | None:
+        """Lowest pinned LSN, or ``None`` when no cursor is registered."""
+        with self._pins_lock:
+            return min(self._pins.values(), default=None)
 
     # -- commit path ---------------------------------------------------- #
 
@@ -263,7 +303,13 @@ class DurabilityManager:
 
     def _collect_garbage(self, newest_lsn: int) -> None:
         """Drop snapshots beyond ``keep_snapshots`` (plus stale partials)
-        and WAL segments fully covered by the oldest *kept* snapshot."""
+        and WAL segments fully covered by the oldest *kept* snapshot.
+
+        Registered replication cursors lower the deletion floor to their
+        lowest pinned LSN, and ``keep_segments`` additionally exempts the
+        newest rotated segments, so a follower tailing the log -- pinned
+        or merely configured for -- never lands on a deleted segment.
+        """
         keep = max(1, int(self.config.keep_snapshots))
         snapshots = list_snapshots(self.snapshot_dir)
         for stale in snapshots[keep:]:
@@ -273,12 +319,18 @@ class DurabilityManager:
                 shutil.rmtree(partial, ignore_errors=True)
         kept = list_snapshots(self.snapshot_dir)
         floor = snapshot_lsn(kept[-1]) if kept else 0
+        pin_floor = self.retention_floor()
+        if pin_floor is not None:
+            floor = min(floor, pin_floor)
         segments = self.segments()
         # Segment k covers LSNs [first_k, first_{k+1}); it is garbage once
-        # the *next* segment starts at or below the replay floor + 1.
-        for segment, successor in zip(segments[:-1], segments[1:], strict=True):
-            if segment_first_lsn(successor) <= floor + 1:
-                segment.unlink(missing_ok=True)
+        # the *next* segment starts at or below the replay floor + 1.  The
+        # live segment and the ``keep_segments`` newest rotated ones are
+        # never candidates.
+        stop = len(segments) - 1 - max(0, int(self.config.keep_segments))
+        for index in range(max(0, stop)):
+            if segment_first_lsn(segments[index + 1]) <= floor + 1:
+                segments[index].unlink(missing_ok=True)
 
     # -- lifecycle ------------------------------------------------------ #
 

@@ -173,52 +173,109 @@ class SegmentScan:
 
     ``records`` holds the ``(lsn, body)`` pairs that passed the CRC, in
     file order; ``valid_bytes`` is the file offset right after the last
-    valid record (the truncation target for a torn tail); ``file_bytes``
-    is the on-disk size that was scanned.
+    valid record (the truncation target for a torn tail, and the resume
+    offset for a tailing reader); ``file_bytes`` is the on-disk size that
+    was scanned; ``ends[i]`` is the absolute offset right after
+    ``records[i]``, so a cursor can advance record-by-record even when it
+    applies only a prefix of the scan.
+
+    ``tail_status`` classifies what stopped the scan:
+
+    * ``"clean"`` -- the file ends exactly at a record boundary;
+    * ``"short"`` -- the last frame is incomplete (fewer bytes on disk
+      than its header demands).  On the *live* segment this is the normal
+      shape of an append still in flight (or cut off by a crash): a
+      tailing reader resumes at ``valid_bytes`` once the file has grown,
+      without re-reading the segment from the start;
+    * ``"corrupt"`` -- a complete frame failed its CRC or broke LSN
+      monotonicity.  More bytes cannot repair it; only the writer's
+      reopen truncation can.
     """
 
     records: list[tuple[int, bytes]]
     valid_bytes: int
     file_bytes: int
+    ends: tuple[int, ...] = ()
+    tail_status: str = "clean"
 
     @property
     def torn(self) -> bool:
         """Whether the segment ends in an incomplete / corrupt tail."""
         return self.file_bytes > self.valid_bytes
 
+    @property
+    def resume_offset(self) -> int:
+        """Where a tailing reader should scan from on its next poll."""
+        return self.valid_bytes
 
-def scan_segment(path: str | os.PathLike) -> SegmentScan:
+
+def scan_segment(
+    path: str | os.PathLike,
+    *,
+    start_offset: int | None = None,
+    previous_lsn: int = 0,
+) -> SegmentScan:
     """Validate a segment and return its intact record prefix.
 
     Walks records front-to-back, stopping at the first frame that is
     incomplete, fails its CRC or breaks LSN monotonicity; everything from
-    that point on is the *torn tail* a crash mid-append leaves behind.
+    that point on is the *torn tail* a crash mid-append leaves behind
+    (``tail_status`` tells an incomplete tail apart from a corrupt one).
     Raises :class:`WalCorruptionError` only for a bad file magic (the file
     is not a WAL segment at all).
+
+    Tailing: pass ``start_offset`` (a previous scan's ``resume_offset``
+    or record end) to resume parsing a *growing* live segment without
+    re-reading it from the start, and ``previous_lsn`` to carry the LSN
+    monotonicity check across the boundary.  Offsets in the result are
+    absolute file offsets either way.
     """
-    data = Path(path).read_bytes()
-    if data[: len(MAGIC)] != MAGIC:
-        raise WalCorruptionError(f"bad WAL magic in {path}")
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise WalCorruptionError(f"bad WAL magic in {path}")
+        start = len(MAGIC) if start_offset is None else int(start_offset)
+        if start < len(MAGIC):
+            raise WalCorruptionError(
+                f"scan offset {start} inside the magic of {path}"
+            )
+        handle.seek(start)
+        data = handle.read()
     records: list[tuple[int, bytes]] = []
-    offset = len(MAGIC)
-    valid = offset
-    previous_lsn = 0
-    while offset + _FRAME.size <= len(data):
+    ends: list[int] = []
+    offset = 0
+    valid = 0
+    status = "clean"
+    while True:
+        if offset + _FRAME.size > len(data):
+            if offset < len(data):
+                status = "short"
+            break
         lsn, length, crc = _FRAME.unpack_from(data, offset)
         body_start = offset + _FRAME.size
         body_end = body_start + length
         if body_end > len(data):
+            status = "short"
             break
         body = data[body_start:body_end]
         if zlib.crc32(_CRC_PREFIX.pack(lsn, length) + body) != crc:
+            status = "corrupt"
             break
         if previous_lsn and lsn != previous_lsn + 1:
+            status = "corrupt"
             break
         records.append((lsn, body))
+        ends.append(start + body_end)
         previous_lsn = lsn
         offset = body_end
         valid = offset
-    return SegmentScan(records=records, valid_bytes=valid, file_bytes=len(data))
+    return SegmentScan(
+        records=records,
+        valid_bytes=start + valid,
+        file_bytes=start + len(data),
+        ends=tuple(ends),
+        tail_status=status,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the replication subsystem."""
+
+from __future__ import annotations
+
+from ..durability.errors import DurabilityError
+
+
+class ReplicationError(DurabilityError):
+    """Base class for replication-layer errors: a follower could not make
+    progress for a reason more bytes will not fix (history gaps, protocol
+    violations, corrupt rotated segments)."""
+
+
+class RetentionGapError(ReplicationError):
+    """The records a cursor needs next were garbage-collected on the
+    primary: every surviving segment starts above ``applied_lsn + 1``.
+    The pin protocol (:meth:`DurabilityManager.pin_lsn`) exists to make
+    this impossible for registered followers; an unregistered follower
+    that falls behind ``keep_segments`` worth of checkpoints must
+    re-bootstrap from the latest snapshot."""
+
+
+class TransportError(ReplicationError):
+    """The watermark-exchange connection failed mid-frame (short read,
+    malformed frame, or the primary reported an error verb)."""

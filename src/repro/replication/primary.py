@@ -1,0 +1,75 @@
+"""The primary endpoint: watermark export + retention pins for followers.
+
+:class:`Primary` is a thin protocol adapter over an existing
+:class:`~repro.durability.manager.DurabilityManager` -- it does not ship
+data.  Record bytes travel through the shared log directory (followers
+read WAL segments and snapshots straight off the filesystem); what the
+endpoint exchanges is *control* state, in both directions:
+
+* **outbound** (primary -> follower): the durable and checkpoint LSN
+  watermarks (:class:`~repro.replication.cursor.CursorExchange`).  The
+  durable watermark is the application gate -- a follower must never
+  apply an appended-but-unsynced record, because a power-loss crash may
+  truncate it away and the primary's next incarnation may write a
+  *different* record under the same LSN;
+* **inbound** (follower -> primary): the follower's applied LSN, which
+  becomes its retention pin (:meth:`DurabilityManager.pin_lsn`) so
+  checkpoint GC never deletes a segment the cursor still needs.
+
+Same-process followers call the endpoint directly; cross-process
+followers reach an identical verb surface through
+:class:`~repro.replication.transport.RemotePrimary`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .cursor import CursorExchange
+
+if TYPE_CHECKING:
+    from ..durability.manager import DurabilityManager
+
+
+class Primary:
+    """Watermark/pin endpoint over one durability manager.
+
+    All three verbs are cheap and thread-safe (the manager's pin lock is
+    the only synchronization), so one endpoint serves any number of
+    follower threads or transport connections.
+    """
+
+    def __init__(self, manager: "DurabilityManager") -> None:
+        self.manager = manager
+
+    @property
+    def root(self) -> Path:
+        """The shared log directory followers bootstrap and tail from."""
+        return self.manager.root
+
+    def _watermarks(self) -> CursorExchange:
+        return CursorExchange(
+            durable_lsn=self.manager.durable_lsn,
+            checkpoint_lsn=self.manager.last_checkpoint_lsn,
+        )
+
+    def register(self, follower_id: str, applied_lsn: int) -> CursorExchange:
+        """Announce a follower: pin retention at its applied LSN.
+
+        Idempotent; re-registering after a follower restart simply moves
+        the pin (possibly *backward*, to the snapshot the new incarnation
+        bootstrapped from).
+        """
+        self.manager.pin_lsn(follower_id, applied_lsn)
+        return self._watermarks()
+
+    def exchange(self, follower_id: str, applied_lsn: int) -> CursorExchange:
+        """One watermark exchange: advance the follower's pin to what it
+        has applied, return the primary's current watermarks."""
+        self.manager.pin_lsn(follower_id, applied_lsn)
+        return self._watermarks()
+
+    def release(self, follower_id: str) -> None:
+        """Drop a departing follower's retention pin (idempotent)."""
+        self.manager.release_pin(follower_id)

@@ -1,0 +1,252 @@
+"""Socket transport for the cursor protocol: watermarks over TCP.
+
+The wire carries *control frames only* -- record bytes move through the
+shared log directory, so a frame is a small JSON object prefixed with a
+``u32`` length::
+
+    +-----------+----------------------+
+    | length u32| JSON payload (UTF-8) |
+    +-----------+----------------------+
+
+Requests name a verb (``register`` / ``exchange`` / ``release``) plus the
+follower id and applied LSN; replies carry ``ok`` and, on success, the
+:class:`~repro.replication.cursor.CursorExchange` watermarks.  No pickle
+anywhere -- a malicious or corrupt peer can at worst produce a
+:class:`~repro.replication.errors.TransportError`, never execute code.
+
+:class:`PrimaryServer` wraps a :class:`~repro.replication.primary.Primary`
+endpoint in an accept loop (one daemon thread per connection -- exchanges
+are rare and tiny, so thread-per-connection is plenty); followers in other
+processes connect a :class:`RemotePrimary`, which duck-types the in-process
+endpoint so :class:`~repro.replication.follower.Follower` cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+from .cursor import CursorExchange
+from .errors import TransportError
+from .primary import Primary
+
+_LENGTH = struct.Struct("<I")
+
+#: Upper bound on a control frame; real frames are < 200 bytes, so this
+#: only guards against garbage lengths from a non-protocol peer.
+_MAX_FRAME = 1 << 16
+
+VERBS = ("register", "exchange", "release")
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    data = json.dumps(payload).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame length {length} exceeds {_MAX_FRAME}")
+    data = _recv_exact(sock, length, eof_ok=False)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TransportError("frame payload is not an object")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class PrimaryServer:
+    """Serve a :class:`Primary` endpoint's verbs over TCP.
+
+    Binds immediately (so :attr:`address` is known before :meth:`start`),
+    accepts on a daemon thread, and handles each connection on its own
+    daemon thread -- a connection is one follower's long-lived exchange
+    channel.  Usable as a context manager.
+    """
+
+    def __init__(
+        self, primary: Primary, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.primary = primary
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is bound to (port resolves 0)."""
+        name = self._listener.getsockname()
+        return (name[0], name[1])
+
+    def start(self) -> "PrimaryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._serve, name="replication-primary", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during stop()
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    request = recv_frame(conn)
+                except TransportError:
+                    return
+                if request is None:
+                    return
+                try:
+                    send_frame(conn, self._dispatch(request))
+                except OSError:
+                    return
+
+    def _dispatch(self, request: dict) -> dict:
+        verb = request.get("verb")
+        follower = request.get("follower")
+        if verb not in VERBS or not isinstance(follower, str):
+            return {"ok": False, "error": f"bad request: {request!r}"}
+        try:
+            if verb == "release":
+                self.primary.release(follower)
+                return {"ok": True}
+            applied = int(request.get("applied_lsn", 0))
+            handler = (
+                self.primary.register
+                if verb == "register"
+                else self.primary.exchange
+            )
+            reply = handler(follower, applied)
+        except Exception as exc:  # surface primary-side failures to the peer
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, **reply.to_wire()}
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (idempotent).  Live
+        per-connection threads die with their sockets' peers."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "PrimaryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class RemotePrimary:
+    """Client half of the transport: the :class:`Primary` verb surface
+    over a socket, for followers in another process.
+
+    Connects lazily and reconnects after a dropped connection on the next
+    verb call.  A single lock serializes frames on the one connection --
+    a follower exchanges from one thread, so contention is nil.
+    """
+
+    def __init__(self, address: tuple[str, int], *, timeout: float = 5.0) -> None:
+        self.address = (address[0], int(address[1]))
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def _request(self, payload: dict) -> dict:
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    self._sock = socket.create_connection(
+                        self.address, timeout=self._timeout
+                    )
+                try:
+                    send_frame(self._sock, payload)
+                    reply = recv_frame(self._sock)
+                    if reply is None:
+                        raise TransportError("primary closed the connection")
+                    break
+                except (OSError, TransportError):
+                    # One silent reconnect covers a primary restart between
+                    # polls; a second failure is the caller's problem.
+                    self.close()
+                    if attempt:
+                        raise
+        if not reply.get("ok"):
+            raise TransportError(
+                f"primary rejected {payload.get('verb')}: {reply.get('error')}"
+            )
+        return reply
+
+    def register(self, follower_id: str, applied_lsn: int) -> CursorExchange:
+        return CursorExchange.from_wire(
+            self._request(
+                {
+                    "verb": "register",
+                    "follower": follower_id,
+                    "applied_lsn": int(applied_lsn),
+                }
+            )
+        )
+
+    def exchange(self, follower_id: str, applied_lsn: int) -> CursorExchange:
+        return CursorExchange.from_wire(
+            self._request(
+                {
+                    "verb": "exchange",
+                    "follower": follower_id,
+                    "applied_lsn": int(applied_lsn),
+                }
+            )
+        )
+
+    def release(self, follower_id: str) -> None:
+        self._request({"verb": "release", "follower": follower_id})
+
+    def close(self) -> None:
+        """Drop the connection (the next verb call reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

@@ -1,0 +1,153 @@
+"""Tailing-safe segment scans: the byte-offset cursor over a growing file.
+
+These tests drive :func:`scan_segment` the way a follower does -- repeated
+incremental scans of one segment from the last good offset -- and pin down
+the tail classification that makes polling safe: a *short* tail (append in
+flight) resumes, a *corrupt* tail (CRC / LSN-order failure) does not heal
+with more bytes, and neither is confused with a clean end-of-segment.
+"""
+
+import pytest
+
+from repro.durability.errors import WalCorruptionError
+from repro.durability.wal import (
+    MAGIC,
+    frame_record,
+    scan_segment,
+    segment_name,
+)
+
+
+def write_segment(tmp_path, frames, *, name=None, magic=MAGIC):
+    path = tmp_path / (name or segment_name(1))
+    path.write_bytes(magic + b"".join(frames))
+    return path
+
+
+BODIES = [b"alpha", b"bravo-bravo", b"charlie"]
+FRAMES = [frame_record(lsn, body) for lsn, body in enumerate(BODIES, start=1)]
+
+
+class TestCleanScans:
+    def test_full_scan_returns_absolute_record_ends(self, tmp_path):
+        path = write_segment(tmp_path, FRAMES)
+        scan = scan_segment(path)
+        assert [lsn for lsn, _ in scan.records] == [1, 2, 3]
+        assert [body for _, body in scan.records] == BODIES
+        assert scan.tail_status == "clean"
+        assert not scan.torn
+        expected = len(MAGIC)
+        ends = []
+        for frame in FRAMES:
+            expected += len(frame)
+            ends.append(expected)
+        assert list(scan.ends) == ends
+        assert scan.valid_bytes == scan.file_bytes == ends[-1]
+
+    def test_resume_from_a_record_end_yields_the_suffix(self, tmp_path):
+        path = write_segment(tmp_path, FRAMES)
+        first = scan_segment(path)
+        scan = scan_segment(
+            path, start_offset=first.ends[0], previous_lsn=first.records[0][0]
+        )
+        assert [lsn for lsn, _ in scan.records] == [2, 3]
+        assert list(scan.ends) == list(first.ends[1:])
+
+    def test_resume_at_eof_is_clean_and_empty(self, tmp_path):
+        path = write_segment(tmp_path, FRAMES)
+        first = scan_segment(path)
+        scan = scan_segment(path, start_offset=first.ends[-1], previous_lsn=3)
+        assert scan.records == []
+        assert scan.tail_status == "clean"
+        assert scan.resume_offset == first.ends[-1]
+
+
+class TestShortTails:
+    @pytest.mark.parametrize("cut", [1, 8, 15, -1])
+    def test_incomplete_final_frame_is_short_not_corrupt(self, tmp_path, cut):
+        partial = FRAMES[2][:cut]
+        path = write_segment(tmp_path, [FRAMES[0], FRAMES[1], partial])
+        scan = scan_segment(path)
+        assert [lsn for lsn, _ in scan.records] == [1, 2]
+        assert scan.tail_status == "short"
+        assert scan.torn
+        assert scan.resume_offset == len(MAGIC) + len(FRAMES[0]) + len(FRAMES[1])
+
+    def test_short_tail_heals_when_the_bytes_arrive(self, tmp_path):
+        path = write_segment(tmp_path, [FRAMES[0], FRAMES[1][:7]])
+        scan = scan_segment(path)
+        assert scan.tail_status == "short"
+        with open(path, "ab") as handle:
+            handle.write(FRAMES[1][7:])
+        resumed = scan_segment(
+            path, start_offset=scan.resume_offset, previous_lsn=1
+        )
+        assert resumed.records == [(2, BODIES[1])]
+        assert resumed.tail_status == "clean"
+
+    def test_growing_file_polled_record_by_record(self, tmp_path):
+        """The follower's poll loop in miniature: write one frame, scan
+        the delta, repeat -- never re-reading from the segment start."""
+        path = tmp_path / segment_name(1)
+        path.write_bytes(MAGIC)
+        offset, previous = len(MAGIC), 0
+        seen = []
+        for frame in FRAMES:
+            with open(path, "ab") as handle:
+                handle.write(frame)
+            scan = scan_segment(path, start_offset=offset, previous_lsn=previous)
+            assert scan.tail_status == "clean"
+            seen.extend(scan.records)
+            offset = scan.resume_offset
+            previous = scan.records[-1][0]
+        assert seen == list(zip([1, 2, 3], BODIES))
+
+
+class TestCorruptTails:
+    def test_crc_failure_is_corrupt_not_short(self, tmp_path):
+        damaged = bytearray(FRAMES[1])
+        damaged[-1] ^= 0xFF
+        path = write_segment(tmp_path, [FRAMES[0], bytes(damaged)])
+        scan = scan_segment(path)
+        assert scan.records == [(1, BODIES[0])]
+        assert scan.tail_status == "corrupt"
+        assert scan.torn
+
+    def test_lsn_regression_is_corrupt(self, tmp_path):
+        path = write_segment(tmp_path, [FRAMES[0], FRAMES[0]])
+        scan = scan_segment(path)
+        assert [lsn for lsn, _ in scan.records] == [1]
+        assert scan.tail_status == "corrupt"
+
+    def test_monotonicity_carries_across_resumed_scans(self, tmp_path):
+        # Record 3 alone is CRC-valid; only the previous_lsn seed from the
+        # earlier scan reveals that record 2 is missing in between.
+        path = write_segment(tmp_path, [FRAMES[0], FRAMES[2]])
+        first = scan_segment(path, start_offset=len(MAGIC))
+        assert first.tail_status == "corrupt"
+        resumed = scan_segment(path, start_offset=first.resume_offset, previous_lsn=1)
+        assert resumed.records == []
+        assert resumed.tail_status == "corrupt"
+
+    def test_valid_in_isolation_when_unseeded(self, tmp_path):
+        # Without a previous_lsn seed the first scanned record is trusted:
+        # that is what lets a cursor resume mid-segment and at a fresh
+        # segment whose first LSN only the name knows.
+        path = write_segment(tmp_path, [FRAMES[0], FRAMES[2]])
+        scan = scan_segment(
+            path, start_offset=len(MAGIC) + len(FRAMES[0]), previous_lsn=0
+        )
+        assert scan.records == [(3, BODIES[2])]
+        assert scan.tail_status == "clean"
+
+
+class TestStructuralErrors:
+    def test_bad_magic_raises(self, tmp_path):
+        path = write_segment(tmp_path, [FRAMES[0]], magic=b"NOTAWAL!")
+        with pytest.raises(WalCorruptionError, match="magic"):
+            scan_segment(path)
+
+    def test_offset_inside_magic_raises(self, tmp_path):
+        path = write_segment(tmp_path, [FRAMES[0]])
+        with pytest.raises(WalCorruptionError, match="inside the magic"):
+            scan_segment(path, start_offset=3)
