@@ -373,6 +373,31 @@ class Database:
         database.follower = follower
         return database
 
+    @classmethod
+    def sharded(
+        cls,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | None = None,
+        *,
+        n_shards: int = 2,
+        **options,
+    ):
+        """Load rows into a multi-process sharded database.
+
+        Splits the key space across ``n_shards`` worker processes (each
+        running its own engine, durability manager and reorganizer) and
+        returns a :class:`~repro.sharding.database.ShardedDatabase` whose
+        :meth:`~repro.sharding.database.ShardedDatabase.session` speaks
+        the :class:`Session` execution surface with serial-oracle
+        results.  See :meth:`ShardedDatabase.from_rows` for the options
+        (``durability=``, ``plan=``, ``cluster=``, ...).
+        """
+        from ..sharding.database import ShardedDatabase
+
+        return ShardedDatabase.from_rows(
+            keys, payload, n_shards=n_shards, **options
+        )
+
     # ------------------------------------------------------------------ #
     # Durability lifecycle
     # ------------------------------------------------------------------ #

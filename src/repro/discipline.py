@@ -86,6 +86,15 @@ CHUNK_LATCH_RANK = 0
 #: requires ascending chunk indices (check LO02).  This is the order the
 #: sharding dispatcher inherits -- extend it here, not in comments.
 LOCK_ORDER: dict[str, int] = {
+    # Sharding tier (dispatcher side, outermost of all): the dispatcher
+    # serializes rounds on ``shard_state`` and then talks to each worker
+    # under that worker's ``shard_channel`` frame lock, while the workers'
+    # own durability/storage locks live in *other processes* and never
+    # interleave with these.  A dispatcher thread may also execute against
+    # an in-process oracle database while holding ``shard_state`` (the
+    # equality harness does), so the tier sits outside ``wal_commit``.
+    "shard_state": -40,
+    "shard_channel": -30,
     "wal_commit": -20,
     "wal_sync": -10,
     # Replication tier: the follower's applier lock is held across WAL
@@ -126,6 +135,9 @@ LOCK_ATTRIBUTES: dict[tuple[str | None, str], str] = {
     ("DurabilityManager", "_pins_lock"): "replica_pins",
     ("WalWriter", "_sync_lock"): "wal_sync",
     ("Follower", "_apply_lock"): "replica_apply",
+    ("ShardCluster", "_lock"): "shard_state",
+    ("ShardedDatabase", "_lock"): "shard_state",
+    ("ShardChannel", "_lock"): "shard_channel",
     (None, "commit_lock"): "wal_commit",
     (None, "_commit_lock"): "wal_commit",
     (None, "_sync_lock"): "wal_sync",
@@ -136,6 +148,10 @@ LOCK_ATTRIBUTES: dict[tuple[str | None, str], str] = {
     (None, "_state_lock"): "policy_state",
     (None, "_state"): "reorg_state",
     (None, "_wake"): "reorg_wake",
+    # Cross-object references in the sharding layer: a helper holding a
+    # borrowed cluster/channel lock names the attribute unambiguously.
+    (None, "_shard_state_lock"): "shard_state",
+    (None, "_shard_channel_lock"): "shard_channel",
 }
 
 #: Chunk-touching methods and the latch mode each requires.  The
@@ -235,6 +251,18 @@ GUARDED_BY: dict[str, dict[str, tuple[str, str]]] = {
         # Replication cursor pins: mutated by watermark exchanges, read
         # by checkpoint GC; every access holds the pin-registry lock.
         "_pins": ("replica_pins", "rw"),
+    },
+    "ShardChannel": {
+        # The one connection to a shard worker: request/reply pairs (and
+        # the close that invalidates the socket) hold the channel lock, so
+        # frames from concurrent dispatcher threads never interleave.
+        "_sock": ("shard_channel", "rw"),
+    },
+    "ShardCluster": {
+        # Worker-process/channel registries: mutated at start/stop and on
+        # worker death, read by every dispatch round.
+        "_channels": ("shard_state", "rw"),
+        "_processes": ("shard_state", "rw"),
     },
     "Follower": {
         # The cursor and the replay accounting move only under the

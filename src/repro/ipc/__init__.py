@@ -1,0 +1,22 @@
+"""Process-to-process plumbing shared by replication and sharding.
+
+:mod:`repro.ipc.framing` carries the length-prefixed JSON control frames
+both transports speak; :mod:`repro.ipc.shm` wraps the shared-memory
+arenas the sharding dispatcher ships numpy payloads through.
+"""
+
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+from .shm import ShmArena
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FrameError",
+    "ShmArena",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,99 @@
+"""Shared-memory arenas: zero-copy numpy transport between processes.
+
+The sharding dispatcher ships operation arrays (keys, bounds, payload
+rows) to its worker processes and receives result arrays (row ids,
+counts, payload gathers) back.  Control frames stay small JSON
+(:mod:`repro.ipc.framing`); the bulk ``int64`` arrays travel through one
+:class:`ShmArena` per worker channel instead -- a fixed-size
+:class:`multiprocessing.shared_memory.SharedMemory` block both sides map.
+
+Usage protocol (enforced by the dispatch layer, not here):
+
+* the arena is single-writer-at-a-time -- the dispatcher fills it, sends
+  the frame referencing offsets, and does not touch it again until the
+  reply arrives; the worker copies every referenced array *out* before
+  executing, then reuses the arena from offset 0 for its reply;
+* arrays that do not fit fall back to inline JSON in the frame (see
+  :mod:`repro.sharding.codec`), so arena capacity bounds performance,
+  never correctness.
+
+The creating side owns the block and unlinks it on close.  Attaching
+sides just close their mapping: spawned workers share the parent's
+:mod:`multiprocessing.resource_tracker`, so their attach-time
+registration is a set no-op there and the owner's ``unlink`` clears the
+single tracked entry (see :meth:`ShmArena.attach`).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+
+class ShmArena:
+    """A named fixed-size shared-memory block with owner semantics."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, *, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, size: int) -> "ShmArena":
+        """Allocate a new arena of ``size`` bytes (this side owns it)."""
+        if size <= 0:
+            raise ValueError("arena size must be positive")
+        shm = shared_memory.SharedMemory(create=True, size=int(size))
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmArena":
+        """Map an existing arena by name (the creator retains ownership).
+
+        Pre-3.13, attaching registers the segment with the resource
+        tracker as if this side created it.  Spawned workers inherit the
+        *parent's* tracker process, where the registry is a name set, so
+        the duplicate registration is a no-op and the owner's ``unlink``
+        clears the single entry -- an explicit ``unregister`` here would
+        instead remove the owner's entry and make that ``unlink`` trip a
+        tracker ``KeyError``.  Only a process with its own tracker (not
+        our topology) must deregister to protect the parent's memory.
+        """
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        """System-wide name the other side attaches by."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Capacity in bytes."""
+        return self._shm.size
+
+    @property
+    def buf(self) -> memoryview:
+        """The mapped memory."""
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Unmap (and, on the owning side, unlink) the block.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

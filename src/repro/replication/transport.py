@@ -24,60 +24,37 @@ difference.
 
 from __future__ import annotations
 
-import json
 import socket
-import struct
 import threading
 
+from ..ipc import framing
 from .cursor import CursorExchange
 from .errors import TransportError
 from .primary import Primary
 
-_LENGTH = struct.Struct("<I")
-
 #: Upper bound on a control frame; real frames are < 200 bytes, so this
-#: only guards against garbage lengths from a non-protocol peer.
+#: only guards against garbage lengths from a non-protocol peer.  The
+#: shared framing layer (:mod:`repro.ipc.framing`) enforces the bound
+#: before reading a single payload byte.
 _MAX_FRAME = 1 << 16
 
 VERBS = ("register", "exchange", "release")
 
 
 def send_frame(sock: socket.socket, payload: dict) -> None:
-    """Send one length-prefixed JSON frame."""
-    data = json.dumps(payload).encode("utf-8")
-    sock.sendall(_LENGTH.pack(len(data)) + data)
+    """Send one length-prefixed JSON frame (cursor-protocol bounds)."""
+    try:
+        framing.send_frame(sock, payload, max_frame=_MAX_FRAME)
+    except framing.FrameError as exc:
+        raise TransportError(str(exc)) from exc
 
 
 def recv_frame(sock: socket.socket) -> dict | None:
     """Receive one frame; ``None`` on a clean EOF at a frame boundary."""
-    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
-    if header is None:
-        return None
-    (length,) = _LENGTH.unpack(header)
-    if length > _MAX_FRAME:
-        raise TransportError(f"frame length {length} exceeds {_MAX_FRAME}")
-    data = _recv_exact(sock, length, eof_ok=False)
     try:
-        payload = json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise TransportError(f"malformed frame: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise TransportError("frame payload is not an object")
-    return payload
-
-
-def _recv_exact(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | None:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if eof_ok and remaining == count:
-                return None
-            raise TransportError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        return framing.recv_frame(sock, max_frame=_MAX_FRAME)
+    except framing.FrameError as exc:
+        raise TransportError(str(exc)) from exc
 
 
 class PrimaryServer:

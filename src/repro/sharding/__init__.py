@@ -1,0 +1,27 @@
+"""Router-level sharding: fan chunk spans out across worker processes.
+
+The chunk-level :class:`~repro.storage.partition_index.PartitionIndex`
+fence idea lifted one level up: a :class:`ShardMap` routes keys to
+worker processes, a :class:`ShardCluster` owns the processes and their
+shared-memory channels, and :class:`ShardedDatabase` /
+:class:`ShardedSession` rebuild the ``Database`` / ``Session`` façade on
+top with contractual serial-oracle equality of results and errors.
+Entry point: ``Database.sharded(keys, ..., n_shards=4)``.
+"""
+
+from .cluster import DEFAULT_ARENA_BYTES, ExecuteReply, ShardChannel, ShardCluster
+from .database import ShardedDatabase, ShardedSession
+from .errors import ShardError, WorkerDiedError
+from .shard_map import ShardMap
+
+__all__ = [
+    "DEFAULT_ARENA_BYTES",
+    "ExecuteReply",
+    "ShardChannel",
+    "ShardCluster",
+    "ShardError",
+    "ShardMap",
+    "ShardedDatabase",
+    "ShardedSession",
+    "WorkerDiedError",
+]

@@ -1,0 +1,355 @@
+"""Wire codec for shard dispatch: operations out, results back.
+
+Frames (:mod:`repro.ipc.framing`) carry only small JSON descriptors; every
+``int64`` array -- point-query key batches, range bounds, insert payload
+rows, result row ids and payload gathers -- is appended to the channel's
+shared-memory arena (:class:`repro.ipc.shm.ShmArena`) and referenced by
+``{"o": byte_offset, "n": element_count}``.  Arrays that do not fit the
+arena (or when no arena is attached) fall back to inline JSON lists:
+capacity bounds performance, never correctness.
+
+The result encoding mirrors exactly what
+:meth:`repro.api.session.Session.execute` puts in ``results``:
+
+========================  =============================================
+serial result entry        wire form
+========================  =============================================
+``None`` (miss)            ``{"t": "z"}``
+``int`` (count / rowid)    ``{"t": "i", "v": ...}``
+``int64`` array            ``{"t": "a", "v": <array>}``
+``list[Row]`` (Q1)         ``{"t": "r", "c": .., "r": .., "p": ..}``
+``list[list[Row]]``        ``{"t": "rr", "c": .., "r": .., "p": ..}``
+========================  =============================================
+
+Row blocks ship ``(counts, rowids, payload_values)`` -- the dispatcher
+rebuilds :class:`~repro.storage.table.Row` objects with the keys it
+already knows from the submitted operation, after offsetting local row
+ids by the shard's base (load-order global ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ipc.shm import ShmArena
+from ..storage.table import Row
+from ..workload import operations as ops
+from .errors import ShardError
+
+_I64 = np.dtype(np.int64)
+
+
+class ArenaWriter:
+    """Appends int64 arrays to an arena from offset 0; overflow inlines."""
+
+    def __init__(self, arena: ShmArena | None) -> None:
+        self._buf = arena.buf if arena is not None else None
+        self._capacity = arena.size if arena is not None else 0
+        self._offset = 0
+
+    def put(self, values: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(values, dtype=_I64)
+        nbytes = arr.nbytes
+        if self._buf is None or self._offset + nbytes > self._capacity:
+            return {"v": arr.tolist()}
+        end = self._offset + nbytes
+        self._buf[self._offset:end] = arr.tobytes()
+        descriptor = {"o": self._offset, "n": int(arr.size)}
+        self._offset = end
+        return descriptor
+
+
+class ArenaReader:
+    """Resolves :class:`ArenaWriter` descriptors back to owned arrays."""
+
+    def __init__(self, arena: ShmArena | None) -> None:
+        self._buf = arena.buf if arena is not None else None
+
+    def get(self, descriptor: dict) -> np.ndarray:
+        if "v" in descriptor:
+            return np.asarray(descriptor["v"], dtype=_I64)
+        if self._buf is None:
+            raise ShardError("arena descriptor received without an arena")
+        # Copy out: the arena is reused for the reply in the other
+        # direction, so no decoded array may alias it.
+        return np.frombuffer(
+            self._buf,
+            dtype=_I64,
+            count=int(descriptor["n"]),
+            offset=int(descriptor["o"]),
+        ).copy()
+
+
+# --------------------------------------------------------------------- #
+# Operations
+# --------------------------------------------------------------------- #
+
+
+def encode_ops(oplist, writer: ArenaWriter) -> list[dict]:
+    """Encode a per-shard operation list into frame descriptors."""
+    encoded: list[dict] = []
+    for op in oplist:
+        if isinstance(op, ops.PointQuery):
+            encoded.append({"k": "pq", "key": int(op.key), "c": _cols(op)})
+        elif isinstance(op, ops.RangeQuery):
+            encoded.append(
+                {
+                    "k": "rq",
+                    "lo": int(op.low),
+                    "hi": int(op.high),
+                    "agg": op.aggregate.value,
+                    "c": _cols(op),
+                }
+            )
+        elif isinstance(op, ops.Insert):
+            payload = list(op.payload) if op.payload is not None else None
+            encoded.append({"k": "in", "key": int(op.key), "p": payload})
+        elif isinstance(op, ops.Delete):
+            encoded.append({"k": "de", "key": int(op.key)})
+        elif isinstance(op, ops.Update):
+            encoded.append(
+                {"k": "up", "old": int(op.old_key), "new": int(op.new_key)}
+            )
+        elif isinstance(op, ops.MultiPointQuery):
+            encoded.append(
+                {"k": "mpq", "keys": writer.put(op.keys), "c": _cols(op)}
+            )
+        elif isinstance(op, ops.MultiRangeCount):
+            bounds = np.asarray(op.bounds, dtype=_I64).reshape(-1)
+            encoded.append({"k": "mrc", "b": writer.put(bounds)})
+        elif isinstance(op, ops.MultiInsert):
+            entry = {"k": "mi", "keys": writer.put(op.keys)}
+            if op.payloads is not None:
+                rows = np.asarray(op.payloads, dtype=_I64).reshape(-1)
+                entry["p"] = writer.put(rows)
+            encoded.append(entry)
+        elif isinstance(op, ops.MultiDelete):
+            encoded.append({"k": "md", "keys": writer.put(op.keys)})
+        elif isinstance(op, ops.MultiUpdate):
+            pairs = np.asarray(op.pairs, dtype=_I64).reshape(-1)
+            encoded.append({"k": "mu", "pairs": writer.put(pairs)})
+        else:
+            raise ShardError(f"cannot encode operation {type(op)!r}")
+    return encoded
+
+
+def decode_ops(encoded: list[dict], reader: ArenaReader) -> list:
+    """Rebuild operation objects from :func:`encode_ops` descriptors."""
+    oplist = []
+    for entry in encoded:
+        kind = entry["k"]
+        if kind == "pq":
+            oplist.append(
+                ops.PointQuery(key=entry["key"], columns=_cols_in(entry))
+            )
+        elif kind == "rq":
+            oplist.append(
+                ops.RangeQuery(
+                    low=entry["lo"],
+                    high=entry["hi"],
+                    aggregate=ops.Aggregate(entry["agg"]),
+                    columns=_cols_in(entry),
+                )
+            )
+        elif kind == "in":
+            payload = entry["p"]
+            oplist.append(
+                ops.Insert(
+                    key=entry["key"],
+                    payload=tuple(payload) if payload is not None else None,
+                )
+            )
+        elif kind == "de":
+            oplist.append(ops.Delete(key=entry["key"]))
+        elif kind == "up":
+            oplist.append(ops.Update(old_key=entry["old"], new_key=entry["new"]))
+        elif kind == "mpq":
+            keys = reader.get(entry["keys"])
+            oplist.append(
+                ops.MultiPointQuery(
+                    keys=tuple(int(k) for k in keys), columns=_cols_in(entry)
+                )
+            )
+        elif kind == "mrc":
+            bounds = reader.get(entry["b"]).reshape(-1, 2)
+            oplist.append(
+                ops.MultiRangeCount(
+                    bounds=tuple((int(lo), int(hi)) for lo, hi in bounds)
+                )
+            )
+        elif kind == "mi":
+            keys = reader.get(entry["keys"])
+            payloads = None
+            if "p" in entry:
+                rows = reader.get(entry["p"]).reshape(int(keys.size), -1)
+                payloads = tuple(tuple(int(v) for v in row) for row in rows)
+            oplist.append(
+                ops.MultiInsert(
+                    keys=tuple(int(k) for k in keys), payloads=payloads
+                )
+            )
+        elif kind == "md":
+            keys = reader.get(entry["keys"])
+            oplist.append(ops.MultiDelete(keys=tuple(int(k) for k in keys)))
+        elif kind == "mu":
+            pairs = reader.get(entry["pairs"]).reshape(-1, 2)
+            oplist.append(
+                ops.MultiUpdate(
+                    pairs=tuple((int(a), int(b)) for a, b in pairs)
+                )
+            )
+        else:
+            raise ShardError(f"cannot decode operation kind {kind!r}")
+    return oplist
+
+
+def _cols(op) -> list[str] | None:
+    return list(op.columns) if op.columns is not None else None
+
+
+def _cols_in(entry) -> tuple[str, ...] | None:
+    columns = entry.get("c")
+    return tuple(columns) if columns is not None else None
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class RowBlock:
+    """Decoded row-result block: per-key hit counts plus flat arrays."""
+
+    counts: np.ndarray
+    rowids: np.ndarray
+    payload: np.ndarray  # flat, len(rowids) * len(columns)
+    nested: bool  # list[list[Row]] (Multi*) vs list[Row] (scalar)
+
+
+def _encode_rows(row_lists, columns, writer: ArenaWriter, *, nested: bool) -> dict:
+    counts = np.fromiter(
+        (len(rows) for rows in row_lists), dtype=_I64, count=len(row_lists)
+    )
+    rowids = np.fromiter(
+        (row.rowid for rows in row_lists for row in rows),
+        dtype=_I64,
+        count=int(counts.sum()),
+    )
+    payload = np.fromiter(
+        (
+            row.payload[name]
+            for rows in row_lists
+            for row in rows
+            for name in columns
+        ),
+        dtype=_I64,
+        count=int(counts.sum()) * len(columns),
+    )
+    return {
+        "t": "rr" if nested else "r",
+        "c": writer.put(counts),
+        "r": writer.put(rowids),
+        "p": writer.put(payload),
+    }
+
+
+def encode_results(
+    oplist, results, writer: ArenaWriter, payload_names
+) -> list[dict]:
+    """Encode a session's per-operation results for the wire.
+
+    ``oplist`` provides the context the row blocks need (requested
+    columns); entries must align one-to-one with ``results``.
+    """
+    encoded: list[dict] = []
+    for op, result in zip(oplist, results, strict=True):
+        if result is None:
+            encoded.append({"t": "z"})
+        elif isinstance(result, (int, np.integer)):
+            encoded.append({"t": "i", "v": int(result)})
+        elif isinstance(result, np.ndarray):
+            encoded.append({"t": "a", "v": writer.put(result)})
+        elif isinstance(result, list):
+            columns = (
+                list(op.columns)
+                if op.columns is not None
+                else list(payload_names)
+            )
+            if op.kind is ops.OperationKind.MULTI_POINT_QUERY:
+                encoded.append(
+                    _encode_rows(result, columns, writer, nested=True)
+                )
+            else:
+                encoded.append(
+                    _encode_rows([result], columns, writer, nested=False)
+                )
+        else:
+            raise ShardError(f"cannot encode result {type(result)!r}")
+    return encoded
+
+
+def decode_results(encoded: list[dict], reader: ArenaReader) -> list:
+    """Decode :func:`encode_results` output to merge-ready entries.
+
+    Row blocks come back as :class:`RowBlock` (the dispatcher rebuilds
+    :class:`Row` objects with keys and shard-base offsets it knows);
+    everything else is its final value.
+    """
+    decoded = []
+    for entry in encoded:
+        tag = entry["t"]
+        if tag == "z":
+            decoded.append(None)
+        elif tag == "i":
+            decoded.append(int(entry["v"]))
+        elif tag == "a":
+            decoded.append(reader.get(entry["v"]))
+        elif tag in ("r", "rr"):
+            counts = reader.get(entry["c"])
+            decoded.append(
+                RowBlock(
+                    counts=counts,
+                    rowids=reader.get(entry["r"]),
+                    payload=reader.get(entry["p"]),
+                    nested=tag == "rr",
+                )
+            )
+        else:
+            raise ShardError(f"cannot decode result tag {tag!r}")
+    return decoded
+
+
+def materialize_rows(
+    block: RowBlock, keys, columns, base: int
+) -> list[list[Row]]:
+    """Rebuild per-key ``list[Row]`` results from a decoded block.
+
+    ``keys`` aligns with ``block.counts``; local row ids are offset by
+    the shard's ``base`` so load-order ids match the serial table's.
+    """
+    width = len(columns)
+    out: list[list[Row]] = []
+    cursor = 0
+    payload = block.payload
+    rowids = block.rowids
+    for key, count in zip(keys, block.counts, strict=True):
+        key = int(key)
+        rows = []
+        for i in range(cursor, cursor + int(count)):
+            values = payload[i * width:(i + 1) * width]
+            rows.append(
+                Row(
+                    key=key,
+                    rowid=int(rowids[i]) + base,
+                    payload={
+                        name: int(value)
+                        for name, value in zip(columns, values, strict=True)
+                    },
+                )
+            )
+        out.append(rows)
+        cursor += int(count)
+    return out

@@ -1,0 +1,799 @@
+"""The sharded façade: route, fan out, merge back, stay serial-equal.
+
+:class:`ShardedDatabase` splits one logical table across worker
+processes by key range (:class:`~repro.sharding.shard_map.ShardMap`, the
+:class:`~repro.storage.partition_index.PartitionIndex` fence idea lifted
+one level up) and :class:`ShardedSession` re-implements the
+:class:`~repro.api.session.Session` execution surface on top of
+:meth:`~repro.sharding.cluster.ShardCluster.execute_round`.
+
+The contract is **serial-oracle equality**: for any operation sequence,
+``results`` and ``errors`` match what a single-process database loaded
+from the same rows would return, because
+
+* the shard map is a pure function of the key with every copy of a key
+  in one shard, so operations routed to different shards touch disjoint
+  key multisets and commute;
+* within a shard, operations run FIFO through one single-threaded
+  worker, preserving submission order where it matters;
+* cross-shard range aggregates decompose exactly -- the shards partition
+  the key space, so per-shard counts/sums add up to the serial answer;
+* cross-shard key updates are the one ordering hazard, so they drain the
+  pending round (a barrier), then move the row with an atomic-per-shard
+  ``take`` + ``insert``.
+
+Documented divergences (also in the README): row ids created *after*
+load (inserts, cross-shard moves) need not match the serial oracle's --
+load-order ids do, because shard slice offsets reproduce the key-sorted
+global numbering; per-shard WAL watermarks are incomparable, so
+``SessionResult.commit_lsn`` is ``None`` (use :meth:`ShardedDatabase.
+sync` for per-shard durable LSNs); and a crash between the ``take`` and
+``insert`` halves of a cross-shard move can lose that one row -- the
+per-shard WALs have no cross-shard transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..api.session import SessionResult
+from ..storage.cost_accounting import AccessCounter
+from ..workload import operations as ops
+from ..workload.operations import Operation, Workload
+from . import codec
+from .cluster import (
+    DEFAULT_ARENA_BYTES,
+    ShardCluster,
+    _decode_counter,
+)
+from .codec import ArenaWriter
+from .errors import ShardError
+from .shard_map import ShardMap
+
+_MANIFEST = "manifest.json"
+
+#: Attach-time config keys forwarded to every worker verbatim.
+_CONFIG_KEYS = (
+    "layout",
+    "partitions",
+    "chunk_size",
+    "block_values",
+    "payload_names",
+    "fsync",
+    "execution",
+    "reorg",
+)
+
+
+def _shard_dir(root: "str | os.PathLike", shard: int) -> str:
+    return os.path.join(os.fspath(root), f"shard-{shard}")
+
+
+class ShardedDatabase:
+    """One logical database fanned out across shard worker processes."""
+
+    def __init__(
+        self,
+        *,
+        shard_map: ShardMap,
+        cluster: ShardCluster,
+        owns_cluster: bool,
+        bases: Sequence[int],
+        payload_names: Sequence[str],
+        durability_root: "str | os.PathLike | None" = None,
+    ) -> None:
+        self.shard_map = shard_map
+        self.cluster = cluster
+        self._owns_cluster = owns_cluster
+        #: Per-shard global row-id offset: shard ``s``'s local row ``j``
+        #: is global row ``bases[s] + j`` in key-sorted load order.
+        self.bases = [int(b) for b in bases]
+        self.payload_names = tuple(payload_names)
+        self.durability_root = (
+            os.fspath(durability_root) if durability_root is not None else None
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(
+        cls,
+        keys: np.ndarray | Sequence[int],
+        payload: np.ndarray | None = None,
+        *,
+        n_shards: int = 2,
+        cluster: ShardCluster | None = None,
+        layout: str = "equi",
+        partitions: int = 16,
+        chunk_size: int = 1 << 20,
+        block_values: int = 4096,
+        payload_names: Sequence[str] | None = None,
+        durability: "str | os.PathLike | None" = None,
+        fsync: str = "always",
+        execution: str = "serial",
+        reorg: bool = False,
+        plan: Workload | None = None,
+        arena_bytes: int | None = None,
+        faults: dict[int, dict] | None = None,
+    ) -> "ShardedDatabase":
+        """Load rows across ``n_shards`` worker processes.
+
+        The keys are sorted once (stable, matching ``Table``'s load
+        order), fenced into even slices with duplicate runs kept whole
+        (:meth:`ShardMap.from_sorted_keys`), and each slice is shipped to
+        its worker through the channel's shared-memory arena.  ``plan``
+        optionally carries a workload sample: each worker then builds its
+        shard with ``Database.plan_for`` and replans independently when
+        ``reorg`` is on.  ``durability`` roots per-shard WAL directories
+        under ``<root>/shard-<s>/`` plus a cluster manifest for
+        :meth:`open`.  ``cluster`` reuses a running pool (its shard count
+        must match) instead of spawning one -- property tests re-attach
+        fresh data per example this way.  ``faults`` maps shard -> worker
+        fault hooks (crash injection for recovery tests).
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if payload is not None:
+            payload = np.asarray(payload, dtype=np.int64)
+            if payload.ndim == 1:
+                payload = payload.reshape(-1, 1)
+            if payload.shape[0] != keys.size:
+                raise ValueError("payload rows must align with keys")
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_payload = payload[order] if payload is not None else None
+        shard_map = ShardMap.from_sorted_keys(sorted_keys, n_shards)
+        positions = shard_map.split_positions(sorted_keys)
+
+        width = 0 if sorted_payload is None else int(sorted_payload.shape[1])
+        if arena_bytes is None:
+            # Room for the largest load slice (keys + payload) or a large
+            # dispatch batch, whichever is bigger; overflow degrades to
+            # inline JSON, so this only has to be usually-big-enough.
+            largest = int(np.diff(positions).max(initial=0))
+            arena_bytes = max(
+                DEFAULT_ARENA_BYTES, (largest * (1 + width) * 8) + (1 << 16)
+            )
+
+        config = {
+            "layout": layout,
+            "partitions": int(partitions),
+            "chunk_size": int(chunk_size),
+            "block_values": int(block_values),
+            "payload_names": list(payload_names) if payload_names else None,
+            "fsync": fsync,
+            "execution": execution,
+            "reorg": bool(reorg),
+        }
+        if durability is not None:
+            root = os.fspath(durability)
+            os.makedirs(root, exist_ok=True)
+            manifest = {
+                "n_shards": int(n_shards),
+                "shard_map": shard_map.to_meta(),
+                "config": config,
+            }
+            with open(os.path.join(root, _MANIFEST), "w") as fh:
+                json.dump(manifest, fh)
+
+        owns_cluster = cluster is None
+        if cluster is None:
+            cluster = ShardCluster(n_shards, arena_bytes=arena_bytes).start()
+        elif cluster.n_shards != n_shards:
+            raise ShardError(
+                f"cluster has {cluster.n_shards} shards, need {n_shards}"
+            )
+        try:
+            names = None
+            for shard in range(n_shards):
+                start, stop = int(positions[shard]), int(positions[shard + 1])
+                channel = cluster.channel(shard)
+                writer = ArenaWriter(channel.arena)
+                request = {
+                    "verb": "attach",
+                    "mode": "load",
+                    "arena": channel.arena.name,
+                    "keys": writer.put(sorted_keys[start:stop]),
+                    "config": config,
+                }
+                if sorted_payload is not None:
+                    request["payload"] = writer.put(
+                        sorted_payload[start:stop].reshape(-1)
+                    )
+                    # Explicit width: an empty slice cannot infer it.
+                    request["width"] = width
+                if plan is not None:
+                    request["plan"] = codec.encode_ops(
+                        list(plan.operations), writer
+                    )
+                if durability is not None:
+                    request["durability"] = _shard_dir(durability, shard)
+                if faults and shard in faults:
+                    request["faults"] = faults[shard]
+                reply = channel.request(request)
+                if reply.get("rows") != stop - start:
+                    raise ShardError(
+                        f"shard {shard} loaded {reply.get('rows')} rows, "
+                        f"expected {stop - start}"
+                    )
+                names = reply.get("payload_names", names)
+        except Exception:
+            if owns_cluster:
+                cluster.stop()
+            raise
+        return cls(
+            shard_map=shard_map,
+            cluster=cluster,
+            owns_cluster=owns_cluster,
+            bases=positions[:-1],
+            payload_names=names or (),
+            durability_root=durability,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        root: "str | os.PathLike",
+        *,
+        cluster: ShardCluster | None = None,
+        fsync: str | None = None,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+        faults: dict[int, dict] | None = None,
+    ) -> "ShardedDatabase":
+        """Recover a sharded database from its durability root.
+
+        Reads the cluster manifest, then has every worker run
+        ``Database.open`` on its own ``shard-<s>/`` directory -- latest
+        snapshot plus per-shard WAL replay, exactly the single-process
+        recovery path, run ``n_shards`` times independently.  Recovery
+        renumbers local row ids, so post-open global ids are prefix sums
+        of recovered shard sizes (the logical row multiset is what is
+        preserved).
+        """
+        root = os.fspath(root)
+        with open(os.path.join(root, _MANIFEST)) as fh:
+            manifest = json.load(fh)
+        n_shards = int(manifest["n_shards"])
+        shard_map = ShardMap.from_meta(manifest["shard_map"])
+        config = dict(manifest["config"])
+        if fsync is not None:
+            config["fsync"] = fsync
+
+        owns_cluster = cluster is None
+        if cluster is None:
+            cluster = ShardCluster(n_shards, arena_bytes=arena_bytes).start()
+        elif cluster.n_shards != n_shards:
+            raise ShardError(
+                f"cluster has {cluster.n_shards} shards, need {n_shards}"
+            )
+        bases = []
+        base = 0
+        names = None
+        try:
+            for shard in range(n_shards):
+                channel = cluster.channel(shard)
+                request = {
+                    "verb": "attach",
+                    "mode": "open",
+                    "arena": channel.arena.name,
+                    "durability": _shard_dir(root, shard),
+                    "config": config,
+                }
+                if faults and shard in faults:
+                    request["faults"] = faults[shard]
+                reply = channel.request(request)
+                bases.append(base)
+                base += int(reply.get("rows", 0))
+                names = reply.get("payload_names", names)
+        except Exception:
+            if owns_cluster:
+                cluster.stop()
+            raise
+        return cls(
+            shard_map=shard_map,
+            cluster=cluster,
+            owns_cluster=owns_cluster,
+            bases=bases,
+            payload_names=names or (),
+            durability_root=root,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the map."""
+        return self.shard_map.n_shards
+
+    def session(self) -> "ShardedSession":
+        """Open the execution surface (same shape as ``Database.session``).
+
+        Execution/reorg policies are per-worker attach-time configuration
+        (each worker owns a long-lived session around its shard), so this
+        takes no policy arguments.
+        """
+        self._check_open()
+        return ShardedSession(self)
+
+    def checkpoint(self) -> dict[int, int]:
+        """Snapshot every shard; returns shard -> snapshot LSN."""
+        self._check_open()
+        replies = self.cluster.request_all({"verb": "checkpoint"})
+        return {
+            shard: int(reply["snapshot_lsn"])
+            for shard, reply in replies.items()
+            if "snapshot_lsn" in reply
+        }
+
+    def sync(self) -> dict[int, int]:
+        """Group-commit fsync on every shard; returns shard -> durable LSN."""
+        self._check_open()
+        replies = self.cluster.request_all({"verb": "sync"})
+        return {
+            shard: int(reply["durable_lsn"])
+            for shard, reply in replies.items()
+            if reply.get("durable_lsn") is not None
+        }
+
+    def stats(self) -> dict[int, dict]:
+        """Per-shard stats: rows, chunks, op counts, replans, violations."""
+        self._check_open()
+        return {
+            shard: {k: v for k, v in reply.items() if k != "ok"}
+            for shard, reply in self.cluster.request_all(
+                {"verb": "stats"}
+            ).items()
+        }
+
+    @property
+    def num_rows(self) -> int:
+        """Total live rows across shards (one stats round trip)."""
+        return sum(stat["rows"] for stat in self.stats().values())
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL one shard's worker (crash-recovery tests)."""
+        self.cluster.kill(shard)
+
+    def close(self) -> None:
+        """Release the cluster if this database spawned it (idempotent).
+
+        A shared cluster (passed into :meth:`from_rows` / :meth:`open`)
+        is left running for the next attach; only its workers' databases
+        stay attached until then.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_cluster:
+            self.cluster.stop()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardError("sharded database is closed")
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedSession:
+    """Session façade over the cluster: split, dispatch, merge.
+
+    Operations accumulate into per-shard sub-batches and are flushed as
+    one :meth:`~repro.sharding.cluster.ShardCluster.execute_round` at the
+    end of each :meth:`execute` call (or earlier, when a cross-shard key
+    update forces a barrier), so one submitted batch costs one round of
+    concurrent worker execution, not one round trip per operation.
+    """
+
+    def __init__(self, database: ShardedDatabase) -> None:
+        self.database = database
+        self._closed = False
+        #: Per-shard breakdown of the *last* :meth:`execute` call: access
+        #: tallies and worker-measured wall time.  The scaling benchmark
+        #: models parallel round latency as the max over shards.
+        self.last_shard_accesses: dict[int, AccessCounter] = {}
+        self.last_shard_wall_ns: dict[int, float] = {}
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the dispatcher side (workers keep their shards)."""
+        self._closed = True
+
+    def sync(self) -> dict[int, int]:
+        """Fsync every shard's WAL; returns shard -> durable LSN."""
+        return self.database.sync()
+
+    def execute(
+        self, operations: Workload | Sequence[Operation] | Operation
+    ) -> SessionResult:
+        """Execute operations with serial-oracle results and errors.
+
+        ``commit_lsn`` is always ``None`` -- per-shard WAL watermarks are
+        incomparable; ``durable`` is the conjunction of every involved
+        shard's report.  ``accesses`` is the sum of worker-side tallies
+        (cross-shard moves charge their take+insert decomposition, not
+        the serial update's counts).
+        """
+        if self._closed:
+            raise ShardError("session is closed")
+        if isinstance(operations, Workload):
+            oplist = list(operations.operations)
+        elif isinstance(operations, Sequence):
+            oplist = list(operations)
+        else:
+            oplist = [operations]
+        start = time.perf_counter_ns()
+        batch = _Batch(self.database)
+        for index, op in enumerate(oplist):
+            batch.route(index, op)
+        batch.flush()
+        self.last_shard_accesses = batch.shard_accesses
+        self.last_shard_wall_ns = batch.shard_wall_ns
+        return SessionResult(
+            results=batch.out,
+            accesses=batch.accesses,
+            wall_ns=float(time.perf_counter_ns() - start),
+            operations=len(oplist),
+            errors=batch.errors,
+            commit_lsn=None,
+            durable=batch.durable,
+        )
+
+
+class _Batch:
+    """One execute call's routing state: pending sub-batches + mergers."""
+
+    def __init__(self, database: ShardedDatabase) -> None:
+        self.database = database
+        self.out: list = []
+        self.errors = 0
+        self.accesses = AccessCounter()
+        self.durable = True
+        self.shard_accesses: dict[int, AccessCounter] = {}
+        self.shard_wall_ns: dict[int, float] = {}
+        self._pending: dict[int, list] = {}
+        self._appliers: list = []
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _push(self, shard: int, op) -> int:
+        """Queue ``op`` on ``shard``; returns its sub-batch position."""
+        sub = self._pending.setdefault(shard, [])
+        sub.append(op)
+        return len(sub) - 1
+
+    def flush(self) -> None:
+        """Dispatch pending sub-batches as one round and merge replies."""
+        if self._pending:
+            replies = self.database.cluster.execute_round(self._pending)
+            for shard, reply in replies.items():
+                self.errors += reply.errors
+                self.accesses.merge(reply.accesses)
+                self.durable = self.durable and reply.durable
+                self.shard_accesses.setdefault(
+                    shard, AccessCounter()
+                ).merge(reply.accesses)
+                self.shard_wall_ns[shard] = (
+                    self.shard_wall_ns.get(shard, 0.0) + reply.wall_ns
+                )
+            results = {
+                shard: reply.results for shard, reply in replies.items()
+            }
+        else:
+            results = {}
+        for applier in self._appliers:
+            applier(results)
+        self._pending = {}
+        self._appliers = []
+
+    def _slot(self, index: int) -> None:
+        while len(self.out) <= index:
+            self.out.append(None)
+
+    def _columns(self, op) -> list[str]:
+        if op.columns is not None:
+            return list(op.columns)
+        return list(self.database.payload_names)
+
+    # -- routing -------------------------------------------------------- #
+
+    def route(self, index: int, op) -> None:
+        """Split one operation across shards and record its merge."""
+        self._slot(index)
+        shard_map = self.database.shard_map
+        bases = self.database.bases
+
+        if isinstance(op, ops.PointQuery):
+            shard = shard_map.shard_of(op.key)
+            pos = self._push(shard, op)
+            columns = self._columns(op)
+
+            def merge(results, shard=shard, pos=pos, key=int(op.key)):
+                block = results[shard][pos]
+                self.out[index] = codec.materialize_rows(
+                    block, [key], columns, bases[shard]
+                )[0]
+
+            self._appliers.append(merge)
+
+        elif isinstance(op, ops.RangeQuery):
+            pieces = shard_map.split_range(op.low, op.high)
+            refs = []
+            for shard, low, high in pieces:
+                sub = (
+                    op
+                    if len(pieces) == 1
+                    else ops.RangeQuery(
+                        low=low,
+                        high=high,
+                        aggregate=op.aggregate,
+                        columns=op.columns,
+                    )
+                )
+                refs.append((shard, self._push(shard, sub)))
+
+            def merge(results, refs=refs):
+                # Shards partition the key space: per-shard counts/sums
+                # add to the serial aggregate exactly.
+                self.out[index] = sum(
+                    results[shard][pos] for shard, pos in refs
+                )
+
+            self._appliers.append(merge)
+
+        elif isinstance(op, ops.Insert):
+            shard = shard_map.shard_of(op.key)
+            pos = self._push(shard, op)
+
+            def merge(results, shard=shard, pos=pos):
+                value = results[shard][pos]
+                self.out[index] = (
+                    value + bases[shard] if isinstance(value, int) else value
+                )
+
+            self._appliers.append(merge)
+
+        elif isinstance(op, ops.Delete):
+            shard = shard_map.shard_of(op.key)
+            pos = self._push(shard, op)
+
+            def merge(results, shard=shard, pos=pos):
+                self.out[index] = results[shard][pos]
+
+            self._appliers.append(merge)
+
+        elif isinstance(op, ops.Update):
+            source = shard_map.shard_of(op.old_key)
+            target = shard_map.shard_of(op.new_key)
+            if source == target:
+                pos = self._push(source, op)
+
+                def merge(results, shard=source, pos=pos):
+                    self.out[index] = results[shard][pos]
+
+                self._appliers.append(merge)
+            else:
+                # Barrier: the move must observe every queued effect and
+                # be observed by everything after it.
+                self.flush()
+                moved = self._move(
+                    int(op.old_key), int(op.new_key), source, target
+                )
+                if not moved:
+                    # Serial scalar updates count a miss as one error.
+                    self.errors += 1
+                self.out[index] = None
+
+        elif isinstance(op, ops.MultiPointQuery):
+            self._route_multi_point(index, op)
+        elif isinstance(op, ops.MultiRangeCount):
+            self._route_multi_range(index, op)
+        elif isinstance(op, ops.MultiInsert):
+            self._route_multi_insert(index, op)
+        elif isinstance(op, ops.MultiDelete):
+            self._route_multi_delete(index, op)
+        elif isinstance(op, ops.MultiUpdate):
+            self._route_multi_update(index, op)
+        else:
+            raise ShardError(f"cannot route operation {type(op)!r}")
+
+    def _route_multi_point(self, index: int, op) -> None:
+        keys = np.asarray(op.keys, dtype=np.int64)
+        shards = self.database.shard_map.shard_of_batch(keys)
+        columns = self._columns(op)
+        bases = self.database.bases
+        refs = []
+        for shard in np.unique(shards):
+            positions = np.nonzero(shards == shard)[0]
+            sub = ops.MultiPointQuery(
+                keys=tuple(int(k) for k in keys[positions]),
+                columns=op.columns,
+            )
+            refs.append((int(shard), self._push(int(shard), sub), positions))
+
+        def merge(results, refs=refs, keys=keys):
+            merged: list = [None] * int(keys.size)
+            for shard, pos, positions in refs:
+                lists = codec.materialize_rows(
+                    results[shard][pos], keys[positions], columns, bases[shard]
+                )
+                for where, rows in zip(positions, lists):
+                    merged[int(where)] = rows
+            self.out[index] = merged
+
+        self._appliers.append(merge)
+
+    def _route_multi_range(self, index: int, op) -> None:
+        bounds = np.asarray(op.bounds, dtype=np.int64).reshape(-1, 2)
+        m = int(bounds.shape[0])
+        shard_map = self.database.shard_map
+        refs = []
+        for shard in range(shard_map.n_shards):
+            low, high = shard_map.shard_interval(shard)
+            if low > high:  # fences collapsed: shard owns no keys
+                continue
+            overlap = (bounds[:, 0] <= high) & (bounds[:, 1] >= low)
+            if not overlap.any():
+                continue
+            positions = np.nonzero(overlap)[0]
+            clipped = tuple(
+                (int(max(lo, low)), int(min(hi, high)))
+                for lo, hi in bounds[positions]
+            )
+            sub = ops.MultiRangeCount(bounds=clipped)
+            refs.append((shard, self._push(shard, sub), positions))
+
+        def merge(results, refs=refs, m=m):
+            counts = np.zeros(m, dtype=np.int64)
+            for shard, pos, positions in refs:
+                counts[positions] += np.asarray(
+                    results[shard][pos], dtype=np.int64
+                )
+            self.out[index] = counts
+
+        self._appliers.append(merge)
+
+    def _route_multi_insert(self, index: int, op) -> None:
+        keys = np.asarray(op.keys, dtype=np.int64)
+        shards = self.database.shard_map.shard_of_batch(keys)
+        bases = self.database.bases
+        refs = []
+        for shard in np.unique(shards):
+            positions = np.nonzero(shards == shard)[0]
+            payloads = None
+            if op.payloads is not None:
+                payloads = tuple(op.payloads[int(p)] for p in positions)
+            sub = ops.MultiInsert(
+                keys=tuple(int(k) for k in keys[positions]), payloads=payloads
+            )
+            refs.append((int(shard), self._push(int(shard), sub), positions))
+
+        def merge(results, refs=refs, m=int(keys.size)):
+            rowids = np.zeros(m, dtype=np.int64)
+            for shard, pos, positions in refs:
+                rowids[positions] = (
+                    np.asarray(results[shard][pos], dtype=np.int64)
+                    + bases[shard]
+                )
+            self.out[index] = rowids
+
+        self._appliers.append(merge)
+
+    def _route_multi_delete(self, index: int, op) -> None:
+        keys = np.asarray(op.keys, dtype=np.int64)
+        shards = self.database.shard_map.shard_of_batch(keys)
+        refs = []
+        for shard in np.unique(shards):
+            positions = np.nonzero(shards == shard)[0]
+            sub = ops.MultiDelete(keys=tuple(int(k) for k in keys[positions]))
+            refs.append((int(shard), self._push(int(shard), sub), positions))
+
+        def merge(results, refs=refs, m=int(keys.size)):
+            deleted = np.zeros(m, dtype=np.int64)
+            for shard, pos, positions in refs:
+                deleted[positions] = np.asarray(
+                    results[shard][pos], dtype=np.int64
+                )
+            self.out[index] = deleted
+
+        self._appliers.append(merge)
+
+    def _route_multi_update(self, index: int, op) -> None:
+        """Pairs apply in submission order; cross-shard pairs barrier.
+
+        Same-shard pairs between two barriers commute across shards (they
+        touch disjoint key multisets) and stay ordered within a shard, so
+        they group into per-shard ``MultiUpdate`` sub-batches.  The
+        result array fills progressively: sub-batch hits at their
+        positions on merge, cross-shard moves immediately.
+        """
+        pairs = np.asarray(op.pairs, dtype=np.int64).reshape(-1, 2)
+        m = int(pairs.shape[0])
+        shard_map = self.database.shard_map
+        result = np.zeros(m, dtype=np.int64)
+        self.out[index] = result
+        group: dict[int, tuple[list, list]] = {}
+
+        def emit_group() -> None:
+            for shard, (sub_pairs, positions) in group.items():
+                pos = self._push(
+                    shard, ops.MultiUpdate(pairs=tuple(sub_pairs))
+                )
+                where = np.asarray(positions, dtype=np.int64)
+
+                def merge(results, shard=shard, pos=pos, where=where):
+                    result[where] = np.asarray(
+                        results[shard][pos], dtype=np.int64
+                    )
+
+                self._appliers.append(merge)
+            group.clear()
+
+        for row in range(m):
+            old_key, new_key = int(pairs[row, 0]), int(pairs[row, 1])
+            source = shard_map.shard_of(old_key)
+            target = shard_map.shard_of(new_key)
+            if source == target:
+                sub_pairs, positions = group.setdefault(source, ([], []))
+                sub_pairs.append((old_key, new_key))
+                positions.append(row)
+            else:
+                emit_group()
+                self.flush()
+                # Bulk updates report misses as 0, never as errors.
+                result[row] = 1 if self._move(
+                    old_key, new_key, source, target
+                ) else 0
+        emit_group()
+
+    def _move(
+        self, old_key: int, new_key: int, source: int, target: int
+    ) -> bool:
+        """Cross-shard key update: ``take`` from source, insert at target.
+
+        Caller has flushed -- both shards are quiescent.  Returns whether
+        a row moved (``False`` = ``old_key`` absent).  The moved row gets
+        a fresh target-shard row id (documented divergence); a crash
+        between the two halves loses the row (no cross-shard WAL).
+        """
+        reply = self.database.cluster.channel(source).request(
+            {"verb": "take", "key": old_key}
+        )
+        self.accesses.merge(_decode_counter(reply.get("accesses")))
+        if not reply.get("found"):
+            return False
+        payload = (
+            tuple(int(v) for v in reply["payload"])
+            if self.database.payload_names
+            else None
+        )
+        replies = self.database.cluster.execute_round(
+            {target: [ops.Insert(key=new_key, payload=payload)]}
+        )
+        insert_reply = replies[target]
+        self.errors += insert_reply.errors
+        self.accesses.merge(insert_reply.accesses)
+        self.durable = self.durable and insert_reply.durable
+        return True

@@ -1,0 +1,20 @@
+"""Errors raised by the sharding layer."""
+
+from __future__ import annotations
+
+
+class ShardError(RuntimeError):
+    """A shard worker or the dispatch protocol failed."""
+
+
+class WorkerDiedError(ShardError):
+    """A shard worker's channel broke mid-conversation.
+
+    Carries the shard id so recovery paths
+    (:meth:`repro.sharding.database.ShardedDatabase.open` over the same
+    durability root) know which per-shard WAL to replay.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard

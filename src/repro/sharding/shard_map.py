@@ -1,0 +1,149 @@
+"""The shard map: key-space fences that route operations to workers.
+
+Exactly as the chunk-level :class:`~repro.storage.partition_index
+.PartitionIndex` routes keys to column chunks by upper fences, the shard
+map routes keys to worker processes: ``bounds[s]`` is the largest key
+shard ``s`` owns (the last bound is ``int64 max``, so new maxima route to
+the last shard without fence maintenance) and routing one key -- or a
+whole ``Multi*`` batch -- is a single ``searchsorted`` with
+``side="left"``.
+
+One invariant does real work here: **all copies of a key live in one
+shard**.  :meth:`ShardMap.from_sorted_keys` snaps every tentative cut to
+the left edge of the duplicate run it lands in, so a duplicate run that
+would straddle a shard fence is moved wholly into the right-hand shard.
+Point reads, deletes and key updates therefore never fan one key out
+across workers, which is what makes per-shard FIFO dispatch
+serial-equivalent: operations routed to different shards touch disjoint
+key multisets and commute.
+
+The map is *fixed for the lifetime of the cluster* -- routing is a pure
+function of the key, never of live occupancy -- so the dispatcher and
+every worker agree on ownership without coordination.  Inserts of unseen
+keys route by the same fences; shard rebalancing is future work
+(ROADMAP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+class ShardMap:
+    """Immutable fence table mapping keys to shard indices."""
+
+    def __init__(self, bounds: np.ndarray | list[int]) -> None:
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if bounds.ndim != 1 or bounds.size == 0:
+            raise ValueError("bounds must be a non-empty 1-D array")
+        # Compare, never subtract: a span like [-1, int64 max] overflows
+        # ``np.diff`` and would be falsely rejected.
+        if np.any(bounds[1:] < bounds[:-1]):
+            raise ValueError("bounds must be non-decreasing")
+        if int(bounds[-1]) != _INT64_MAX:
+            raise ValueError("the last bound must be int64 max")
+        self._bounds = bounds
+        self._bounds.setflags(write=False)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return int(self._bounds.size)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Upper fence (maximum owned key) of each shard (read-only)."""
+        return self._bounds
+
+    @classmethod
+    def from_sorted_keys(cls, sorted_keys: np.ndarray, n_shards: int) -> "ShardMap":
+        """Build fences splitting ``sorted_keys`` into ``n_shards`` even
+        slices, with every cut snapped to a duplicate-run left edge.
+
+        ``sorted_keys`` must be ascending (the caller sorts once; the
+        split positions double as the per-shard slice boundaries, see
+        :meth:`split_positions`).
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        keys = np.asarray(sorted_keys, dtype=np.int64)
+        bounds = np.empty(n_shards, dtype=np.int64)
+        n = int(keys.size)
+        for s in range(n_shards - 1):
+            cut = (n * (s + 1)) // n_shards
+            if 0 < cut < n:
+                # Snap left: every copy of keys[cut] moves to shard s+1.
+                cut = int(np.searchsorted(keys, keys[cut], side="left"))
+            if cut <= 0:
+                bounds[s] = keys[0] - 1 if n else _INT64_MAX
+            elif cut >= n:
+                bounds[s] = _INT64_MAX
+            else:
+                bounds[s] = keys[cut] - 1
+        bounds[-1] = _INT64_MAX
+        # Empty input degenerates to "everything routes to shard 0".
+        if n == 0:
+            bounds[:] = _INT64_MAX
+        return cls(np.maximum.accumulate(bounds))
+
+    def split_positions(self, sorted_keys: np.ndarray) -> np.ndarray:
+        """Slice boundaries of ``sorted_keys`` per shard: ``n_shards + 1``
+        positions with shard ``s`` owning ``sorted_keys[p[s]:p[s + 1]]``."""
+        keys = np.asarray(sorted_keys, dtype=np.int64)
+        positions = np.empty(self.n_shards + 1, dtype=np.int64)
+        positions[0] = 0
+        positions[-1] = keys.size
+        # Shard s owns keys <= bounds[s]: the slice ends where the next
+        # shard's key space starts.
+        positions[1:-1] = np.searchsorted(
+            keys, self._bounds[:-1], side="right"
+        )
+        return positions
+
+    def shard_of(self, key: int) -> int:
+        """Shard owning ``key`` (pure function of the fences)."""
+        return int(np.searchsorted(self._bounds, int(key), side="left"))
+
+    def shard_of_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of`: one ``searchsorted`` per batch."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.searchsorted(self._bounds, keys, side="left")
+
+    def shard_interval(self, shard: int) -> tuple[int, int]:
+        """Inclusive key interval ``[low, high]`` shard ``shard`` owns."""
+        high = int(self._bounds[shard])
+        low = _INT64_MIN if shard == 0 else int(self._bounds[shard - 1]) + 1
+        return low, high
+
+    def split_range(self, low: int, high: int) -> list[tuple[int, int, int]]:
+        """Decompose ``[low, high]`` into per-shard sub-ranges.
+
+        Returns ``(shard, sub_low, sub_high)`` triples covering the range
+        exactly; shards whose fences collapsed to an empty key space are
+        skipped.  Because shards partition the key space, per-shard
+        aggregates (counts, sums) over the sub-ranges add up to the
+        serial aggregate exactly.
+        """
+        low, high = int(low), int(high)
+        first = int(np.searchsorted(self._bounds, low, side="left"))
+        last = int(np.searchsorted(self._bounds, high, side="left"))
+        pieces: list[tuple[int, int, int]] = []
+        for shard in range(first, last + 1):
+            shard_low, shard_high = self.shard_interval(shard)
+            sub_low = max(low, shard_low)
+            sub_high = min(high, shard_high)
+            if sub_low <= sub_high:
+                pieces.append((shard, sub_low, sub_high))
+        return pieces
+
+    def to_meta(self) -> dict:
+        """JSON-serializable form (manifest / attach frames)."""
+        return {"bounds": [int(b) for b in self._bounds]}
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "ShardMap":
+        """Rebuild from :meth:`to_meta` output."""
+        return cls(np.asarray(meta["bounds"], dtype=np.int64))

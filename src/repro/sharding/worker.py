@@ -1,0 +1,286 @@
+"""Shard worker process: one shard's database behind a command channel.
+
+``worker_main`` is the spawn target of :class:`~repro.sharding.cluster
+.ShardCluster`.  It connects back to the dispatcher's listener,
+identifies itself with a ``hello`` frame, then serves the dispatch verbs
+over the same length-prefixed JSON framing the replication transport
+speaks (:mod:`repro.ipc.framing`):
+
+``attach``
+    Build (or recover) this shard's :class:`~repro.api.database.Database`
+    -- slice arrays arrive through the channel's shared-memory arena, or
+    the worker runs ``Database.open`` on its per-shard durability root --
+    and open the long-lived session the execute verb runs through.  The
+    session carries the configured execution policy and, when requested,
+    its own :class:`~repro.api.reorganizer.Reorganizer`, so each shard
+    reorganizes independently off the other shards' paths.
+``execute``
+    Decode a per-shard operation list, run it through the session, and
+    reply with the encoded results plus the batch's error count, access
+    tally and durability watermarks.  Writes commit through this shard's
+    *own* :class:`~repro.durability.manager.DurabilityManager` -- the
+    per-shard WALs are what unserializes durable write batches that a
+    single-process database would funnel through one ``wal_commit`` lock.
+``take``
+    Remove one row of a key and reply with its payload: the source half
+    of a cross-shard key update (the dispatcher re-inserts the payload
+    under the new key on the owning shard).  Which physical copy of a
+    duplicated key moves is unspecified, exactly as it is for the serial
+    table's delete (see ``Table.delete``).
+``checkpoint`` / ``sync`` / ``stats`` / ``shutdown``
+    Durability lifecycle, introspection (rows, per-kind statistics,
+    replans, recorded discipline violations -- the CI shard job asserts
+    zero), and orderly exit.
+
+The worker is single-threaded on purpose: per-shard FIFO execution is
+half of the serial-equivalence argument (the other half is the shard
+map's disjoint key spaces).  Inside one batch the engine still uses the
+table's chunk latches, so a worker-side reorganizer thread interleaves
+safely.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+from ..ipc import framing
+from ..ipc.shm import ShmArena
+from . import codec
+
+#: Fallback frame bound; attach can lower/raise it via config later.
+MAX_FRAME = framing.DEFAULT_MAX_FRAME
+
+
+def _build_database(request: dict, reader: codec.ArenaReader):
+    """Construct this shard's database per the attach request."""
+    from ..api.database import Database
+    from ..durability.manager import DurabilityConfig
+    from ..storage.layouts import LayoutKind
+    from ..workload.operations import Workload
+
+    config = request.get("config", {})
+    durability_root = request.get("durability")
+    durability = None
+    if durability_root is not None:
+        durability = DurabilityConfig(
+            root=durability_root, fsync=config.get("fsync", "always")
+        )
+    if request["mode"] == "open":
+        return Database.open(durability)
+    keys = reader.get(request["keys"])
+    payload = None
+    if "payload" in request:
+        # Width travels explicitly: an empty shard slice cannot infer it.
+        payload = reader.get(request["payload"]).reshape(
+            -1, int(request["width"])
+        )
+    common = dict(
+        chunk_size=int(config.get("chunk_size", 1 << 20)),
+        block_values=int(config.get("block_values", 4096)),
+        payload_names=config.get("payload_names"),
+        durability=durability,
+    )
+    plan = request.get("plan")
+    if plan is not None:
+        sample = Workload(
+            operations=codec.decode_ops(plan, reader), name="shard-sample"
+        )
+        return Database.plan_for(sample, keys, payload, **common)
+    return Database.from_rows(
+        keys,
+        payload,
+        layout=LayoutKind(config.get("layout", "equi")),
+        partitions=int(config.get("partitions", 16)),
+        **common,
+    )
+
+
+def _open_session(database, config: dict):
+    from ..api.policies import AdaptivePolicy, SerialPolicy, VectorizedPolicy
+    from ..api.reorg import ReorgPolicy
+    from ..api.reorganizer import Reorganizer
+
+    policy_name = config.get("execution", "serial")
+    execution = {
+        "serial": SerialPolicy,
+        "vectorized": VectorizedPolicy,
+        "adaptive": AdaptivePolicy,
+    }[policy_name]()
+    reorg = None
+    if config.get("reorg"):
+        # Each worker drains its own replans between batches; background
+        # threads stay inside the worker process.
+        reorg = Reorganizer(ReorgPolicy())
+    return database.session(execution=execution, reorg=reorg)
+
+
+def worker_main(host: str, port: int, shard: int, token: str) -> None:
+    """Entry point of one shard worker process (spawn target)."""
+    from repro import discipline
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    framing.send_frame(
+        sock, {"verb": "hello", "shard": shard, "token": token},
+        max_frame=MAX_FRAME,
+    )
+
+    database = None
+    session = None
+    arena: ShmArena | None = None
+    batches = 0
+    faults: dict = {}
+
+    def close_database() -> None:
+        nonlocal database, session
+        if session is not None and not session.closed:
+            session.close()
+        if database is not None:
+            database.close()
+        database = session = None
+
+    try:
+        while True:
+            try:
+                request = framing.recv_frame(sock, max_frame=MAX_FRAME)
+            except framing.FrameError:
+                break
+            if request is None:
+                break  # dispatcher went away; per-shard WAL has the state
+            verb = request.get("verb")
+            reply: dict = {"ok": True}
+            try:
+                if verb == "attach":
+                    close_database()
+                    if arena is not None:
+                        arena.close()
+                        arena = None
+                    if request.get("arena"):
+                        arena = ShmArena.attach(request["arena"])
+                    reader = codec.ArenaReader(arena)
+                    database = _build_database(request, reader)
+                    session = _open_session(database, request.get("config", {}))
+                    faults = request.get("faults") or {}
+                    batches = 0
+                    reply["rows"] = int(database.num_rows)
+                    reply["payload_names"] = list(database.table.payload_names)
+                elif verb == "execute":
+                    batches += 1
+                    if faults.get("exit_before_apply") == batches:
+                        os._exit(1)
+                    reader = codec.ArenaReader(arena)
+                    oplist = codec.decode_ops(request["ops"], reader)
+                    outcome = session.execute(oplist)
+                    if faults.get("exit_before_ack") == batches:
+                        # Simulates a crash after the WAL append + fsync
+                        # but before the dispatcher hears back: recovery
+                        # must replay this batch from the shard's log.
+                        os._exit(1)
+                    writer = codec.ArenaWriter(arena)
+                    reply["results"] = codec.encode_results(
+                        oplist,
+                        outcome.results,
+                        writer,
+                        database.table.payload_names,
+                    )
+                    reply["errors"] = int(outcome.errors)
+                    reply["accesses"] = _counter_meta(outcome.accesses)
+                    reply["wall_ns"] = float(outcome.wall_ns)
+                    reply["commit_lsn"] = outcome.commit_lsn
+                    reply["durable"] = bool(outcome.durable)
+                elif verb == "take":
+                    reply.update(_take(database, session, int(request["key"])))
+                elif verb == "checkpoint":
+                    if database.durability is not None:
+                        info = database.checkpoint()
+                        reply["snapshot_lsn"] = int(info.lsn)
+                elif verb == "sync":
+                    if database.durability is not None:
+                        reply["durable_lsn"] = int(database.sync())
+                elif verb == "stats":
+                    reply.update(_stats(database, session, discipline))
+                elif verb == "shutdown":
+                    framing.send_frame(sock, reply, max_frame=MAX_FRAME)
+                    break
+                else:
+                    reply = {"ok": False, "error": f"unknown verb {verb!r}"}
+            except Exception as exc:  # surface worker failures to the peer
+                reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                framing.send_frame(sock, reply, max_frame=MAX_FRAME)
+            except framing.FrameError:
+                break
+    finally:
+        close_database()
+        if arena is not None:
+            arena.close()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _take(database, session, key: int) -> dict:
+    """Remove one row of ``key``; reply with its payload row (or a miss).
+
+    Which duplicate copy ``Table.delete`` removes is unspecified, so the
+    removed copy is identified *after* the fact by row-id difference --
+    the reported payload is exactly the one that left the table, keeping
+    the (key, payload) multiset faithful when duplicates carry distinct
+    payloads.
+    """
+    from ..workload.operations import Delete
+
+    before = database.engine.counter.snapshot()
+    rows = database.table.point_query(key)
+    if not rows:
+        diff = database.engine.counter.diff(before)
+        return {"found": False, "accesses": _counter_meta(diff)}
+    outcome = session.execute(Delete(key=key))
+    if outcome.errors:  # pragma: no cover - row was seen above
+        diff = database.engine.counter.diff(before)
+        return {"found": False, "accesses": _counter_meta(diff)}
+    remaining = {row.rowid for row in database.table.point_query(key)}
+    removed = next(
+        (row for row in rows if row.rowid not in remaining), rows[0]
+    )
+    payload = [
+        int(removed.payload[name]) for name in database.table.payload_names
+    ]
+    diff = database.engine.counter.diff(before)
+    return {
+        "found": True,
+        "payload": payload,
+        "accesses": _counter_meta(diff),
+    }
+
+
+def _stats(database, session, discipline) -> dict:
+    replans = 0
+    if session is not None and session.reorg is not None:
+        reorg = session.reorg
+        replans = int(getattr(reorg, "replans", 0))
+    durable_lsn = None
+    if database is not None and database.durability is not None:
+        durable_lsn = int(database.durability.durable_lsn)
+    return {
+        "rows": int(database.num_rows) if database is not None else 0,
+        "chunks": int(database.num_chunks) if database is not None else 0,
+        "operations": dict(database.statistics.operations)
+        if database is not None
+        else {},
+        "replans": replans,
+        "violations": len(discipline.violations()),
+        "durable_lsn": durable_lsn,
+    }
+
+
+def _counter_meta(counter) -> dict:
+    return {
+        "rr": int(counter.random_reads),
+        "rw": int(counter.random_writes),
+        "sr": int(counter.seq_reads),
+        "sw": int(counter.seq_writes),
+        "ip": int(counter.index_probes),
+    }

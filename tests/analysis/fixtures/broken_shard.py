@@ -1,0 +1,56 @@
+"""Sharding-layer discipline violations (GS01 / GS02 / LO01).
+
+The class names deliberately match ``repro.discipline.GUARDED_BY`` keys
+(``ShardChannel`` / ``ShardCluster``), so these fixtures exercise the
+same declarations the real dispatcher classes are checked against: the
+channel's socket is ``shard_channel``-guarded, the cluster's
+process/channel registries are ``shard_state``-guarded, and
+``shard_state`` ranks *before* ``shard_channel`` in the declared order.
+"""
+
+
+class ShardChannel:
+    def read_socket_unlocked(self):
+        # GS02: ``_sock`` is rw-guarded by shard_channel -- an unlocked
+        # read can race the close() that swaps it to None.
+        return self._sock
+
+    def swap_socket_unlocked(self, sock):
+        # GS01: writes need the frame lock too.
+        self._sock = sock
+
+    def cluster_lock_under_frame_lock(self):
+        # LO01: the cluster lock (shard_state) ranks before the channel
+        # frame lock -- acquiring it while a frame is in flight inverts
+        # the declared order.
+        with self._lock:
+            with self._shard_state_lock:
+                return self._closed
+
+    def request_properly(self, frame):
+        # Clean: the socket read is under the frame lock.
+        with self._lock:
+            return self._sock
+
+
+class ShardCluster:
+    def drop_channel_unlocked(self, shard):
+        # GS01: container mutation of the shard_state-guarded registry.
+        self._channels.pop(shard)
+
+    def forget_process_unlocked(self, shard):
+        # GS01: subscript store into the process registry.
+        self._processes[shard] = None
+
+    def peek_channel_unlocked(self, shard):
+        # GS02: the registries are rw-guarded -- dispatch-round reads
+        # hold the cluster lock.
+        return self._channels.get(shard)
+
+    def dispatch_properly(self, shard):
+        # Clean: registry read under shard_state, then the borrowed
+        # channel lock in declared order (state before channel).
+        with self._lock:
+            channel = self._channels[shard]
+        with self._shard_channel_lock:
+            return channel

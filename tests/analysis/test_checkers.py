@@ -86,6 +86,31 @@ class TestFixtureViolations:
         assert len(found) == 1
         assert found[0].function.endswith("blind_publish")
 
+    def test_gs01_shard_registries_fire(self, fixture_violations):
+        found = findings(fixture_violations, "GS01", "broken_shard.py")
+        flagged = {v.function.split(".")[-1] for v in found}
+        assert flagged == {
+            "swap_socket_unlocked",
+            "drop_channel_unlocked",
+            "forget_process_unlocked",
+        }
+
+    def test_gs02_shard_socket_and_channel_reads_fire(
+        self, fixture_violations
+    ):
+        found = findings(fixture_violations, "GS02", "broken_shard.py")
+        flagged = {v.function.split(".")[-1] for v in found}
+        assert flagged == {"read_socket_unlocked", "peek_channel_unlocked"}
+
+    def test_lo01_cluster_lock_under_channel_lock_fires(
+        self, fixture_violations
+    ):
+        found = findings(fixture_violations, "LO01", "broken_shard.py")
+        assert len(found) == 1
+        assert found[0].function.endswith("cluster_lock_under_frame_lock")
+        assert "shard_state" in found[0].message
+        assert "shard_channel" in found[0].message
+
     def test_clean_variants_stay_clean(self, fixture_violations):
         clean = (
             "properly_bracketed",
@@ -94,6 +119,8 @@ class TestFixtureViolations:
             "guarded_properly",
             "peek_activity_locked",
             "checked_publish",
+            "request_properly",
+            "dispatch_properly",
         )
         for v in fixture_violations:
             assert not v.function.endswith(clean), v

@@ -1,0 +1,154 @@
+"""Fuzzing the frame layer: garbage bytes fail fast, never hang or alloc.
+
+The framing contract (shared by the replication cursor protocol and the
+shard dispatch protocol) is that any malformed input -- oversized or zero
+length prefixes, truncated payloads, non-UTF-8 bytes, invalid JSON,
+non-object JSON -- raises :class:`FrameError` after reading a bounded
+number of bytes.  The oversized case is the security-relevant one: the
+length is validated *before* any payload byte is read, so a hostile
+4-byte prefix cannot trigger a multi-gigabyte allocation.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.ipc.framing import (
+    DEFAULT_MAX_FRAME,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+from repro.replication import transport
+from repro.replication.errors import TransportError
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    try:
+        yield left, right
+    finally:
+        left.close()
+        right.close()
+
+
+def push(sock, raw: bytes, *, close: bool = True) -> None:
+    sock.sendall(raw)
+    if close:
+        sock.shutdown(socket.SHUT_WR)
+
+
+class TestMalformedFrames:
+    def test_round_trip_and_clean_eof(self, pair):
+        left, right = pair
+        send_frame(left, {"verb": "hello", "n": 3})
+        left.shutdown(socket.SHUT_WR)
+        assert recv_frame(right) == {"verb": "hello", "n": 3}
+        assert recv_frame(right) is None
+
+    def test_oversized_length_prefix_rejected_before_payload(self, pair):
+        left, right = pair
+        # A hostile prefix claiming 4 GiB: must fail after the 4 header
+        # bytes, without waiting for (or allocating) the claimed payload.
+        push(left, struct.pack("<I", 0xFFFFFFFF), close=False)
+        with pytest.raises(FrameError, match="outside accepted bounds"):
+            recv_frame(right)
+
+    def test_length_just_over_the_bound_rejected(self, pair):
+        left, right = pair
+        push(left, struct.pack("<I", DEFAULT_MAX_FRAME + 1), close=False)
+        with pytest.raises(FrameError, match="outside accepted bounds"):
+            recv_frame(right)
+
+    def test_zero_length_rejected(self, pair):
+        left, right = pair
+        push(left, struct.pack("<I", 0))
+        with pytest.raises(FrameError, match="outside accepted bounds"):
+            recv_frame(right)
+
+    def test_truncated_header(self, pair):
+        left, right = pair
+        push(left, b"\x10\x00")
+        with pytest.raises(FrameError, match="closed mid-frame"):
+            recv_frame(right)
+
+    def test_truncated_payload(self, pair):
+        left, right = pair
+        push(left, struct.pack("<I", 16) + b'{"verb"')
+        with pytest.raises(FrameError, match="closed mid-frame"):
+            recv_frame(right)
+
+    def test_invalid_json_rejected(self, pair):
+        left, right = pair
+        body = b'{"verb": nope}'
+        push(left, struct.pack("<I", len(body)) + body)
+        with pytest.raises(FrameError, match="malformed frame"):
+            recv_frame(right)
+
+    def test_non_utf8_rejected(self, pair):
+        left, right = pair
+        body = b"\xff\xfe\xfd\xfc"
+        push(left, struct.pack("<I", len(body)) + body)
+        with pytest.raises(FrameError, match="malformed frame"):
+            recv_frame(right)
+
+    @pytest.mark.parametrize("payload", ["[1,2,3]", '"text"', "42", "null"])
+    def test_non_object_json_rejected(self, pair, payload):
+        left, right = pair
+        body = payload.encode()
+        push(left, struct.pack("<I", len(body)) + body)
+        with pytest.raises(FrameError, match="not an object"):
+            recv_frame(right)
+
+    def test_send_refuses_oversized_frame(self, pair):
+        left, _ = pair
+        with pytest.raises(FrameError, match="refusing to send"):
+            send_frame(left, {"blob": "x" * 64}, max_frame=32)
+
+    def test_fuzz_random_garbage_never_hangs(self, pair):
+        """Seeded garbage streams: FrameError or a frame, nothing else."""
+        left, right = pair
+        rng = random.Random(0xC0FFEE)
+        raw = bytes(rng.randrange(256) for _ in range(1 << 14))
+        writer = threading.Thread(target=push, args=(left, raw))
+        writer.start()
+        try:
+            for _ in range(64):
+                frame = recv_frame(right)
+                if frame is None:
+                    break
+                assert isinstance(frame, dict)
+        except FrameError:
+            pass
+        writer.join()
+
+
+class TestTransportBound:
+    """The replication cursor protocol caps frames far below the default."""
+
+    def test_cursor_frames_are_bounded_at_64k(self, pair):
+        left, right = pair
+        length = transport._MAX_FRAME + 1
+        assert length < DEFAULT_MAX_FRAME  # tighter than the shared bound
+        push(left, struct.pack("<I", length), close=False)
+        with pytest.raises(TransportError, match="outside accepted bounds"):
+            transport.recv_frame(right)
+
+    def test_cursor_send_refuses_oversized(self, pair):
+        left, _ = pair
+        blob = {"pad": "x" * (transport._MAX_FRAME + 1)}
+        with pytest.raises(TransportError, match="refusing to send"):
+            transport.send_frame(left, blob)
+
+    def test_cursor_frames_round_trip(self, pair):
+        left, right = pair
+        transport.send_frame(left, {"verb": "exchange", "lsn": 12})
+        assert transport.recv_frame(right) == {"verb": "exchange", "lsn": 12}

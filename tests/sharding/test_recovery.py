@@ -1,0 +1,134 @@
+"""Worker crashes mid-batch: detection, per-shard WAL recovery, re-open.
+
+These tests spawn their own throwaway clusters (workers die on purpose;
+the shared session cluster must stay healthy).  The fault hooks live in
+the worker loop: ``exit_before_apply`` kills the process before the
+batch executes, ``exit_before_ack`` after the batch committed through
+the shard's WAL (fsync'd) but before the dispatcher hears back -- the
+classic lost-ack window that recovery must replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from shard_helpers import payload_for
+
+from repro.sharding import ShardedDatabase, WorkerDiedError
+from repro.workload.operations import MultiInsert, RangeQuery
+
+BASE_KEYS = np.repeat(np.arange(0, 40, dtype=np.int64), 5)  # 200 rows
+
+
+def durable_db(root, *, faults=None) -> ShardedDatabase:
+    return ShardedDatabase.from_rows(
+        BASE_KEYS,
+        payload_for(BASE_KEYS),
+        n_shards=2,
+        payload_names=["a", "b"],
+        partitions=8,
+        block_values=256,
+        durability=root,
+        fsync="always",
+        faults=faults,
+    )
+
+
+def count_all(database) -> int:
+    with database.session() as session:
+        return int(session.execute(RangeQuery(low=-(2**62), high=2**62)).results[0])
+
+
+def both_shard_insert(database, start: int) -> MultiInsert:
+    """Keys landing on both shards, so the batch fans out."""
+    low_key = 0
+    high_key = 39
+    keys = (low_key, high_key, start, start + 1)
+    assert database.shard_map.shard_of(low_key) != database.shard_map.shard_of(
+        high_key
+    )
+    return MultiInsert(
+        keys=keys, payloads=tuple(map(tuple, payload_for(keys).tolist()))
+    )
+
+
+class TestLostAck:
+    def test_batch_committed_but_unacked_survives_reopen(self, tmp_path):
+        root = tmp_path / "db"
+        database = durable_db(root, faults={1: {"exit_before_ack": 2}})
+        try:
+            with database.session() as session:
+                session.execute([both_shard_insert(database, 100)])
+                with pytest.raises(WorkerDiedError) as info:
+                    session.execute([both_shard_insert(database, 200)])
+            assert info.value.shard == 1
+        finally:
+            database.close()
+        # The dying shard fsync'd batch 2 before the injected crash, so
+        # recovery replays it from the per-shard WAL: nothing is lost.
+        recovered = ShardedDatabase.open(root)
+        try:
+            assert count_all(recovered) == BASE_KEYS.size + 8
+        finally:
+            recovered.close()
+
+    def test_batch_killed_before_apply_is_absent_after_reopen(self, tmp_path):
+        root = tmp_path / "db"
+        database = durable_db(root, faults={1: {"exit_before_apply": 2}})
+        try:
+            with database.session() as session:
+                session.execute([both_shard_insert(database, 100)])
+                with pytest.raises(WorkerDiedError):
+                    session.execute([both_shard_insert(database, 200)])
+        finally:
+            database.close()
+        # Shard 1 died before executing batch 2; shard 0 committed its
+        # half.  Per-shard WALs have no cross-shard transaction, so the
+        # batch is torn: base rows + batch 1 (4) + shard 0's half of
+        # batch 2 (2 of its 4 keys).
+        recovered = ShardedDatabase.open(root)
+        try:
+            shards = recovered.shard_map.shard_of_batch(
+                np.asarray([0, 39, 200, 201], dtype=np.int64)
+            )
+            survivors = int((shards == 0).sum())
+            assert count_all(recovered) == BASE_KEYS.size + 4 + survivors
+        finally:
+            recovered.close()
+
+
+class TestKill:
+    def test_killed_worker_raises_and_peers_stay_alive(self, tmp_path):
+        database = durable_db(tmp_path / "db")
+        try:
+            database.kill(0)
+            assert not database.cluster.alive(0)
+            assert database.cluster.alive(1)
+            with database.session() as session:
+                with pytest.raises(WorkerDiedError) as info:
+                    session.execute([both_shard_insert(database, 100)])
+            assert info.value.shard == 0
+        finally:
+            database.close()
+
+    def test_reopen_after_kill_recovers_the_load(self, tmp_path):
+        root = tmp_path / "db"
+        database = durable_db(root)
+        try:
+            with database.session() as session:
+                session.execute([both_shard_insert(database, 100)])
+            database.sync()
+            database.kill(1)
+        finally:
+            database.close()
+        recovered = ShardedDatabase.open(root)
+        try:
+            assert count_all(recovered) == BASE_KEYS.size + 4
+            # Recovery renumbers rows per shard; the logical multiset is
+            # what must survive, and new writes keep working.
+            with recovered.session() as session:
+                result = session.execute([both_shard_insert(recovered, 300)])
+            assert result.errors == 0
+            assert count_all(recovered) == BASE_KEYS.size + 8
+        finally:
+            recovered.close()

@@ -1,0 +1,151 @@
+"""Shard-map properties: fences route exactly and keep duplicates whole.
+
+The serial-equivalence argument leans on two facts proved here: every
+copy of a key lives in one shard (duplicate runs never straddle a
+fence), and :meth:`ShardMap.split_range` decomposes any range into
+per-shard pieces that tile it exactly -- so per-shard aggregates add up
+to the serial answer with no key counted twice or missed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharding import ShardMap
+
+I64 = np.iinfo(np.int64)
+
+sorted_keys = st.lists(
+    st.integers(-50, 50), min_size=0, max_size=120
+).map(lambda xs: np.sort(np.asarray(xs, dtype=np.int64)))
+
+shard_counts = st.integers(1, 6)
+
+
+class TestConstruction:
+    def test_last_bound_is_always_int64_max(self):
+        m = ShardMap.from_sorted_keys(np.arange(10, dtype=np.int64), 3)
+        assert int(m.bounds[-1]) == I64.max
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ShardMap(np.asarray([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            ShardMap(np.asarray([5, 3, I64.max], dtype=np.int64))
+        with pytest.raises(ValueError):
+            ShardMap(np.asarray([1, 2, 3], dtype=np.int64))
+        with pytest.raises(ValueError):
+            ShardMap.from_sorted_keys(np.arange(4, dtype=np.int64), 0)
+
+    def test_empty_input_routes_everything_to_shard_zero(self):
+        m = ShardMap.from_sorted_keys(np.asarray([], dtype=np.int64), 4)
+        for key in (I64.min, -1, 0, 1, I64.max):
+            assert m.shard_of(key) == 0
+
+    def test_duplicate_run_snaps_left_into_right_shard(self):
+        # The even cut (position 10) lands inside the run of 5s; snapping
+        # to the run's left edge (position 0) empties shard 0 rather than
+        # splitting the run across two workers.
+        keys = np.asarray([5] * 15 + [9] * 5, dtype=np.int64)
+        m = ShardMap.from_sorted_keys(keys, 2)
+        assert m.shard_of(5) == 1
+        assert m.shard_of(9) == 1
+        low, high = m.shard_interval(0)
+        assert high < 5  # shard 0 owns no loaded key
+
+    def test_meta_round_trip(self):
+        m = ShardMap.from_sorted_keys(
+            np.asarray([1, 1, 2, 7, 7, 7, 9], dtype=np.int64), 3
+        )
+        again = ShardMap.from_meta(m.to_meta())
+        assert np.array_equal(m.bounds, again.bounds)
+
+
+class TestRoutingProperties:
+    @given(keys=sorted_keys, n_shards=shard_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_split_positions_agree_with_shard_of(self, keys, n_shards):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        positions = m.split_positions(keys)
+        assert positions[0] == 0 and positions[-1] == keys.size
+        assert np.all(np.diff(positions) >= 0)
+        for shard in range(n_shards):
+            owned = keys[int(positions[shard]):int(positions[shard + 1])]
+            for key in owned.tolist():
+                assert m.shard_of(key) == shard
+
+    @given(keys=sorted_keys, n_shards=shard_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_duplicates_never_straddle_a_fence(self, keys, n_shards):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        shards = m.shard_of_batch(keys)
+        for key in np.unique(keys).tolist():
+            owners = np.unique(shards[keys == key])
+            assert owners.size == 1
+
+    @given(keys=sorted_keys, n_shards=shard_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_shard_of_batch_matches_scalar(self, keys, n_shards):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        probes = np.concatenate(
+            [keys, np.asarray([I64.min, -1000, 1000, I64.max], dtype=np.int64)]
+        )
+        batch = m.shard_of_batch(probes)
+        assert [m.shard_of(k) for k in probes.tolist()] == batch.tolist()
+
+    @given(keys=sorted_keys, n_shards=shard_counts)
+    @settings(max_examples=120, deadline=None)
+    def test_intervals_partition_the_key_space(self, keys, n_shards):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        cursor = I64.min
+        for shard in range(n_shards):
+            low, high = m.shard_interval(shard)
+            if low > high:
+                continue  # collapsed fence: shard owns nothing
+            assert low == cursor
+            cursor = high + 1 if high < I64.max else None
+        assert cursor is None  # the last shard always reaches int64 max
+
+
+class TestSplitRange:
+    @given(
+        keys=sorted_keys,
+        n_shards=shard_counts,
+        low=st.integers(-60, 60),
+        span=st.integers(0, 80),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_pieces_tile_the_range_exactly(self, keys, n_shards, low, span):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        high = low + span
+        pieces = m.split_range(low, high)
+        assert pieces, "a non-empty range always has at least one piece"
+        assert pieces[0][1] == low and pieces[-1][2] == high
+        for (s1, _, h1), (s2, l2, _) in zip(pieces, pieces[1:]):
+            assert s1 < s2
+            assert l2 == h1 + 1
+        for shard, sub_low, sub_high in pieces:
+            owner_low, owner_high = m.shard_interval(shard)
+            assert owner_low <= sub_low <= sub_high <= owner_high
+
+    @given(
+        keys=sorted_keys,
+        n_shards=shard_counts,
+        low=st.integers(-60, 60),
+        span=st.integers(0, 80),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_per_piece_counts_sum_to_the_serial_count(
+        self, keys, n_shards, low, span
+    ):
+        m = ShardMap.from_sorted_keys(keys, n_shards)
+        high = low + span
+        serial = int(((keys >= low) & (keys <= high)).sum())
+        split = sum(
+            int(((keys >= lo) & (keys <= hi)).sum())
+            for _, lo, hi in m.split_range(low, high)
+        )
+        assert split == serial

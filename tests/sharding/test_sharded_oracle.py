@@ -1,0 +1,193 @@
+"""Property tests: the sharded façade is oracle-equal to one process.
+
+Every example loads the same rows into a single-process
+:class:`~repro.api.database.Database` (the oracle) and into the shared
+3-shard cluster, runs an identical random operation sequence through
+both, and compares results and error counts.  Key domains are tiny on
+purpose: heavy duplication forces :meth:`ShardMap.from_sorted_keys` to
+snap fences, so duplicate runs straddling a tentative cut are the common
+case, not the corner.
+
+Two regimes bound what is contractual (see the README's sharding
+section):
+
+* **Variant A** -- payload is a pure function of the key and no key
+  updates run: *everything* the session returns is compared exactly,
+  including SUM aggregates and row payloads.  Which copy of a duplicated
+  key a delete removes is unspecified even serially, but with
+  ``payload = f(key)`` the choice is invisible.
+* **Variant B** -- key updates (including cross-shard moves) and
+  arbitrary insert payloads are allowed; comparison drops to the
+  count level (row counts, COUNT aggregates, delete/update flags,
+  error tallies), which stays deterministic because every write removes
+  or moves exactly one copy regardless of which.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from shard_helpers import normalize, payload_for, serial_db, sharded_db
+
+from repro.workload.operations import (
+    Aggregate,
+    Delete,
+    Insert,
+    MultiDelete,
+    MultiInsert,
+    MultiPointQuery,
+    MultiRangeCount,
+    MultiUpdate,
+    PointQuery,
+    RangeQuery,
+    Update,
+)
+
+#: Tiny key domain: ~10 distinct values over up to 150 rows guarantees
+#: duplicate runs long enough to straddle shard fences.
+KEY = st.integers(0, 9)
+loaded_keys = st.lists(KEY, min_size=0, max_size=150)
+
+READ_SPECS = ("pq", "rq", "sum", "mpq", "mrc")
+WRITE_SPECS = ("in", "mi", "de", "md")
+UPDATE_SPECS = ("up", "mu")
+
+spec = st.tuples(st.sampled_from(READ_SPECS + WRITE_SPECS), KEY, KEY)
+spec_b = st.tuples(
+    st.sampled_from(READ_SPECS + WRITE_SPECS + UPDATE_SPECS), KEY, KEY
+)
+
+
+def build_op(kind: str, a: int, b: int, *, pure_payload: bool):
+    low, high = min(a, b), max(a, b)
+    if kind == "pq":
+        return PointQuery(key=a)
+    if kind == "rq":
+        return RangeQuery(low=low, high=high)
+    if kind == "sum":
+        return RangeQuery(low=low, high=high, aggregate=Aggregate.SUM)
+    if kind == "mpq":
+        return MultiPointQuery(keys=(a, b, a))
+    if kind == "mrc":
+        return MultiRangeCount(bounds=((low, high), (b, b), (0, 9)))
+    if kind == "in":
+        payload = (
+            tuple(payload_for([a])[0].tolist())
+            if pure_payload
+            else (a * 100 + b, b)
+        )
+        return Insert(key=a, payload=payload)
+    if kind == "mi":
+        keys = (a, b)
+        payloads = (
+            tuple(tuple(row) for row in payload_for(keys).tolist())
+            if pure_payload
+            else ((a, b), (b, a))
+        )
+        return MultiInsert(keys=keys, payloads=payloads)
+    if kind == "de":
+        return Delete(key=a)
+    if kind == "md":
+        return MultiDelete(keys=(a, b))
+    if kind == "up":
+        return Update(old_key=a, new_key=b)
+    if kind == "mu":
+        return MultiUpdate(pairs=((a, b), (b, a), (a, 9 - a)))
+    raise AssertionError(kind)
+
+
+def counts_view(op, result):
+    """The count-level projection that stays contractual under updates."""
+    if isinstance(result, np.ndarray):
+        if isinstance(op, MultiInsert):
+            return result.shape  # rowids post-load are non-contractual
+        return result.tolist()
+    if isinstance(result, list):
+        if result and isinstance(result[0], list):
+            return [len(rows) for rows in result]
+        return len(result)
+    if isinstance(op, Insert):
+        return result is not None
+    return result
+
+
+def run_both(cluster, keys, oplist):
+    serial = serial_db(keys)
+    with serial.session() as session:
+        want = session.execute(list(oplist))
+    with sharded_db(cluster, keys) as database:
+        with database.session() as session:
+            got = session.execute(list(oplist))
+        total = database.num_rows
+    assert total == serial.num_rows
+    return want, got
+
+
+common = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVariantA:
+    """No updates, ``payload = f(key)``: full exact equality."""
+
+    @given(keys=loaded_keys, specs=st.lists(spec, min_size=1, max_size=25))
+    @common
+    def test_results_and_errors_match_exactly(self, cluster3, keys, specs):
+        oplist = [
+            build_op(kind, a, b, pure_payload=True) for kind, a, b in specs
+        ]
+        want, got = run_both(cluster3, keys, oplist)
+        assert got.errors == want.errors
+        for op, theirs, ours in zip(
+            oplist, want.results, got.results, strict=True
+        ):
+            if isinstance(op, MultiInsert):
+                assert np.asarray(ours).shape == np.asarray(theirs).shape
+            elif isinstance(op, Insert):
+                assert (ours is None) == (theirs is None)
+            else:
+                assert normalize(ours) == normalize(theirs), op
+
+
+class TestVariantB:
+    """Updates and arbitrary payloads: count-level equality."""
+
+    @given(keys=loaded_keys, specs=st.lists(spec_b, min_size=1, max_size=25))
+    @common
+    def test_counts_and_errors_match(self, cluster3, keys, specs):
+        oplist = [
+            build_op(kind, a, b, pure_payload=False) for kind, a, b in specs
+        ]
+        want, got = run_both(cluster3, keys, oplist)
+        assert got.errors == want.errors
+        for op, theirs, ours in zip(
+            oplist, want.results, got.results, strict=True
+        ):
+            assert counts_view(op, ours) == counts_view(op, theirs), op
+
+
+def test_duplicate_run_straddling_a_fence_stays_whole(cluster3):
+    """The even cut lands mid-run; every copy must still act as one key."""
+    keys = np.asarray([3] * 40 + [7] * 5, dtype=np.int64)
+    with sharded_db(cluster3, keys) as database:
+        shards = database.shard_map.shard_of_batch(keys)
+        for key in (3, 7):
+            assert np.unique(shards[keys == key]).size == 1
+        oplist = [
+            PointQuery(key=3),
+            Delete(key=3),
+            RangeQuery(low=3, high=3),
+            MultiDelete(keys=(3, 3, 7)),
+            RangeQuery(low=0, high=10),
+        ]
+        serial = serial_db(keys)
+        with serial.session() as session:
+            want = session.execute(list(oplist))
+        with database.session() as session:
+            got = session.execute(list(oplist))
+        for theirs, ours in zip(want.results, got.results, strict=True):
+            assert normalize(ours) == normalize(theirs)
