@@ -65,6 +65,12 @@ class SessionResult(SimulatedCost):
     always true under the ``"always"`` fsync policy; under ``"interval"``
     / ``"os"`` a false means the commit is logged but would not survive a
     power failure yet (:meth:`Session.sync` forces it).
+
+    On a sharded database the single ``commit_lsn`` stays ``None``
+    (per-shard WAL watermarks are incomparable) and ``shard_lsns``
+    carries the per-shard vector instead: shard -> last commit LSN that
+    shard acknowledged for this call (``None`` on single-process
+    databases and calls that touched no durable shard).
     """
 
     results: list
@@ -77,6 +83,7 @@ class SessionResult(SimulatedCost):
     reorg_ns: float = 0.0
     commit_lsn: int | None = None
     durable: bool = True
+    shard_lsns: dict[int, int] | None = None
 
 
 @dataclass

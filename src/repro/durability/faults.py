@@ -54,6 +54,22 @@ CRASH_POINTS = (
 #: Points that may also raise transient ``OSError`` via ``io_error_at``.
 IO_POINTS = ("wal.write", "wal.fsync", "snapshot.write")
 
+#: Kill points along the two-phase cross-shard move window.  These are
+#: *worker* kill hooks, not injector crash points: the shard worker
+#: counts its move verbs and ``os._exit(1)``-s when the attach request's
+#: fault dict maps one of these names to the current count (mirroring the
+#: ``exit_before_apply`` / ``exit_before_ack`` batch hooks).  They are
+#: deliberately not part of :data:`CRASH_POINTS` -- the single-process
+#: crash-recovery example matrix stays valid -- and are consumed by the
+#: mid-move kill matrix in ``tests/sharding/test_recovery.py``.
+MOVE_POINTS = (
+    "move.take.before_apply",
+    "move.take.before_ack",
+    "move.put.before_apply",
+    "move.put.before_ack",
+    "move.forget.before_apply",
+)
+
 
 class InjectedCrash(BaseException):
     """A simulated process kill at a named crash point.

@@ -20,12 +20,15 @@ Two documented equivalences rather than identities:
 * global row ids are renumbered (rows reload in snapshot order), so
   recovery preserves the logical row multiset ``{(key, payload)}``, not
   physical rowid values;
-* when a table holds *duplicate* copies of a deleted key, which physical
-  copy a delete removes is unspecified on both the live and the replay
-  path (the live batch may also have reordered neighbouring deletes), so
-  recovered state equals the oracle at the logical level whenever payload
-  is a function of the key -- the regime the paper's HAP workloads (unique
-  keys) and our property tests operate in.
+* when a table holds *duplicate* copies of a deleted key, the live path
+  deterministically removes the oldest copy (smallest row id -- see
+  :meth:`repro.storage.column.PartitionedColumn.delete`), but the rebuild
+  renumbers row ids in snapshot order, so a delete *replayed* across a
+  recovery boundary can land on a different physical copy than its live
+  execution did.  Recovered state therefore equals the oracle at the
+  logical level whenever payload is a function of the key -- the regime
+  the paper's HAP workloads (unique keys) and our property tests operate
+  in.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..storage.access_log import MOVE_MARKER_KINDS
 from ..storage.layouts import LayoutKind, LayoutSpec
 from ..storage.table import Table, layout_chunk_builder
 from .errors import RecoveryError, WalCorruptionError
@@ -118,16 +122,22 @@ def table_from_snapshot(
 def apply_delta_log(table: Table, deltas) -> int:
     """Apply one decoded delta log through the bulk-write paths; returns
     the number of operations applied.  Never touches the WAL -- replay
-    must not re-log what it replays."""
+    must not re-log what it replays.  Move-protocol markers
+    (``move_intent`` / ``move_commit`` / ``move_forget``) mutate nothing:
+    the delete/insert a cross-shard move performs ride as ordinary records
+    in the same bodies, and the markers only matter to the sharded
+    dispatcher's move-resolution scan (:mod:`repro.sharding.database`)."""
     applied = 0
     for record in deltas.records:
         if record.kind == "insert":
             table.bulk_insert(record.keys, record.payloads)
         elif record.kind == "delete":
             table.bulk_delete(record.keys)
-        else:  # "update"
+        elif record.kind == "update":
             pairs = np.stack([record.keys, record.new_keys], axis=1)
             table.bulk_update(pairs)
+        elif record.kind not in MOVE_MARKER_KINDS:
+            raise RecoveryError(f"unreplayable delta kind {record.kind!r}")
         applied += record.operations
     return applied
 

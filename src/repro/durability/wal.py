@@ -9,9 +9,10 @@ One WAL *record* is one durable commit scope -- the whole delta log of an
 
 with ``crc = crc32(lsn || length || body)``.  The body packs the scope's
 :class:`~repro.storage.access_log.DeltaRecord` list: a ``u32`` record
-count, then per record a ``u8`` kind code, a ``u32`` run length and the
-key / payload / target-key arrays as little-endian ``int64`` bytes.  No
-pickle anywhere: a corrupted log can at worst fail a CRC, never execute.
+count (high bit = the scope was one atomic transaction commit), then per
+record a ``u8`` kind code, a ``u32`` run length and the key / payload /
+target-key arrays as little-endian ``int64`` bytes.  No pickle anywhere:
+a corrupted log can at worst fail a CRC, never execute.
 
 A segment file starts with the 8-byte magic ``RPROWAL1`` and is named
 ``wal-<first lsn>.log``; the manager rotates to a fresh segment at every
@@ -68,6 +69,11 @@ _RECORD = struct.Struct("<BII")
 
 _COUNT = struct.Struct("<I")
 
+#: High bit of the body's record-count word: set when the body is one
+#: atomic commit unit (an MVCC transaction's write set).  Old readers
+#: never saw the bit set, so the encoding stays backward compatible.
+_ATOMIC_FLAG = 0x8000_0000
+
 
 def segment_name(first_lsn: int) -> str:
     """File name of the segment whose first record is ``first_lsn``."""
@@ -89,21 +95,27 @@ def segment_first_lsn(path: str | os.PathLike) -> int:
 
 def encode_delta_log(log: DeltaLog) -> bytes:
     """Pack a delta log into one WAL record body."""
-    parts = [_COUNT.pack(len(log.records))]
+    count = len(log.records)
+    if log.atomic:
+        count |= _ATOMIC_FLAG
+    parts = [_COUNT.pack(count)]
     for record in log.records:
-        n = record.operations
-        if record.kind == "insert":
+        code = DELTA_KIND_CODES[record.kind]
+        if record.kind in ("insert", "move_intent"):
+            n = int(record.keys.shape[0])
             width = int(record.payloads.shape[1])
-            parts.append(_RECORD.pack(DELTA_KIND_CODES["insert"], n, width))
+            parts.append(_RECORD.pack(code, n, width))
             parts.append(record.keys.astype("<i8", copy=False).tobytes())
             parts.append(record.payloads.astype("<i8", copy=False).tobytes())
-        elif record.kind == "delete":
-            parts.append(_RECORD.pack(DELTA_KIND_CODES["delete"], n, 0))
-            parts.append(record.keys.astype("<i8", copy=False).tobytes())
-        else:  # "update"
-            parts.append(_RECORD.pack(DELTA_KIND_CODES["update"], n, 0))
+        elif record.kind == "update":
+            n = int(record.keys.shape[0])
+            parts.append(_RECORD.pack(code, n, 0))
             parts.append(record.keys.astype("<i8", copy=False).tobytes())
             parts.append(record.new_keys.astype("<i8", copy=False).tobytes())
+        else:  # "delete", "move_commit", "move_forget": bare key arrays
+            n = int(record.keys.shape[0])
+            parts.append(_RECORD.pack(code, n, 0))
+            parts.append(record.keys.astype("<i8", copy=False).tobytes())
     return b"".join(parts)
 
 
@@ -126,8 +138,10 @@ def decode_delta_log(body: bytes) -> DeltaLog:
     if len(body) < _COUNT.size:
         raise WalCorruptionError("delta body shorter than its record count")
     (count,) = _COUNT.unpack_from(body, 0)
+    atomic = bool(count & _ATOMIC_FLAG)
+    count &= ~_ATOMIC_FLAG
     offset = _COUNT.size
-    log = DeltaLog()
+    log = DeltaLog(atomic=atomic)
     for _ in range(count):
         if offset + _RECORD.size > len(body):
             raise WalCorruptionError("delta body shorter than its record headers")
@@ -144,13 +158,21 @@ def decode_delta_log(body: bytes) -> DeltaLog:
                     kind="insert", keys=keys, payloads=flat.reshape(n, width)
                 )
             )
-        elif kind == "delete":
-            log.records.append(DeltaRecord(kind="delete", keys=keys))
-        else:
+        elif kind == "move_intent":
+            # One payload row however many protocol keys the marker holds.
+            flat, offset = _take(body, offset, width)
+            log.records.append(
+                DeltaRecord(
+                    kind="move_intent", keys=keys, payloads=flat.reshape(1, width)
+                )
+            )
+        elif kind == "update":
             new_keys, offset = _take(body, offset, n)
             log.records.append(
                 DeltaRecord(kind="update", keys=keys, new_keys=new_keys)
             )
+        else:  # "delete", "move_commit", "move_forget"
+            log.records.append(DeltaRecord(kind=kind, keys=keys))
     if offset != len(body):
         raise WalCorruptionError("delta body has trailing bytes")
     return log

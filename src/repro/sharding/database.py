@@ -19,24 +19,35 @@ from the same rows would return, because
 * cross-shard range aggregates decompose exactly -- the shards partition
   the key space, so per-shard counts/sums add up to the serial answer;
 * cross-shard key updates are the one ordering hazard, so they drain the
-  pending round (a barrier), then move the row with an atomic-per-shard
-  ``take`` + ``insert``.
+  pending round (a barrier), then move the row with a **two-phase
+  protocol**: the source logs ``[move_intent, delete]`` as one atomic WAL
+  record and replies with the payload, the target logs ``[move_commit,
+  insert]``, and the source logs ``[move_forget]`` once the dispatcher
+  has the target's ack.  A crash anywhere in that window leaves an
+  unresolved intent that :meth:`ShardedDatabase.open` resolves by
+  consulting the target shard's logged commits -- re-driving the insert
+  or discarding the intent -- so the move lands fully applied or fully
+  absent, never as a lost row.  The resolution scan trusts that rounds
+  serialize with checkpoints (both run through the dispatcher), so a
+  target's ``move_commit`` record always outlives any unresolved source
+  intent -- checkpoint GC cannot drop it mid-move.
 
 Documented divergences (also in the README): row ids created *after*
 load (inserts, cross-shard moves) need not match the serial oracle's --
 load-order ids do, because shard slice offsets reproduce the key-sorted
-global numbering; per-shard WAL watermarks are incomparable, so
-``SessionResult.commit_lsn`` is ``None`` (use :meth:`ShardedDatabase.
-sync` for per-shard durable LSNs); and a crash between the ``take`` and
-``insert`` halves of a cross-shard move can lose that one row -- the
-per-shard WALs have no cross-shard transaction.
+global numbering; and per-shard WAL watermarks are incomparable, so
+``SessionResult.commit_lsn`` is ``None`` -- the per-shard vector is
+reported instead (``SessionResult.shard_lsns``, with
+:meth:`ShardedDatabase.sync` for the durable counterpart).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -74,6 +85,47 @@ def _shard_dir(root: "str | os.PathLike", shard: int) -> str:
     return os.path.join(os.fspath(root), f"shard-{shard}")
 
 
+def _scan_move_markers(
+    shard_root: str,
+) -> tuple[dict[int, tuple[int, int, list[int]]], set[int], set[int]]:
+    """Collect one shard's move-protocol markers from its WAL tail.
+
+    Returns ``(intents, commits, forgets)``: intents map move id to the
+    logged ``(old_key, new_key, payload)``; commits/forgets are the move
+    ids this shard logged the respective resolution marker for.  Reads
+    the surviving segments only -- markers whose segments checkpoint GC
+    already reclaimed were resolved before the snapshot (rounds serialize
+    with checkpoints), so a surviving unresolved intent always has its
+    verdict in the target's surviving tail.
+    """
+    from ..durability.wal import (
+        decode_delta_log,
+        scan_segment,
+        segment_first_lsn,
+    )
+
+    intents: dict[int, tuple[int, int, list[int]]] = {}
+    commits: set[int] = set()
+    forgets: set[int] = set()
+    wal_dir = Path(shard_root) / "wal"
+    if not wal_dir.is_dir():
+        return intents, commits, forgets
+    for segment in sorted(wal_dir.glob("wal-*.log"), key=segment_first_lsn):
+        for _lsn, body in scan_segment(segment).records:
+            for record in decode_delta_log(body).records:
+                if record.kind == "move_intent":
+                    move_id, old_key, new_key = (
+                        int(value) for value in record.keys
+                    )
+                    payload = [int(value) for value in record.payloads[0]]
+                    intents[move_id] = (old_key, new_key, payload)
+                elif record.kind == "move_commit":
+                    commits.add(int(record.keys[0]))
+                elif record.kind == "move_forget":
+                    forgets.add(int(record.keys[0]))
+    return intents, commits, forgets
+
+
 class ShardedDatabase:
     """One logical database fanned out across shard worker processes."""
 
@@ -86,6 +138,7 @@ class ShardedDatabase:
         bases: Sequence[int],
         payload_names: Sequence[str],
         durability_root: "str | os.PathLike | None" = None,
+        move_id_start: int = 1,
     ) -> None:
         self.shard_map = shard_map
         self.cluster = cluster
@@ -97,7 +150,14 @@ class ShardedDatabase:
         self.durability_root = (
             os.fspath(durability_root) if durability_root is not None else None
         )
+        #: Monotonic move-id source for the two-phase cross-shard move
+        #: protocol; :meth:`open` seeds it past every id seen in the WALs
+        #: so resolved and in-flight moves never collide after recovery.
+        self._move_ids = itertools.count(int(move_id_start))
         self._closed = False
+
+    def _next_move_id(self) -> int:
+        return next(self._move_ids)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -256,6 +316,14 @@ class ShardedDatabase:
         renumbers local row ids, so post-open global ids are prefix sums
         of recovered shard sizes (the logical row multiset is what is
         preserved).
+
+        After the workers recover, the dispatcher scans every shard's WAL
+        tail for move-protocol markers and resolves each intent that has
+        no matching ``move_forget``: if the target shard never logged the
+        ``move_commit``, the insert half is re-driven with the intent's
+        carried payload; either way the source then logs its forget.  A
+        worker killed anywhere in the move window therefore re-opens to a
+        state where the move happened fully or not at all.
         """
         root = os.fspath(root)
         with open(os.path.join(root, _MANIFEST)) as fh:
@@ -273,8 +341,6 @@ class ShardedDatabase:
             raise ShardError(
                 f"cluster has {cluster.n_shards} shards, need {n_shards}"
             )
-        bases = []
-        base = 0
         names = None
         try:
             for shard in range(n_shards):
@@ -289,9 +355,16 @@ class ShardedDatabase:
                 if faults and shard in faults:
                     request["faults"] = faults[shard]
                 reply = channel.request(request)
+                names = reply.get("payload_names", names)
+            next_move = cls._resolve_moves(cluster, shard_map, root, n_shards)
+            # Row counts are read *after* resolution: a re-driven insert
+            # changes a shard's size, and bases must reflect final state.
+            bases = []
+            base = 0
+            for shard in range(n_shards):
+                reply = cluster.channel(shard).request({"verb": "stats"})
                 bases.append(base)
                 base += int(reply.get("rows", 0))
-                names = reply.get("payload_names", names)
         except Exception:
             if owns_cluster:
                 cluster.stop()
@@ -303,7 +376,55 @@ class ShardedDatabase:
             bases=bases,
             payload_names=names or (),
             durability_root=root,
+            move_id_start=next_move,
         )
+
+    @staticmethod
+    def _resolve_moves(
+        cluster: ShardCluster,
+        shard_map: ShardMap,
+        root: str,
+        n_shards: int,
+    ) -> int:
+        """Resolve unresolved cross-shard move intents after recovery.
+
+        Scans every shard's surviving WAL segments for move markers.  For
+        each ``move_intent`` with no ``move_forget`` on the same shard,
+        the target shard's log decides: a logged ``move_commit`` means
+        the insert half landed (durably -- it rode the same atomic WAL
+        record), so the intent is only forgotten; otherwise the insert is
+        re-driven from the intent's carried payload first.  Returns the
+        next safe move id (one past the largest id seen anywhere).
+        """
+        markers = [
+            _scan_move_markers(_shard_dir(root, shard))
+            for shard in range(n_shards)
+        ]
+        next_move = 1 + max(
+            (
+                move_id
+                for intents, commits, forgets in markers
+                for move_id in (*intents, *commits, *forgets)
+            ),
+            default=0,
+        )
+        for shard, (intents, _commits, forgets) in enumerate(markers):
+            for move_id in sorted(set(intents) - forgets):
+                old_key, new_key, payload = intents[move_id]
+                target = shard_map.shard_of(new_key)
+                if move_id not in markers[target][1]:
+                    cluster.channel(target).request(
+                        {
+                            "verb": "put",
+                            "key": new_key,
+                            "payload": payload or None,
+                            "move": move_id,
+                        }
+                    )
+                cluster.channel(shard).request(
+                    {"verb": "forget", "move": move_id}
+                )
+        return next_move
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
@@ -431,10 +552,12 @@ class ShardedSession:
         """Execute operations with serial-oracle results and errors.
 
         ``commit_lsn`` is always ``None`` -- per-shard WAL watermarks are
-        incomparable; ``durable`` is the conjunction of every involved
-        shard's report.  ``accesses`` is the sum of worker-side tallies
-        (cross-shard moves charge their take+insert decomposition, not
-        the serial update's counts).
+        incomparable -- but ``shard_lsns`` reports the per-shard vector:
+        the last commit LSN each involved shard acknowledged this call.
+        ``durable`` is the conjunction of every involved shard's report.
+        ``accesses`` is the sum of worker-side tallies (cross-shard moves
+        charge their take+put decomposition, not the serial update's
+        counts).
         """
         if self._closed:
             raise ShardError("session is closed")
@@ -459,6 +582,7 @@ class ShardedSession:
             errors=batch.errors,
             commit_lsn=None,
             durable=batch.durable,
+            shard_lsns=dict(batch.shard_lsns) or None,
         )
 
 
@@ -471,6 +595,7 @@ class _Batch:
         self.errors = 0
         self.accesses = AccessCounter()
         self.durable = True
+        self.shard_lsns: dict[int, int] = {}
         self.shard_accesses: dict[int, AccessCounter] = {}
         self.shard_wall_ns: dict[int, float] = {}
         self._pending: dict[int, list] = {}
@@ -492,6 +617,8 @@ class _Batch:
                 self.errors += reply.errors
                 self.accesses.merge(reply.accesses)
                 self.durable = self.durable and reply.durable
+                if reply.commit_lsn is not None:
+                    self.shard_lsns[shard] = int(reply.commit_lsn)
                 self.shard_accesses.setdefault(
                     shard, AccessCounter()
                 ).merge(reply.accesses)
@@ -771,29 +898,52 @@ class _Batch:
     def _move(
         self, old_key: int, new_key: int, source: int, target: int
     ) -> bool:
-        """Cross-shard key update: ``take`` from source, insert at target.
+        """Cross-shard key update, two-phase: take / put / forget.
 
         Caller has flushed -- both shards are quiescent.  Returns whether
-        a row moved (``False`` = ``old_key`` absent).  The moved row gets
-        a fresh target-shard row id (documented divergence); a crash
-        between the two halves loses the row (no cross-shard WAL).
+        a row moved (``False`` = ``old_key`` absent).  The source's
+        ``take`` logs ``[move_intent, delete]`` atomically before its
+        reply, the target's ``put`` logs ``[move_commit, insert]``, and
+        the source's ``forget`` retires the intent only after the put's
+        ack -- so a crash at any point leaves WAL markers the re-open
+        scan resolves to a fully-applied or fully-absent move.  The moved
+        row gets a fresh target-shard row id (documented divergence).
         """
+        move_id = self.database._next_move_id()
         reply = self.database.cluster.channel(source).request(
-            {"verb": "take", "key": old_key}
+            {
+                "verb": "take",
+                "key": old_key,
+                "new_key": new_key,
+                "move": move_id,
+            }
         )
         self.accesses.merge(_decode_counter(reply.get("accesses")))
+        self._merge_watermark(source, reply)
         if not reply.get("found"):
             return False
         payload = (
-            tuple(int(v) for v in reply["payload"])
+            [int(v) for v in reply["payload"]]
             if self.database.payload_names
             else None
         )
-        replies = self.database.cluster.execute_round(
-            {target: [ops.Insert(key=new_key, payload=payload)]}
+        put = self.database.cluster.channel(target).request(
+            {
+                "verb": "put",
+                "key": new_key,
+                "payload": payload,
+                "move": move_id,
+            }
         )
-        insert_reply = replies[target]
-        self.errors += insert_reply.errors
-        self.accesses.merge(insert_reply.accesses)
-        self.durable = self.durable and insert_reply.durable
+        self.accesses.merge(_decode_counter(put.get("accesses")))
+        self._merge_watermark(target, put)
+        forget = self.database.cluster.channel(source).request(
+            {"verb": "forget", "move": move_id}
+        )
+        self._merge_watermark(source, forget)
         return True
+
+    def _merge_watermark(self, shard: int, reply: dict) -> None:
+        self.durable = self.durable and bool(reply.get("durable", True))
+        if reply.get("commit_lsn") is not None:
+            self.shard_lsns[shard] = int(reply["commit_lsn"])

@@ -21,12 +21,17 @@ speaks (:mod:`repro.ipc.framing`):
     *own* :class:`~repro.durability.manager.DurabilityManager` -- the
     per-shard WALs are what unserializes durable write batches that a
     single-process database would funnel through one ``wal_commit`` lock.
-``take``
-    Remove one row of a key and reply with its payload: the source half
-    of a cross-shard key update (the dispatcher re-inserts the payload
-    under the new key on the owning shard).  Which physical copy of a
-    duplicated key moves is unspecified, exactly as it is for the serial
-    table's delete (see ``Table.delete``).
+``take`` / ``put`` / ``forget``
+    The two-phase cross-shard move protocol.  ``take`` removes one row of
+    a key (the deterministic oldest copy, exactly the serial table's
+    delete victim) and logs ``[move_intent, delete]`` as one WAL record
+    before replying with the payload; ``put`` inserts the carried row on
+    the target shard under ``[move_commit, insert]``; ``forget`` logs the
+    source's resolution marker once the dispatcher has the target's ack.
+    A crash anywhere in the window leaves markers the dispatcher's
+    re-open scan resolves (see ``ShardedDatabase.open``).  The move
+    fault hooks (:data:`repro.durability.faults.MOVE_POINTS`) kill the
+    worker at each window edge to test exactly that.
 ``checkpoint`` / ``sync`` / ``stats`` / ``shutdown``
     Durability lifecycle, introspection (rows, per-kind statistics,
     replans, recorded discipline violations -- the CI shard job asserts
@@ -130,6 +135,7 @@ def worker_main(host: str, port: int, shard: int, token: str) -> None:
     session = None
     arena: ShmArena | None = None
     batches = 0
+    takes = puts = forgets = 0
     faults: dict = {}
 
     def close_database() -> None:
@@ -162,7 +168,7 @@ def worker_main(host: str, port: int, shard: int, token: str) -> None:
                     database = _build_database(request, reader)
                     session = _open_session(database, request.get("config", {}))
                     faults = request.get("faults") or {}
-                    batches = 0
+                    batches = takes = puts = forgets = 0
                     reply["rows"] = int(database.num_rows)
                     reply["payload_names"] = list(database.table.payload_names)
                 elif verb == "execute":
@@ -190,7 +196,47 @@ def worker_main(host: str, port: int, shard: int, token: str) -> None:
                     reply["commit_lsn"] = outcome.commit_lsn
                     reply["durable"] = bool(outcome.durable)
                 elif verb == "take":
-                    reply.update(_take(database, session, int(request["key"])))
+                    takes += 1
+                    if faults.get("move.take.before_apply") == takes:
+                        os._exit(1)
+                    reply.update(
+                        _take(
+                            database,
+                            int(request["key"]),
+                            int(request["new_key"]),
+                            int(request["move"]),
+                        )
+                    )
+                    if reply.get("found") and (
+                        faults.get("move.take.before_ack") == takes
+                    ):
+                        # The intent + delete are on the source WAL but the
+                        # dispatcher never hears the payload: recovery must
+                        # resolve the orphaned intent from the log alone.
+                        os._exit(1)
+                elif verb == "put":
+                    puts += 1
+                    if faults.get("move.put.before_apply") == puts:
+                        os._exit(1)
+                    reply.update(
+                        _put(
+                            database,
+                            int(request["key"]),
+                            request.get("payload"),
+                            int(request["move"]),
+                        )
+                    )
+                    if faults.get("move.put.before_ack") == puts:
+                        # The commit + insert are on the target WAL but the
+                        # source never gets its forget: the re-open scan
+                        # must see the commit and only discard the intent.
+                        os._exit(1)
+                elif verb == "forget":
+                    forgets += 1
+                    if faults.get("move.forget.before_apply") == forgets:
+                        os._exit(1)
+                    database.engine.log_move_forget(int(request["move"]))
+                    reply.update(_watermark(database))
                 elif verb == "checkpoint":
                     if database.durability is not None:
                         info = database.checkpoint()
@@ -221,39 +267,49 @@ def worker_main(host: str, port: int, shard: int, token: str) -> None:
             pass
 
 
-def _take(database, session, key: int) -> dict:
-    """Remove one row of ``key``; reply with its payload row (or a miss).
+def _take(database, key: int, new_key: int, move_id: int) -> dict:
+    """Take one row of ``key`` for a move; reply with its payload (or miss).
 
-    Which duplicate copy ``Table.delete`` removes is unspecified, so the
-    removed copy is identified *after* the fact by row-id difference --
-    the reported payload is exactly the one that left the table, keeping
-    the (key, payload) multiset faithful when duplicates carry distinct
-    payloads.
+    ``Table.take_row`` removes the deterministic oldest copy -- the same
+    victim a plain delete would choose -- and hands back exactly the
+    payload that left the table, keeping the (key, payload) multiset
+    faithful when duplicates carry distinct payloads.  With durability
+    attached the engine logs ``[move_intent, delete]`` atomically before
+    this reply is sent.
     """
-    from ..workload.operations import Delete
+    from ..storage.errors import ValueNotFoundError
 
     before = database.engine.counter.snapshot()
-    rows = database.table.point_query(key)
-    if not rows:
+    try:
+        outcome = database.engine.take_for_move(key, new_key, move_id)
+    except ValueNotFoundError:
         diff = database.engine.counter.diff(before)
         return {"found": False, "accesses": _counter_meta(diff)}
-    outcome = session.execute(Delete(key=key))
-    if outcome.errors:  # pragma: no cover - row was seen above
-        diff = database.engine.counter.diff(before)
-        return {"found": False, "accesses": _counter_meta(diff)}
-    remaining = {row.rowid for row in database.table.point_query(key)}
-    removed = next(
-        (row for row in rows if row.rowid not in remaining), rows[0]
-    )
-    payload = [
-        int(removed.payload[name]) for name in database.table.payload_names
-    ]
-    diff = database.engine.counter.diff(before)
-    return {
+    _, payload_row = outcome.result
+    reply = {
         "found": True,
-        "payload": payload,
-        "accesses": _counter_meta(diff),
+        "payload": [int(value) for value in payload_row],
+        "accesses": _counter_meta(outcome.accesses),
     }
+    reply.update(_watermark(database))
+    return reply
+
+
+def _put(database, key: int, payload, move_id: int) -> dict:
+    """Insert the carried row of a move under ``[move_commit, insert]``."""
+    outcome = database.engine.apply_move_put(key, payload, move_id)
+    reply = {"accesses": _counter_meta(outcome.accesses)}
+    reply.update(_watermark(database))
+    return reply
+
+
+def _watermark(database) -> dict:
+    """This shard's durability watermark, as execute replies report it."""
+    manager = database.durability
+    if manager is None:
+        return {"commit_lsn": None, "durable": True}
+    lsn = int(manager.last_lsn)
+    return {"commit_lsn": lsn, "durable": bool(manager.durable_lsn >= lsn)}
 
 
 def _stats(database, session, discipline) -> dict:

@@ -139,10 +139,24 @@ class AccessLog:
 
 #: Delta kinds in stable order; the WAL codec stores the index into this
 #: tuple as a one-byte kind code, so the order is part of the on-disk
-#: format -- append only, never reorder.
-DELTA_KINDS = ("insert", "delete", "update")
+#: format -- append only, never reorder.  The ``move_*`` kinds are the
+#: two-phase cross-shard move protocol markers (see
+#: :mod:`repro.sharding.database`): they carry bookkeeping for recovery,
+#: not table mutations -- the delete/insert the move performs ride as
+#: ordinary records in the same WAL bodies.
+DELTA_KINDS = (
+    "insert",
+    "delete",
+    "update",
+    "move_intent",
+    "move_commit",
+    "move_forget",
+)
 
 DELTA_KIND_CODES = {kind: code for code, kind in enumerate(DELTA_KINDS)}
+
+#: Kinds that mark move-protocol state rather than table mutations.
+MOVE_MARKER_KINDS = frozenset({"move_intent", "move_commit", "move_forget"})
 
 
 @dataclass(frozen=True)
@@ -156,8 +170,14 @@ class DeltaRecord:
     has no payload columns) and ``None`` otherwise; ``new_keys`` is the
     aligned target-key array for updates and ``None`` otherwise.  Replaying
     the records of a batch in order through the table's bulk-write paths
-    reproduces the batch's logical effect (see
-    :mod:`repro.durability.recovery` for the one caveat on duplicate keys).
+    reproduces the batch's logical effect.
+
+    The move-protocol markers reuse the fields: a ``move_intent`` carries
+    ``keys = [move_id, old_key, new_key]`` plus the taken row's payload as
+    a one-row ``payloads`` array; ``move_commit`` / ``move_forget`` carry
+    ``keys = [move_id]``.  Markers mutate nothing on replay (their
+    :attr:`operations` count is 0); recovery uses them to resolve moves a
+    crash left half-done.
     """
 
     kind: str
@@ -172,6 +192,8 @@ class DeltaRecord:
     @property
     def operations(self) -> int:
         """Number of write operations the record covers."""
+        if self.kind in MOVE_MARKER_KINDS:
+            return 0
         return int(self.keys.shape[0])
 
 
@@ -184,12 +206,20 @@ class DeltaLog:
     always describes exactly what the in-memory state absorbed, even when a
     batch dies part-way through.  The durability manager encodes the whole
     log as one checksummed WAL record.
+
+    ``atomic`` marks the log as one all-or-nothing commit unit (an MVCC
+    transaction's write set): the flag rides in the WAL body so recovery
+    and followers can tell a transactional record apart from an ordinary
+    batch.  Either way one WAL body replays whole or not at all (the frame
+    CRC covers it), which is what makes transactional commits atomic under
+    crash.
     """
 
-    __slots__ = ("records",)
+    __slots__ = ("records", "atomic")
 
-    def __init__(self) -> None:
+    def __init__(self, *, atomic: bool = False) -> None:
         self.records: list[DeltaRecord] = []
+        self.atomic = bool(atomic)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -228,5 +258,44 @@ class DeltaLog:
                 kind="update",
                 keys=pairs_arr[:, 0].copy(),
                 new_keys=pairs_arr[:, 1].copy(),
+            )
+        )
+
+    def record_move_intent(
+        self,
+        move_id: int,
+        old_key: int,
+        new_key: int,
+        payload: np.ndarray | Sequence[int] | None,
+    ) -> None:
+        """Append a cross-shard move intent (source shard, before the ack).
+
+        Carries everything recovery needs to re-drive the insert half of
+        the move: the taken row's payload and the target key.
+        """
+        row = np.asarray(
+            payload if payload is not None else (), dtype=np.int64
+        ).reshape(1, -1)
+        self.records.append(
+            DeltaRecord(
+                kind="move_intent",
+                keys=np.asarray([move_id, old_key, new_key], dtype=np.int64),
+                payloads=row,
+            )
+        )
+
+    def record_move_commit(self, move_id: int) -> None:
+        """Append the target shard's applied-the-insert marker."""
+        self.records.append(
+            DeltaRecord(
+                kind="move_commit", keys=np.asarray([move_id], dtype=np.int64)
+            )
+        )
+
+    def record_move_forget(self, move_id: int) -> None:
+        """Append the source shard's move-resolved marker."""
+        self.records.append(
+            DeltaRecord(
+                kind="move_forget", keys=np.asarray([move_id], dtype=np.int64)
             )
         )

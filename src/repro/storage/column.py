@@ -743,20 +743,38 @@ class PartitionedColumn:
             raise ValueNotFoundError(f"value {value} not found")
         return partition, positions
 
+    def _oldest_first(self, positions: np.ndarray) -> np.ndarray:
+        """Candidate positions reordered oldest row (smallest row id) first.
+
+        The **duplicate-victim rule**: every single-victim write path
+        (delete / remove_one / update, and the bulk paths that replay
+        them) removes the oldest surviving copy of a duplicated value,
+        so which physical copy dies is a deterministic function of the
+        operation history -- serial and sharded executions agree exactly,
+        payloads included.  Columns without row-id tracking fall back to
+        physical scan order (their copies are indistinguishable).
+        """
+        if not self._track_rowids or positions.shape[0] < 2:
+            return positions
+        return positions[np.argsort(self._rowids[positions], kind="stable")]
+
     @requires_latch("exclusive")
     def delete(self, value: int, *, limit: int = 1) -> int:
         """Delete up to ``limit`` occurrences of ``value``.
 
         Returns the number of deleted entries.  Raises
         :class:`ValueNotFoundError` when the value is absent.  All victims
-        come from the single charged partition scan; they are removed
-        back-to-front so a swap-with-last can never move a pending victim.
+        come from the single charged partition scan, oldest copies first
+        (see :meth:`_oldest_first`); they are removed in descending
+        position order so a swap-with-last can never move a pending
+        victim.
         """
         value = int(value)
         partition, positions = self._charged_point_scan(value)
-        victims = positions[:limit] if limit is not None else positions
+        victims = self._oldest_first(positions)
+        victims = victims[:limit] if limit is not None else victims
         deleted = int(victims.shape[0])
-        for position in victims[::-1]:
+        for position in np.sort(victims)[::-1]:
             self._remove_at(partition, int(position))
         if self.dense:
             for _ in range(deleted):
@@ -768,13 +786,14 @@ class PartitionedColumn:
         """Delete one occurrence of ``value`` and return its row id.
 
         Identical to ``delete(value, limit=1)`` in behavior and charged
-        accesses, but reports which row id the deletion actually removed
-        (``None`` when row ids are untracked) so callers moving a row
-        between chunks keep global row ids consistent.
+        accesses -- including the oldest-copy victim rule -- but reports
+        which row id the deletion actually removed (``None`` when row ids
+        are untracked) so callers moving a row between chunks keep global
+        row ids consistent.
         """
         value = int(value)
         partition, positions = self._charged_point_scan(value)
-        position = int(positions[0])
+        position = int(self._oldest_first(positions)[0])
         rowid = int(self._rowids[position]) if self._track_rowids else None
         self._remove_at(partition, position)
         if self.dense:
@@ -795,10 +814,9 @@ class PartitionedColumn:
         old_value = int(old_value)
         new_value = int(new_value)
         source, positions = self._charged_point_scan(old_value)
-        rowid = (
-            int(self._rowids[int(positions[0])]) if self._track_rowids else None
-        )
-        self._remove_at(source, int(positions[0]))
+        victim = int(self._oldest_first(positions)[0])
+        rowid = int(self._rowids[victim]) if self._track_rowids else None
+        self._remove_at(source, victim)
         # Moving the hole to the end of the source partition: one extra
         # read/write pair on top of the delete's write (Eq. 12/14).
         self.counter.random_read(1)
@@ -1121,22 +1139,31 @@ class PartitionedColumn:
 
         One scan finds every victim candidate; the sequential swap-with-last
         cascade is then replayed in place on the live segment (lazy
-        first-occurrence heaps track values re-exposed by swaps), charging
+        oldest-copy heaps track values re-exposed by swaps), charging
         each delete the same partition scan and swap write it would pay on
-        the per-value path.  Returns the number of removed entries.
+        the per-value path.  The per-value victim is the oldest surviving
+        copy (smallest row id -- the rule :meth:`_oldest_first` pins for
+        the sequential path; physical scan order when row ids are
+        untracked).  Returns the number of removed entries.
         """
         start = int(self._starts[partition])
         count = int(self._counts[partition])
         segment = self._data[start : start + count]
         ids = self._rowids[start : start + count] if self._track_rowids else None
+
+        def sort_key(position: int) -> int:
+            return int(ids[position]) if ids is not None else position
+
         small_group = cnt * 16 < count
-        positions_by_value: dict[int, list[int]] = {}
+        positions_by_value: dict[int, list[tuple[int, int]]] = {}
         if count and not small_group:
             wanted = sorted_values[lo : lo + cnt]
             for position in np.nonzero(np.isin(segment, wanted))[0].tolist():
                 positions_by_value.setdefault(int(segment[position]), []).append(
-                    position
+                    (sort_key(position), position)
                 )
+            for heap in positions_by_value.values():
+                heapq.heapify(heap)
         live = count
         removed = 0
         last_victim = 0
@@ -1152,18 +1179,32 @@ class PartitionedColumn:
             if small_group:
                 # Few victims in a large partition: a per-value scan of the
                 # (in-place mutated) live segment replays the sequential
-                # first-occurrence choice without the candidate index.
+                # oldest-copy choice without the candidate index.
                 local = np.nonzero(segment[:live] == value)[0]
-                position = int(local[0]) if local.size else None
+                if local.size:
+                    position = int(
+                        local[int(np.argmin(ids[local]))]
+                        if ids is not None
+                        else local[0]
+                    )
+                else:
+                    position = None
             else:
                 heap = positions_by_value.get(value)
                 position = None
                 while heap:
-                    candidate = heap[0]
-                    if candidate >= live or int(segment[candidate]) != value:
+                    key, candidate = heap[0]
+                    # Lazy invalidation: a candidate slot is stale once it
+                    # fell off the live segment, holds another value, or
+                    # (after a same-value swap) holds a different copy.
+                    if (
+                        candidate >= live
+                        or int(segment[candidate]) != value
+                        or sort_key(candidate) != key
+                    ):
                         heapq.heappop(heap)
                         continue
-                    position = heapq.heappop(heap)
+                    position = heapq.heappop(heap)[1]
                     break
             if position is None:
                 continue
@@ -1179,7 +1220,9 @@ class PartitionedColumn:
                 and position < live
                 and moved in positions_by_value
             ):
-                heapq.heappush(positions_by_value[moved], position)
+                heapq.heappush(
+                    positions_by_value[moved], (sort_key(position), position)
+                )
             deleted_sorted[i] = 1
             removed += 1
             last_victim = value

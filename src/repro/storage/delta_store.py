@@ -358,7 +358,17 @@ class DeltaStoreColumn:
 
     @requires_latch("exclusive")
     def delete(self, value: int, *, limit: int = 1) -> int:
-        """Delete up to ``limit`` occurrences of ``value``."""
+        """Delete up to ``limit`` occurrences of ``value``.
+
+        Victim rule: delta-buffer copies die first (insertion order), then
+        main-area copies in scan order via count-based tombstones -- a
+        deterministic per-layout rule, but deliberately *not* the
+        partitioned column's oldest-copy rule
+        (:meth:`~repro.storage.column.PartitionedColumn._oldest_first`):
+        the tombstone machinery suppresses occurrences by count, not row
+        id.  This layout is the "State-of-art" baseline and is not
+        reachable from the sharded path, which pins the oldest-copy rule.
+        """
         value = int(value)
         deleted = 0
         # Delete from the delta buffer first (cheapest).

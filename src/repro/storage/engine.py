@@ -15,9 +15,11 @@ search (count / sum), insert, delete, update -- together with:
   ``wal_commit`` lock held across [table apply + WAL append] -- so the
   write-ahead log records exactly the deltas the in-memory state absorbed,
   in the order it absorbed them, before results are returned.  Read-only
-  dispatches never touch the commit lock.  MVCC transaction writes bypass
-  the scope and are *not* logged (transactions remain an in-memory
-  feature; see the durability docs).
+  dispatches never touch the commit lock.  MVCC transaction commits run
+  the same scope: the whole write set lands as **one atomic WAL record**
+  (the body's atomic flag set), so recovery and followers replay a
+  committed transaction whole or not at all; aborted transactions log
+  nothing.
 """
 
 from __future__ import annotations
@@ -464,11 +466,26 @@ class StorageEngine:
         self, txn: Transaction, key: int, payload: Sequence[int] | None = None
     ) -> None:
         """Buffer an insert inside ``txn``; applied at commit."""
-        txn.record_write(key, lambda: self.table.insert(key, payload), f"insert {key}")
+        txn.record_write(
+            key,
+            lambda: self.table.insert(key, payload),
+            f"insert {key}",
+            record=lambda deltas: deltas.record_insert(
+                [key],
+                self._delta_payload_rows(
+                    [payload] if payload is not None else None, 1
+                ),
+            ),
+        )
 
     def transactional_delete(self, txn: Transaction, key: int) -> None:
         """Buffer a delete inside ``txn``; applied at commit."""
-        txn.record_write(key, lambda: self.table.delete(key), f"delete {key}")
+        txn.record_write(
+            key,
+            lambda: self.table.delete(key),
+            f"delete {key}",
+            record=lambda deltas: deltas.record_delete([key]),
+        )
 
     def transactional_update(
         self, txn: Transaction, old_key: int, new_key: int
@@ -478,20 +495,104 @@ class StorageEngine:
             old_key,
             lambda: self.table.update_key(old_key, new_key),
             f"update {old_key}->{new_key}",
+            record=lambda deltas: deltas.record_update([(old_key, new_key)]),
         )
         txn.record_write(new_key, lambda: None, "update target reservation")
 
     def commit(self, txn: Transaction) -> int:
-        """Commit ``txn`` (first committer wins)."""
+        """Commit ``txn`` (first committer wins).
+
+        With durability attached, the commit runs inside a commit scope of
+        its own: the manager's commit lock is held across [conflict check +
+        intent applies + WAL append] and the write set lands as **one
+        atomic WAL record** (``DeltaLog(atomic=True)``) before the commit
+        timestamp is returned -- so recovery and followers replay the
+        transaction whole or not at all.  A conflict abort raises before
+        any intent applies and logs nothing.  The append sits in
+        ``finally`` for the same reason ``execute_batch``'s does: if an
+        intent apply dies part-way, the applied prefix must still reach
+        the log or every later record would replay onto diverged state.
+        """
         if self.transactions is None:
             raise RuntimeError("transactions are not enabled for this engine")
-        return self.transactions.commit(txn)
+        durability = self.durability
+        if durability is None or not txn.write_intents:
+            return self.transactions.commit(txn)
+        durability.require_writable()
+        deltas = DeltaLog(atomic=True)
+        lsn: int | None = None
+        with durability.commit_lock:
+            try:
+                commit_ts = self.transactions.commit(txn, deltas=deltas)
+            finally:
+                if deltas.records:
+                    lsn = durability.append(deltas)
+        if lsn is not None:
+            durability.sync_for_policy()
+        return commit_ts
 
     def abort(self, txn: Transaction) -> None:
         """Roll back ``txn``."""
         if self.transactions is None:
             raise RuntimeError("transactions are not enabled for this engine")
         self.transactions.abort(txn)
+
+    # ------------------------------------------------------------------ #
+    # Cross-shard move protocol (two-phase: intent / commit / forget)
+    # ------------------------------------------------------------------ #
+
+    def take_for_move(
+        self, key: int, new_key: int, move_id: int
+    ) -> OperationResult:
+        """The take half of a cross-shard move: delete one row by key and
+        log ``[move_intent, delete]`` as one WAL record.
+
+        The intent carries the victim's payload and the target key, so a
+        dispatcher that finds it unresolved after a crash can re-drive the
+        insert half without the source row.  The operation result is the
+        ``(rowid, payload_row)`` pair of the taken row.  Raises
+        :class:`ValueNotFoundError` (logging nothing) when the key is
+        absent.
+        """
+        with self._commit_scope() as deltas:
+            self._record("delete", (key,))
+            outcome = self._measure("delete", self.table.take_row, key)
+            if deltas is not None:
+                _, payload_row = outcome.result
+                deltas.record_move_intent(move_id, key, new_key, payload_row)
+                deltas.record_delete([key])
+        return outcome
+
+    def apply_move_put(
+        self, key: int, payload: Sequence[int] | None, move_id: int
+    ) -> OperationResult:
+        """The insert half of a cross-shard move: insert the carried row
+        and log ``[move_commit, insert]`` as one WAL record.
+
+        The commit marker is what the dispatcher's move-resolution scan
+        consults to decide whether an unresolved source intent needs the
+        insert re-driven or only a forget.
+        """
+        with self._commit_scope() as deltas:
+            self._record("insert", (key,))
+            outcome = self._measure("insert", self.table.insert, key, payload)
+            if deltas is not None:
+                rows = self._delta_payload_rows(
+                    [payload] if payload is not None else None, 1
+                )
+                deltas.record_move_commit(move_id)
+                deltas.record_insert([key], rows)
+        return outcome
+
+    def log_move_forget(self, move_id: int) -> None:
+        """Resolve a move on the source shard: log ``[move_forget]``.
+
+        Pure WAL bookkeeping -- no table mutation, no-op without
+        durability attached.
+        """
+        with self._commit_scope() as deltas:
+            if deltas is not None:
+                deltas.record_move_forget(move_id)
 
     # ------------------------------------------------------------------ #
     # Workload dispatch
@@ -546,15 +647,16 @@ class StorageEngine:
         ordering's per-operation accesses (coalesced ripple sweeps charge
         each touched block once per batch), returning the same row ids and
         deleted counts.  One caveat follows from the in-run reordering: the
-        ascending replay is the charge/layout reference, not submission
-        order.  For delete runs the two differ when the table holds
-        duplicate copies of a deleted key (which physical copy a delete
-        removes depends on the order neighbouring deletes reshuffled the
-        partition) or when a run mixes hits and *misses* in one partition
-        (a reordered miss is scanned at the partition size the replay sees,
-        which can cross a block boundary submission order would not).
-        Runs whose deletes hit keys that are unique in the table -- e.g.
-        the HAP generator's -- are unaffected.  Delta-store chunks add one
+        ascending replay is the charge reference, not submission order.
+        Victim *identity* is reorder-proof -- every delete removes the
+        oldest surviving copy of its key (the rule
+        :meth:`PartitionedColumn._oldest_first` pins), a choice
+        neighbouring deletes of other keys cannot perturb, and same-key
+        deletes keep their relative order under the stable sort -- but a
+        run that mixes hits and *misses* in one partition can charge
+        differently (a reordered miss is scanned at the partition size
+        the replay sees, which can cross a block boundary submission
+        order would not).  Delta-store chunks add one
         more caveat: a batch that crosses the merge threshold mid-run pays
         one larger deferred merge instead of sequential's earlier smaller
         one, which can exceed the sequential charge (see

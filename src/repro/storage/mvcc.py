@@ -32,11 +32,19 @@ class TransactionStatus(Enum):
 
 @dataclass
 class WriteIntent:
-    """A buffered write: the operation closure plus the key it touches."""
+    """A buffered write: the operation closure plus the key it touches.
+
+    ``record`` optionally logs the write's delta into a
+    :class:`~repro.storage.access_log.DeltaLog` once ``apply`` has run --
+    the storage engine attaches it so a durable commit can publish the
+    transaction's write set through the WAL.  The manager stays
+    storage-agnostic: it only ever calls the two closures.
+    """
 
     key: int
     apply: Callable[[], None]
     description: str = ""
+    record: Callable[[object], None] | None = None
 
 
 @dataclass
@@ -61,11 +69,15 @@ class Transaction:
         self.read_set.add(int(key))
 
     def record_write(
-        self, key: int, apply: Callable[[], None], description: str = ""
+        self,
+        key: int,
+        apply: Callable[[], None],
+        description: str = "",
+        record: Callable[[object], None] | None = None,
     ) -> None:
         """Buffer a write to ``key``; ``apply`` executes it at commit time."""
         self._ensure_active()
-        self.write_intents.append(WriteIntent(int(key), apply, description))
+        self.write_intents.append(WriteIntent(int(key), apply, description, record))
 
     def _ensure_active(self) -> None:
         if self.status is not TransactionStatus.ACTIVE:
@@ -103,12 +115,20 @@ class TransactionManager:
         self._active[txn.txn_id] = txn
         return txn
 
-    def commit(self, txn: Transaction) -> int:
+    def commit(self, txn: Transaction, *, deltas=None) -> int:
         """Attempt to commit ``txn``; returns the commit timestamp.
 
         Raises :class:`TransactionConflictError` (after rolling the
         transaction back) when another transaction committed a conflicting
-        write after ``txn`` began.
+        write after ``txn`` began.  The conflict check runs before any
+        intent applies, so an aborted commit leaves no trace -- in memory
+        or in ``deltas``.
+
+        ``deltas`` is the optional delta log a durable engine passes in:
+        each intent that carries a ``record`` closure logs its applied
+        write into it, in apply order, so the log describes exactly the
+        write set the commit published (or, if an apply dies part-way, the
+        applied prefix -- matching the engine's batch commit contract).
         """
         if txn.status is not TransactionStatus.ACTIVE:
             raise TransactionStateError(
@@ -124,6 +144,8 @@ class TransactionManager:
         commit_ts = self._tick()
         for intent in txn.write_intents:
             intent.apply()
+            if deltas is not None and intent.record is not None:
+                intent.record(deltas)
         for key in txn.write_set:
             self._last_commit_ts[key] = commit_ts
         txn.status = TransactionStatus.COMMITTED

@@ -652,7 +652,12 @@ class Table:
         """Q5: delete one row by key; returns the number of deleted rows.
 
         All candidate chunks are probed in routing order, so duplicates split
-        across a chunk boundary are reachable by repeated deletes.
+        across a chunk boundary are reachable by repeated deletes.  Within
+        the first chunk holding the key, the victim is the oldest surviving
+        copy (smallest row id -- see
+        :meth:`~repro.storage.column.PartitionedColumn._oldest_first`), so
+        which copy dies is deterministic and serial/sharded executions
+        agree, payloads included.
         """
         key = int(key)
         first, last = self._route_key(key)
@@ -666,6 +671,35 @@ class Table:
                 continue
             finally:
                 self._latches.release_write(chunk_index)
+        raise ValueNotFoundError(f"key {key} not found")
+
+    def take_row(self, key: int) -> tuple[int, np.ndarray]:
+        """Delete one row by key and return ``(rowid, payload_row)``.
+
+        Chooses the same victim :meth:`delete` would (the oldest copy --
+        smallest row id -- in the first candidate chunk holding the key)
+        with identical charged accesses, but reports which row it removed
+        so a cross-shard move can carry the payload to the target shard.
+        The payload row is copied before the row id goes back into
+        circulation.
+        """
+        key = int(key)
+        first, last = self._route_key(key)
+        for chunk_index in range(first, last + 1):
+            self._latches.acquire_write(chunk_index)
+            try:
+                rowid = self._chunks[chunk_index].remove_one(key)
+                self._bump_generation(chunk_index)
+            except ValueNotFoundError:
+                continue
+            finally:
+                self._latches.release_write(chunk_index)
+            row = (
+                self._payload[rowid].copy()
+                if self.payload_names
+                else np.empty(0, dtype=np.int64)
+            )
+            return int(rowid), row
         raise ValueNotFoundError(f"key {key} not found")
 
     def bulk_insert(

@@ -70,6 +70,37 @@ class TestCodec:
     def test_operations_total(self):
         assert make_log().operations == 8
 
+    def test_round_trip_atomic_flag(self):
+        log = DeltaLog(atomic=True)
+        log.record_insert([1], np.zeros((1, 2), dtype=np.int64))
+        decoded = decode_delta_log(encode_delta_log(log))
+        assert decoded.atomic
+        # The flag rides the count high bit; plain logs stay unflagged.
+        assert not decode_delta_log(encode_delta_log(make_log())).atomic
+
+    def test_round_trip_move_markers(self):
+        log = DeltaLog()
+        log.record_move_intent(7, 3, 41, [10, 11])
+        log.record_delete([3])
+        log.record_move_commit(7)
+        log.record_move_forget(7)
+        decoded = decode_delta_log(encode_delta_log(log))
+        kinds = [record.kind for record in decoded.records]
+        assert kinds == ["move_intent", "delete", "move_commit", "move_forget"]
+        intent = decoded.records[0]
+        np.testing.assert_array_equal(intent.keys, [7, 3, 41])
+        np.testing.assert_array_equal(intent.payloads, [[10, 11]])
+        assert decoded.records[2].keys.tolist() == [7]
+        assert decoded.records[3].keys.tolist() == [7]
+        # Markers are bookkeeping: only the delete counts as an operation.
+        assert decoded.operations == 1
+
+    def test_move_intent_zero_width_payload(self):
+        log = DeltaLog()
+        log.record_move_intent(1, 2, 3, None)
+        decoded = decode_delta_log(encode_delta_log(log))
+        assert decoded.records[0].payloads.shape == (1, 0)
+
     def test_truncated_body_rejected(self):
         body = encode_delta_log(make_log())
         with pytest.raises(WalCorruptionError):

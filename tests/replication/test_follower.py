@@ -133,6 +133,51 @@ class TestBootstrapAndCatchUp:
         db.close()
 
 
+class TestTransactionalReplication:
+    """Atomic transaction commit records replicate whole or not at all."""
+
+    def make_transactional_primary(self, root):
+        initial = np.arange(0, 200, 2, dtype=np.int64)
+        db = Database.from_rows(
+            initial,
+            payload_for(initial),
+            chunk_size=64,
+            payload_names=("a", "b"),
+            durability=root,
+            enable_transactions=True,
+        )
+        return db, Primary(db.durability)
+
+    def test_commit_applies_whole_and_aborts_ship_nothing(self, tmp_path):
+        db, primary = self.make_transactional_primary(tmp_path)
+        engine = db.engine
+        txn = engine.begin_transaction()
+        engine.transactional_insert(txn, 1_000_001, (3, 4))
+        engine.transactional_delete(txn, 0)
+        engine.transactional_update(txn, 2, 1_000_003)
+        engine.commit(txn)
+        with Follower(tmp_path, primary=primary) as follower:
+            # The whole write set is one atomic WAL record, applied as
+            # one unit under the replica lock: one batch, oracle-equal.
+            assert follower.catch_up() == 1
+            assert canonical(follower.table) == canonical(db.table)
+            # Aborts log nothing, so there is nothing to ship.
+            txn = engine.begin_transaction()
+            engine.transactional_insert(txn, 1_000_005, (1, 2))
+            engine.abort(txn)
+            assert follower.catch_up() == 0
+            assert canonical(follower.table) == canonical(db.table)
+            # The follower stays oracle-equal at the next watermark too.
+            txn = engine.begin_transaction()
+            engine.transactional_delete(txn, 4)
+            engine.transactional_insert(txn, 1_000_007, (5, 6))
+            engine.commit(txn)
+            assert follower.catch_up() == 1
+            assert canonical(follower.table) == canonical(db.table)
+            follower.table.check_invariants()
+        db.close()
+
+
 class TestFollowerSession:
     def test_follow_database_serves_reads_at_the_watermark(self, tmp_path):
         db, primary = make_primary(tmp_path)

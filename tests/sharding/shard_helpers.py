@@ -21,10 +21,12 @@ def payload_for(keys) -> np.ndarray:
     """Payload as a pure function of the key.
 
     With ``payload = f(key)`` every copy of a duplicated key carries the
-    same payload, so the (unspecified, boundary-dependent) choice of
-    which copy a delete removes is invisible to results -- the regime the
-    oracle-equality contract is stated under (see the sharding README
-    section).
+    same payload, so delete-victim choice is invisible to results -- the
+    regime the broad oracle-equality contract is stated under (see the
+    sharding README section).  The choice itself is nevertheless pinned
+    (oldest surviving copy, smallest row id) on both the serial and
+    sharded paths; ``test_sharded_oracle.TestDuplicateVictimRule`` pins
+    exact equality with *distinct* per-copy payloads.
     """
     keys = np.asarray(keys, dtype=np.int64)
     return np.stack([keys * 7 + 1, keys % 13], axis=1)

@@ -1,11 +1,14 @@
-"""Worker crashes mid-batch: detection, per-shard WAL recovery, re-open.
+"""Worker crashes mid-batch and mid-move: detection, WAL recovery, re-open.
 
 These tests spawn their own throwaway clusters (workers die on purpose;
 the shared session cluster must stay healthy).  The fault hooks live in
 the worker loop: ``exit_before_apply`` kills the process before the
 batch executes, ``exit_before_ack`` after the batch committed through
 the shard's WAL (fsync'd) but before the dispatcher hears back -- the
-classic lost-ack window that recovery must replay.
+classic lost-ack window that recovery must replay.  The move hooks
+(:data:`repro.durability.faults.MOVE_POINTS`) kill a worker at each edge
+of the two-phase cross-shard move window; the re-open resolution scan
+must land every such kill on a fully-applied or fully-absent move.
 """
 
 from __future__ import annotations
@@ -14,8 +17,10 @@ import numpy as np
 import pytest
 from shard_helpers import payload_for
 
+from repro.durability.faults import MOVE_POINTS
 from repro.sharding import ShardedDatabase, WorkerDiedError
-from repro.workload.operations import MultiInsert, RangeQuery
+from repro.sharding.shard_map import ShardMap
+from repro.workload.operations import MultiInsert, PointQuery, RangeQuery, Update
 
 BASE_KEYS = np.repeat(np.arange(0, 40, dtype=np.int64), 5)  # 200 rows
 
@@ -95,6 +100,171 @@ class TestLostAck:
             assert count_all(recovered) == BASE_KEYS.size + 4 + survivors
         finally:
             recovered.close()
+
+
+def move_shards(old_key: int, new_key: int) -> tuple[int, int]:
+    """Source/target shards of a BASE_KEYS move without spawning workers."""
+    shard_map = ShardMap.from_sorted_keys(np.sort(BASE_KEYS), 2)
+    return shard_map.shard_of(old_key), shard_map.shard_of(new_key)
+
+
+def point_rows(database, key: int):
+    with database.session() as session:
+        return session.execute(PointQuery(key=int(key))).results[0]
+
+
+#: Whether the move must be *applied* after recovery from a kill at each
+#: window edge.  Only a kill before the source logs anything leaves the
+#: move absent; once the ``[move_intent, delete]`` record is durable, the
+#: resolution scan re-drives (or confirms) the insert half.
+MOVE_OUTCOME = {
+    "move.take.before_apply": False,
+    "move.take.before_ack": True,
+    "move.put.before_apply": True,
+    "move.put.before_ack": True,
+    "move.forget.before_apply": True,
+}
+
+
+class TestMidMoveKill:
+    """Kill matrix over the cross-shard move window (the tentpole bug)."""
+
+    OLD_KEY, NEW_KEY = 0, 39
+
+    @pytest.mark.parametrize("point", MOVE_POINTS)
+    def test_kill_at_every_window_edge_recovers_whole_or_absent(
+        self, tmp_path, point
+    ):
+        root = tmp_path / "db"
+        source, target = move_shards(self.OLD_KEY, self.NEW_KEY)
+        assert source != target
+        faulted = target if ".put." in point else source
+        database = durable_db(root, faults={faulted: {point: 1}})
+        try:
+            with database.session() as session:
+                with pytest.raises(WorkerDiedError) as info:
+                    session.execute(
+                        Update(old_key=self.OLD_KEY, new_key=self.NEW_KEY)
+                    )
+            assert info.value.shard == faulted
+        finally:
+            database.close()
+
+        recovered = ShardedDatabase.open(root)
+        try:
+            # Never a lost (or duplicated) row, whatever the kill edge.
+            assert count_all(recovered) == BASE_KEYS.size
+            old_rows = point_rows(recovered, self.OLD_KEY)
+            new_rows = point_rows(recovered, self.NEW_KEY)
+            moved_payload = dict(
+                zip(("a", "b"), payload_for([self.OLD_KEY])[0].tolist())
+            )
+            carried = [
+                row for row in new_rows if dict(row.payload) == moved_payload
+            ]
+            if MOVE_OUTCOME[point]:
+                # Oracle state after the update: one copy of OLD_KEY now
+                # lives at NEW_KEY, payload carried along unchanged.
+                assert len(old_rows) == 4
+                assert len(new_rows) == 6
+                assert len(carried) == 1
+            else:
+                assert len(old_rows) == 5
+                assert len(new_rows) == 5
+                assert not carried
+        finally:
+            recovered.close()
+
+    def test_lost_row_regression_take_applied_put_never_ran(self, tmp_path):
+        """The documented crash-loss bug, pinned: killed between the
+        take-apply and the insert-apply, the row used to vanish.  The
+        durable intent now carries it through recovery."""
+        root = tmp_path / "db"
+        source, _ = move_shards(self.OLD_KEY, self.NEW_KEY)
+        database = durable_db(
+            root, faults={source: {"move.take.before_ack": 1}}
+        )
+        try:
+            with database.session() as session:
+                with pytest.raises(WorkerDiedError):
+                    session.execute(
+                        Update(old_key=self.OLD_KEY, new_key=self.NEW_KEY)
+                    )
+        finally:
+            database.close()
+
+        recovered = ShardedDatabase.open(root)
+        try:
+            assert count_all(recovered) == BASE_KEYS.size
+            # The taken row reappears on the target shard under NEW_KEY
+            # with its original payload -- the move completed.
+            rows = point_rows(recovered, self.NEW_KEY)
+            moved_payload = dict(
+                zip(("a", "b"), payload_for([self.OLD_KEY])[0].tolist())
+            )
+            assert [
+                row for row in rows if dict(row.payload) == moved_payload
+            ], "taken row was lost across the crash"
+            # Recovery is idempotent: a second clean re-open (no intents
+            # left unresolved) observes the same state.
+        finally:
+            recovered.close()
+        reopened = ShardedDatabase.open(root)
+        try:
+            assert count_all(reopened) == BASE_KEYS.size
+            assert len(point_rows(reopened, self.NEW_KEY)) == 6
+        finally:
+            reopened.close()
+
+    def test_moves_resume_after_recovery(self, tmp_path):
+        """Post-recovery moves must allocate fresh move ids (seeded past
+        the WAL's maximum) and run the full protocol cleanly."""
+        root = tmp_path / "db"
+        database = durable_db(root)
+        try:
+            with database.session() as session:
+                result = session.execute(
+                    Update(old_key=self.OLD_KEY, new_key=self.NEW_KEY)
+                )
+            assert result.errors == 0
+        finally:
+            database.close()
+        recovered = ShardedDatabase.open(root)
+        try:
+            with recovered.session() as session:
+                result = session.execute(
+                    Update(old_key=self.OLD_KEY, new_key=self.NEW_KEY)
+                )
+            assert result.errors == 0
+            assert count_all(recovered) == BASE_KEYS.size
+            assert len(point_rows(recovered, self.OLD_KEY)) == 3
+            assert len(point_rows(recovered, self.NEW_KEY)) == 7
+        finally:
+            recovered.close()
+
+
+class TestShardLsns:
+    def test_execute_reports_per_shard_watermarks(self, tmp_path):
+        database = durable_db(tmp_path / "db")
+        try:
+            with database.session() as session:
+                result = session.execute([both_shard_insert(database, 100)])
+                assert result.commit_lsn is None
+                assert result.durable
+                # Both shards committed one batch: watermark vector has
+                # both entries at LSN 1 (load takes a snapshot, not WAL).
+                assert result.shard_lsns == {0: 1, 1: 1}
+                # A cross-shard move bumps both sides' watermarks.
+                result = session.execute(Update(old_key=0, new_key=39))
+                assert result.shard_lsns == {0: 3, 1: 2}
+            # A read reports the covering watermark of the shards it
+            # touched, matching the serial session's watermark semantics
+            # (keys 0..10 route to shard 0 only).
+            with database.session() as session:
+                result = session.execute(RangeQuery(low=0, high=10))
+                assert result.shard_lsns == {0: 3}
+        finally:
+            database.close()
 
 
 class TestKill:

@@ -13,14 +13,21 @@ section):
 
 * **Variant A** -- payload is a pure function of the key and no key
   updates run: *everything* the session returns is compared exactly,
-  including SUM aggregates and row payloads.  Which copy of a duplicated
-  key a delete removes is unspecified even serially, but with
-  ``payload = f(key)`` the choice is invisible.
+  including SUM aggregates and row payloads.
 * **Variant B** -- key updates (including cross-shard moves) and
   arbitrary insert payloads are allowed; comparison drops to the
   count level (row counts, COUNT aggregates, delete/update flags,
   error tallies), which stays deterministic because every write removes
   or moves exactly one copy regardless of which.
+
+Which copy of a duplicated key a delete or update removes is *pinned*
+(the oldest surviving copy -- smallest row id, see
+:meth:`repro.storage.column.PartitionedColumn._oldest_first`), so serial
+and sharded agree on victims exactly even when duplicate copies carry
+distinct payloads; ``TestDuplicateVictimRule`` is the regression for
+that.  Row ids assigned *after* load remain non-contractual (inserts,
+and rows carried by a cross-shard move, age differently per path), which
+is why mixed random workloads still need Variant B's count-level regime.
 """
 
 from __future__ import annotations
@@ -168,6 +175,67 @@ class TestVariantB:
             oplist, want.results, got.results, strict=True
         ):
             assert counts_view(op, ours) == counts_view(op, theirs), op
+
+
+class TestDuplicateVictimRule:
+    """Deletes/updates of duplicated keys hit the pinned oldest copy.
+
+    Every copy carries a *distinct* payload here, so any divergence in
+    victim choice between the serial oracle and the sharded path (or any
+    payload mangling across a cross-shard move) shows up as a
+    payload-exact mismatch in the point queries.
+
+    Scope note: a serial cross-chunk key update preserves the row's
+    global row id ("the payload never moves"), while a cross-shard move
+    re-inserts on the target shard under a fresh local row id.  The
+    moved row's *age* therefore differs across paths -- the standing
+    "row ids after load are non-contractual" caveat -- so the workload
+    never deletes from a key after a cross-shard move lands on it.
+    Victim choice on loaded duplicates (deletes, same-shard updates) and
+    the carried payload itself are exact.
+    """
+
+    def test_serial_and_sharded_pick_the_same_victims(self, cluster3):
+        keys = np.asarray([2] * 6 + [5] * 5 + [8] * 4, dtype=np.int64)
+        # Column "a" is the load position: unique per copy, so victim
+        # identity is fully observable through payloads.
+        payload = np.stack(
+            [np.arange(keys.size, dtype=np.int64), keys * 10], axis=1
+        )
+        oplist = [
+            Delete(key=2),  # oldest copy (a=0) dies on both paths
+            PointQuery(key=2),
+            MultiDelete(keys=(5, 5, 8)),  # a=6, a=7 and a=11 die
+            PointQuery(key=5),
+            PointQuery(key=8),
+            Update(old_key=8, new_key=9),  # same-shard: age preserved
+            PointQuery(key=8),
+            PointQuery(key=9),
+            Delete(key=8),  # post-update victim: a=13, both paths
+            PointQuery(key=8),
+            Update(old_key=2, new_key=5),  # cross-shard: payload carried
+            PointQuery(key=2),
+            PointQuery(key=5),
+        ]
+        serial = serial_db(keys, payload=payload)
+        with serial.session() as session:
+            want = session.execute(list(oplist))
+        with sharded_db(cluster3, keys, payload=payload) as database:
+            shard_of = database.shard_map.shard_of
+            assert shard_of(8) == shard_of(9)  # in-shard update
+            assert shard_of(2) != shard_of(5)  # two-phase move
+            with database.session() as session:
+                got = session.execute(list(oplist))
+            assert database.num_rows == serial.num_rows
+        assert got.errors == want.errors
+        for op, theirs, ours in zip(
+            oplist, want.results, got.results, strict=True
+        ):
+            if isinstance(op, PointQuery):
+                # Payload-exact: same victims died, same payloads moved.
+                assert normalize(ours) == normalize(theirs), op
+            else:
+                assert counts_view(op, ours) == counts_view(op, theirs), op
 
 
 def test_duplicate_run_straddling_a_fence_stays_whole(cluster3):
